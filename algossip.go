@@ -1,0 +1,267 @@
+package algossip
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/experiments"
+	"algossip/internal/gf"
+	"algossip/internal/gossip/algebraic"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/runtime"
+	"algossip/internal/sim"
+)
+
+// Re-exported kernel types. External users interact with the internal
+// packages exclusively through these aliases and the constructors below.
+type (
+	// Graph is an immutable simple undirected graph.
+	Graph = graph.Graph
+	// Tree is a rooted spanning tree (parent array).
+	Tree = graph.Tree
+	// NodeID identifies a node, 0..n-1.
+	NodeID = core.NodeID
+	// TimeModel selects synchronous or asynchronous scheduling.
+	TimeModel = core.TimeModel
+	// Action is the information-flow direction (PUSH/PULL/EXCHANGE).
+	Action = core.Action
+	// Message is one initial message (index + payload symbols).
+	Message = rlnc.Message
+	// Elem is one field symbol (a byte for every supported field).
+	Elem = gf.Elem
+	// Result summarizes a simulation run.
+	Result = sim.Result
+	// Cluster is a concurrent (goroutine-per-node) deployment.
+	Cluster = runtime.Cluster
+	// ClusterConfig configures a Cluster.
+	ClusterConfig = runtime.ClusterConfig
+	// Transport moves packets between concurrent nodes.
+	Transport = runtime.Transport
+)
+
+// Re-exported constants.
+const (
+	// Synchronous: every node acts once per round.
+	Synchronous = core.Synchronous
+	// Asynchronous: one uniform random node acts per timeslot.
+	Asynchronous = core.Asynchronous
+	// Push, Pull and Exchange are the contact actions of the paper.
+	Push     = core.Push
+	Pull     = core.Pull
+	Exchange = core.Exchange
+	// NilNode is the "no node" sentinel.
+	NilNode = core.NilNode
+)
+
+// Topology constructors (see internal/graph for details).
+var (
+	// Line returns the path graph P_n.
+	Line = graph.Line
+	// Ring returns the cycle C_n.
+	Ring = graph.Ring
+	// Grid returns the rows x cols 2D grid.
+	Grid = graph.Grid
+	// Torus returns the wraparound grid.
+	Torus = graph.Torus
+	// Complete returns K_n.
+	Complete = graph.Complete
+	// Star returns the star graph.
+	Star = graph.Star
+	// BinaryTree returns the complete binary tree.
+	BinaryTree = graph.BinaryTree
+	// KAryTree returns the complete k-ary tree.
+	KAryTree = graph.KAryTree
+	// Barbell returns two cliques joined by one edge.
+	Barbell = graph.Barbell
+	// Lollipop returns a clique with a tail path.
+	Lollipop = graph.Lollipop
+	// CliqueChain returns c cliques of size m in a chain.
+	CliqueChain = graph.CliqueChain
+	// Hypercube returns the d-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// ErdosRenyi returns a connected G(n,p) sample.
+	ErdosRenyi = graph.ErdosRenyi
+	// RandomRegular returns a near-d-regular connected graph.
+	RandomRegular = graph.RandomRegular
+	// WattsStrogatz returns a small-world graph.
+	WattsStrogatz = graph.WattsStrogatz
+)
+
+// Byte helpers for payload applications.
+var (
+	// SplitBytes chunks data into k messages for dissemination.
+	SplitBytes = rlnc.SplitBytes
+	// JoinBytes reassembles data from decoded messages.
+	JoinBytes = rlnc.JoinBytes
+)
+
+// Concurrent-runtime constructors.
+var (
+	// NewChanTransport returns the in-process transport.
+	NewChanTransport = runtime.NewChanTransport
+	// NewTCPTransport returns the gob-over-TCP transport.
+	NewTCPTransport = runtime.NewTCPTransport
+	// NewCluster builds a concurrent gossip deployment.
+	NewCluster = runtime.NewCluster
+)
+
+// Protocol selects a k-dissemination protocol for Run.
+type Protocol int
+
+const (
+	// ProtocolUniformAG is uniform algebraic gossip (Theorem 1).
+	ProtocolUniformAG Protocol = iota + 1
+	// ProtocolTAGRR is TAG with the round-robin broadcast B_RR (Theorem 5).
+	ProtocolTAGRR
+	// ProtocolTAGUniform is TAG with a uniform broadcast as S.
+	ProtocolTAGUniform
+	// ProtocolTAGIS is TAG with the IS protocol as S (Theorems 6-8).
+	ProtocolTAGIS
+	// ProtocolUncoded is the store-and-forward baseline.
+	ProtocolUncoded
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolUniformAG:
+		return "uniform-ag"
+	case ProtocolTAGRR:
+		return "tag-brr"
+	case ProtocolTAGUniform:
+		return "tag-uniform"
+	case ProtocolTAGIS:
+		return "tag-is"
+	case ProtocolUncoded:
+		return "uncoded"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol converts a name such as "tag-brr" to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "uniform-ag", "ag", "uniform":
+		return ProtocolUniformAG, nil
+	case "tag-brr", "tag":
+		return ProtocolTAGRR, nil
+	case "tag-uniform":
+		return ProtocolTAGUniform, nil
+	case "tag-is":
+		return ProtocolTAGIS, nil
+	case "uncoded":
+		return ProtocolUncoded, nil
+	default:
+		return 0, fmt.Errorf("algossip: unknown protocol %q", s)
+	}
+}
+
+// Spec declares one simulated k-dissemination run. Zero fields default to
+// the paper's canonical configuration: synchronous time, EXCHANGE, GF(2),
+// messages spread round-robin across nodes.
+type Spec struct {
+	// Graph is the topology (required).
+	Graph *Graph
+	// K is the number of messages (required).
+	K int
+	// Protocol picks the dissemination protocol (default uniform AG).
+	Protocol Protocol
+	// Model is the time model (default Synchronous).
+	Model TimeModel
+	// Q is the field order (default 2).
+	Q int
+	// Action is the contact action (default Exchange; uniform AG only).
+	Action Action
+	// SingleSource seeds all messages at node 0 instead of round-robin.
+	SingleSource bool
+	// MaxRounds caps the simulation (default generous).
+	MaxRounds int
+}
+
+// Run simulates the spec with the given seed and returns the stopping time
+// in rounds. Identical (Spec, seed) pairs produce identical results.
+func Run(spec Spec, seed uint64) (Result, error) {
+	if spec.Graph == nil {
+		return Result{}, fmt.Errorf("algossip: nil graph")
+	}
+	if spec.K <= 0 {
+		return Result{}, fmt.Errorf("algossip: k must be positive, got %d", spec.K)
+	}
+	gs := experiments.GossipSpec{
+		Graph:        spec.Graph,
+		Model:        spec.Model,
+		K:            spec.K,
+		Q:            spec.Q,
+		Action:       spec.Action,
+		SingleSource: spec.SingleSource,
+		MaxRounds:    spec.MaxRounds,
+	}
+	switch spec.Protocol {
+	case 0, ProtocolUniformAG:
+		return experiments.UniformAG(gs, seed)
+	case ProtocolTAGRR:
+		res, err := experiments.TAG(gs, experiments.TreeBRR, seed)
+		return res.Result, err
+	case ProtocolTAGUniform:
+		res, err := experiments.TAG(gs, experiments.TreeUniformB, seed)
+		return res.Result, err
+	case ProtocolTAGIS:
+		res, err := experiments.TAG(gs, experiments.TreeIS, seed)
+		return res.Result, err
+	case ProtocolUncoded:
+		return experiments.Uncoded(gs, seed)
+	default:
+		return Result{}, fmt.Errorf("algossip: unknown protocol %v", spec.Protocol)
+	}
+}
+
+// Disseminate runs payload-mode uniform algebraic gossip over the graph
+// until every node can decode, then returns node 0's decoded messages.
+// msgs[i].Index must equal i; message i starts at node assign[i] (nil
+// assign spreads round-robin). It is the simplest end-to-end entry point
+// for applications that actually want the data moved, not just timed.
+func Disseminate(g *Graph, msgs []Message, assign []NodeID, seed uint64) ([]Message, Result, error) {
+	k := len(msgs)
+	if k == 0 {
+		return nil, Result{}, fmt.Errorf("algossip: no messages")
+	}
+	r := len(msgs[0].Payload)
+	cfg := rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
+	p, err := algebraic.New(g, core.Synchronous, sim.NewUniform(g),
+		algebraic.Config{RLNC: cfg}, core.NewRand(core.SplitSeed(seed, 1)))
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if assign == nil {
+		assign = algebraic.RoundRobinAssign(k, g.N())
+	}
+	if err := p.SeedAll(assign, msgs); err != nil {
+		return nil, Result{}, err
+	}
+	res, err := sim.New(g, core.Synchronous, p, core.SplitSeed(seed, 2)).Run()
+	if err != nil {
+		return nil, res, err
+	}
+	decoded, err := p.Node(0).Decode()
+	return decoded, res, err
+}
+
+// NewRand returns the library's deterministic RNG for a seed; exposed so
+// applications can drive the random topology constructors reproducibly.
+func NewRand(seed uint64) *rand.Rand { return core.NewRand(seed) }
+
+// RandomMessages builds k messages with r random GF(256) payload symbols
+// each, for demos and tests.
+func RandomMessages(k, r int, seed uint64) []Message {
+	cfg := rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
+	return algebraic.RandomMessages(cfg, core.NewRand(seed))
+}
+
+// RLNCConfig returns the codec configuration for a payload-mode GF(256)
+// deployment with k messages of r symbols — what NewCluster expects.
+func RLNCConfig(k, r int) rlnc.Config {
+	return rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
+}

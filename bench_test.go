@@ -1,0 +1,344 @@
+package algossip_test
+
+// One benchmark per paper artifact, matching the experiment index in
+// DESIGN.md (E1-E12, A1-A4). Each benchmark runs the core measurement of
+// its experiment at a fixed representative size and reports the stopping
+// time via the custom "rounds" metric (and "speedup"/"ratio" where the
+// artifact is a comparison), so `go test -bench=.` regenerates the paper's
+// quantitative story end to end.
+
+import (
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/experiments"
+	"algossip/internal/gf"
+	"algossip/internal/gossip/algebraic"
+	"algossip/internal/graph"
+	"algossip/internal/queueing"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+// reportMeanRounds runs fn b.N times and reports the mean stopping time.
+func reportMeanRounds(b *testing.B, fn func(seed uint64) (int, error)) {
+	b.Helper()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		r, err := fn(core.SplitSeed(7, uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += r
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "rounds")
+}
+
+// BenchmarkTable1UniformAGAnyGraph (E1): uniform algebraic gossip on an
+// arbitrary (bottlenecked) graph — Theorem 1's O((k+log n+D)Δ) regime.
+func BenchmarkTable1UniformAGAnyGraph(b *testing.B) {
+	g := graph.Barbell(64)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32}, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkTable1ConstDegreeOptimal (E2): Θ(k+D) on a constant-degree
+// graph (line, k = n/2); the reported rounds stay proportional to k+D.
+func BenchmarkTable1ConstDegreeOptimal(b *testing.B) {
+	g := graph.Line(128)
+	b.ReportMetric(float64(64+g.Diameter()), "k+D")
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 64}, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkTable1TAGGeneral (E3): TAG with a uniform broadcast tree on the
+// barbell — Theorem 4's O(k + log n + d(S) + t(S)).
+func BenchmarkTable1TAGGeneral(b *testing.B) {
+	g := graph.Barbell(64)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.TAG(experiments.GossipSpec{Graph: g, K: 64},
+			experiments.TreeUniformB, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkTable1TAGRoundRobin (E4): TAG+B_RR with k=n on the barbell —
+// Theorem 5's Θ(n) on any graph.
+func BenchmarkTable1TAGRoundRobin(b *testing.B) {
+	g := graph.Barbell(96)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.TAG(experiments.GossipSpec{Graph: g, K: 96},
+			experiments.TreeBRR, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkTable1TAGIS (E5): TAG+IS on a clique chain (large weak
+// conductance) — Theorems 6-8's Θ(k).
+func BenchmarkTable1TAGIS(b *testing.B) {
+	g := graph.CliqueChain(4, 24)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.TAG(experiments.GossipSpec{Graph: g, K: 2 * g.N()},
+			experiments.TreeIS, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkTable2Line (E6): uniform AG on the line — ours O(k+n) vs
+// Haeupler's O(k + n log²n).
+func BenchmarkTable2Line(b *testing.B) {
+	g := graph.Line(128)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 64}, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkTable2Grid (E7): uniform AG on the √n x √n grid — ours O(k+√n).
+func BenchmarkTable2Grid(b *testing.B) {
+	g := graph.Grid(12, 12)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 72}, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkTable2BinaryTree (E8): uniform AG on the complete binary tree —
+// ours O(k + log n), an Ω(n log n/k) improvement over O(k + n log²n).
+func BenchmarkTable2BinaryTree(b *testing.B) {
+	g := graph.BinaryTree(127)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 64}, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkFigure1QueueChain (E9): the Theorem 2 queueing system Q̂^line —
+// k customers through lmax M/M/1 queues; reports the mean drain time.
+func BenchmarkFigure1QueueChain(b *testing.B) {
+	const k, lmax, mu = 100, 10, 1.0
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		rng := core.NewRand(core.SplitSeed(9, uint64(i)))
+		total += queueing.SimulateLineAllAtEnd(lmax, k, queueing.Exponential(mu), rng)
+	}
+	b.ReportMetric(total/float64(b.N), "drain-time")
+}
+
+// BenchmarkBarbellSpeedup (E10): the headline comparison — uniform AG vs
+// TAG+B_RR on the barbell with k = n; reports the speedup ratio.
+func BenchmarkBarbellSpeedup(b *testing.B) {
+	g := graph.Barbell(64)
+	var agSum, tagSum float64
+	for i := 0; i < b.N; i++ {
+		seed := core.SplitSeed(11, uint64(i))
+		ag, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 64}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tag, err := experiments.TAG(experiments.GossipSpec{Graph: g, K: 64},
+			experiments.TreeBRR, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agSum += float64(ag.Rounds)
+		tagSum += float64(tag.Rounds)
+	}
+	b.ReportMetric(agSum/float64(b.N), "uniform-rounds")
+	b.ReportMetric(tagSum/float64(b.N), "tag-rounds")
+	b.ReportMetric(agSum/tagSum, "speedup")
+}
+
+// BenchmarkLowerBoundFloor (E11): measured rounds against the Ω(k)
+// information-theoretic floor k(n-1)/2n on the complete graph; reports the
+// measured/floor ratio (always >= 1).
+func BenchmarkLowerBoundFloor(b *testing.B) {
+	g := graph.Complete(64)
+	floor := float64(64*(g.N()-1)) / float64(2*g.N())
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 64},
+			core.SplitSeed(13, uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += float64(res.Rounds)
+	}
+	b.ReportMetric(total/float64(b.N), "rounds")
+	b.ReportMetric(total/float64(b.N)/floor, "rounds-over-floor")
+}
+
+// BenchmarkCompleteGraphAG (E12): Deb et al.'s setting — complete graph,
+// k = n, Θ(k) rounds; reports rounds/k.
+func BenchmarkCompleteGraphAG(b *testing.B) {
+	g := graph.Complete(128)
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 128},
+			core.SplitSeed(15, uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += float64(res.Rounds)
+	}
+	b.ReportMetric(total/float64(b.N), "rounds")
+	b.ReportMetric(total/float64(b.N)/128, "rounds-per-k")
+}
+
+// BenchmarkAblationFieldSize (A1): q=256 vs the q=2 worst case the bounds
+// assume; reports both round counts.
+func BenchmarkAblationFieldSize(b *testing.B) {
+	g := graph.Grid(8, 8)
+	var q2, q256 float64
+	for i := 0; i < b.N; i++ {
+		seed := core.SplitSeed(17, uint64(i))
+		a, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, Q: 2}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, Q: 256}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q2 += float64(a.Rounds)
+		q256 += float64(c.Rounds)
+	}
+	b.ReportMetric(q2/float64(b.N), "rounds-q2")
+	b.ReportMetric(q256/float64(b.N), "rounds-q256")
+}
+
+// BenchmarkAblationAction (A2): EXCHANGE vs PUSH on the star graph, where
+// the hub bottleneck separates the actions.
+func BenchmarkAblationAction(b *testing.B) {
+	g := graph.Star(64)
+	var xchg, push float64
+	for i := 0; i < b.N; i++ {
+		seed := core.SplitSeed(19, uint64(i))
+		x, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, Action: core.Exchange}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, Action: core.Push}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xchg += float64(x.Rounds)
+		push += float64(p.Rounds)
+	}
+	b.ReportMetric(xchg/float64(b.N), "rounds-exchange")
+	b.ReportMetric(push/float64(b.N), "rounds-push")
+}
+
+// BenchmarkAblationUncoded (A3): RLNC vs store-and-forward on the complete
+// graph with k = n; reports the coupon-collector penalty ratio.
+func BenchmarkAblationUncoded(b *testing.B) {
+	g := graph.Complete(64)
+	var coded, plain float64
+	for i := 0; i < b.N; i++ {
+		seed := core.SplitSeed(21, uint64(i))
+		c, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 64}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u, err := experiments.Uncoded(experiments.GossipSpec{Graph: g, K: 64}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coded += float64(c.Rounds)
+		plain += float64(u.Rounds)
+	}
+	b.ReportMetric(coded/float64(b.N), "rounds-rlnc")
+	b.ReportMetric(plain/float64(b.N), "rounds-uncoded")
+	b.ReportMetric(plain/coded, "uncoded-penalty")
+}
+
+// BenchmarkAblationRankOnly (A4): the rank-only fast path vs the payload
+// backend at q=256 — identical stopping times, different wall-clock cost;
+// this benchmark times the fast path (compare with the payload decode cost
+// implicit in BenchmarkAblationFieldSize's q256 leg).
+func BenchmarkAblationRankOnly(b *testing.B) {
+	g := graph.Grid(8, 8)
+	reportMeanRounds(b, func(seed uint64) (int, error) {
+		res, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, Q: 256}, seed)
+		return res.Rounds, err
+	})
+}
+
+// BenchmarkAblationSyncVsAsync (A5): the two time models on the grid;
+// reports both round counts (Theorem 1 bounds them identically).
+func BenchmarkAblationSyncVsAsync(b *testing.B) {
+	g := graph.Grid(8, 8)
+	var syncR, asyncR float64
+	for i := 0; i < b.N; i++ {
+		seed := core.SplitSeed(23, uint64(i))
+		s, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, Model: core.Synchronous}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, Model: core.Asynchronous}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		syncR += float64(s.Rounds)
+		asyncR += float64(a.Rounds)
+	}
+	b.ReportMetric(syncR/float64(b.N), "rounds-sync")
+	b.ReportMetric(asyncR/float64(b.N), "rounds-async")
+}
+
+// BenchmarkAblationPacketLoss (A6): uniform AG under 30% i.i.d. packet
+// loss; reports the slowdown vs the clean run (expected ~1/(1-p) = 1.43).
+func BenchmarkAblationPacketLoss(b *testing.B) {
+	g := graph.Grid(8, 8)
+	var clean, lossy float64
+	for i := 0; i < b.N; i++ {
+		seed := core.SplitSeed(25, uint64(i))
+		c, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := experiments.UniformAG(experiments.GossipSpec{Graph: g, K: 32, LossRate: 0.3}, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clean += float64(c.Rounds)
+		lossy += float64(l.Rounds)
+	}
+	b.ReportMetric(clean/float64(b.N), "rounds-clean")
+	b.ReportMetric(lossy/float64(b.N), "rounds-lossy")
+	b.ReportMetric(lossy/clean, "loss-slowdown")
+}
+
+// BenchmarkAblationGenerations (A7): generation-coded gossip with an
+// intermediate generation size vs the paper's single-generation protocol.
+func BenchmarkAblationGenerations(b *testing.B) {
+	g := graph.Complete(32)
+	cfg := rlnc.GenConfig{
+		Inner:   rlnc.Config{Field: gf.MustNew(2), RankOnly: true},
+		K:       32,
+		GenSize: 16,
+	}
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		seed := core.SplitSeed(27, uint64(i))
+		p, err := algebraic.NewGen(g, core.Synchronous, sim.NewUniform(g), cfg,
+			core.NewRand(core.SplitSeed(seed, 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.SeedAll(algebraic.RoundRobinAssign(32, g.N()), nil); err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.New(g, core.Synchronous, p, core.SplitSeed(seed, 2)).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += float64(res.Rounds)
+	}
+	b.ReportMetric(total/float64(b.N), "rounds")
+	b.ReportMetric(float64(cfg.MessageBits()), "bits-per-packet")
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGossipsimEndToEnd(t *testing.T) {
+	args := [][]string{
+		{"-graph", "line", "-n", "10", "-k", "5", "-protocol", "ag", "-trials", "1"},
+		{"-graph", "barbell", "-n", "12", "-protocol", "tag", "-trials", "1", "-detail"},
+		{"-graph", "complete", "-n", "8", "-protocol", "uncoded", "-trials", "1", "-model", "async"},
+		{"-graph", "grid", "-n", "9", "-protocol", "tag-is", "-trials", "1", "-q", "256"},
+	}
+	for _, a := range args {
+		if err := run(a); err != nil {
+			t.Errorf("run(%v): %v", a, err)
+		}
+	}
+}
+
+func TestGossipsimTraceCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.csv")
+	if err := run([]string{
+		"-graph", "ring", "-n", "8", "-k", "4", "-trials", "1", "-tracecsv", out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 9 { // header + 8 nodes
+		t.Fatalf("trace CSV has %d lines, want 9:\n%s", len(lines), data)
+	}
+	if lines[0] != "node,round" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+}
+
+func TestGossipsimRejectsBadFlags(t *testing.T) {
+	for _, a := range [][]string{
+		{"-graph", "bogus"},
+		{"-protocol", "bogus"},
+		{"-model", "bogus"},
+		{"-action", "sideways"},
+	} {
+		if err := run(a); err == nil {
+			t.Errorf("run(%v) accepted", a)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command sweep runs a parameter sweep of one protocol over one topology
+// family and writes a CSV of stopping times, suitable for plotting the
+// paper's scaling curves (rounds vs n, rounds vs k).
+//
+// Usage:
+//
+//	sweep -graph barbell -protocol ag -sizes 16,32,64,128 -trials 5 -out barbell_ag.csv
+//	sweep -graph line -protocol tag -kmode n -sizes 32,64,128
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"algossip"
+	"algossip/internal/core"
+	"algossip/internal/graph"
+	"algossip/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		graphName = fs.String("graph", "barbell", "topology family (see gossipsim)")
+		protoName = fs.String("protocol", "ag", "protocol: ag|tag|tag-uniform|tag-is|uncoded")
+		modelName = fs.String("model", "sync", "time model: sync|async")
+		sizesCSV  = fs.String("sizes", "16,32,64", "comma-separated node counts")
+		kmode     = fs.String("kmode", "half", "k per size: half|n|sqrt|const:<v>")
+		q         = fs.Int("q", 2, "field order")
+		trials    = fs.Int("trials", 3, "trials per size")
+		seed      = fs.Uint64("seed", 1, "root seed")
+		out       = fs.String("out", "", "output CSV path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := algossip.ParseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	model, err := core.ParseTimeModel(*modelName)
+	if err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesCSV)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"graph", "protocol", "model", "n", "k", "trial", "rounds"}); err != nil {
+		return err
+	}
+
+	for _, n := range sizes {
+		g, err := graph.FromName(*graphName, n, core.NewRand(core.SplitSeed(*seed, 999)))
+		if err != nil {
+			return err
+		}
+		k, err := pickK(*kmode, g.N())
+		if err != nil {
+			return err
+		}
+		var rounds []float64
+		for i := 0; i < *trials; i++ {
+			res, err := algossip.Run(algossip.Spec{
+				Graph: g, K: k, Protocol: proto, Model: model, Q: *q,
+			}, core.SplitSeed(*seed, uint64(n*1000+i)))
+			if err != nil {
+				return err
+			}
+			rounds = append(rounds, float64(res.Rounds))
+			rec := []string{g.Name(), proto.String(), model.String(),
+				strconv.Itoa(g.N()), strconv.Itoa(k), strconv.Itoa(i),
+				strconv.Itoa(res.Rounds)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "n=%-5d k=%-5d %s\n", g.N(), k, stats.Summarize(rounds))
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func pickK(mode string, n int) (int, error) {
+	switch {
+	case mode == "half":
+		return n / 2, nil
+	case mode == "n":
+		return n, nil
+	case mode == "sqrt":
+		k := 1
+		for k*k < n {
+			k++
+		}
+		return k, nil
+	case strings.HasPrefix(mode, "const:"):
+		v, err := strconv.Atoi(strings.TrimPrefix(mode, "const:"))
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("bad kmode %q", mode)
+		}
+		return v, nil
+	default:
+		return 0, fmt.Errorf("unknown kmode %q", mode)
+	}
+}

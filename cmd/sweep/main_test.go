@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("16, 32,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{16, 32, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSizes = %v", got)
+		}
+	}
+	for _, bad := range []string{"", "x", "16,1", "16,,32"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickK(t *testing.T) {
+	tests := []struct {
+		mode string
+		n    int
+		want int
+	}{
+		{"half", 64, 32},
+		{"n", 64, 64},
+		{"sqrt", 64, 8},
+		{"sqrt", 10, 4},
+		{"const:5", 100, 5},
+	}
+	for _, tt := range tests {
+		got, err := pickK(tt.mode, tt.n)
+		if err != nil || got != tt.want {
+			t.Errorf("pickK(%q, %d) = %d, %v; want %d", tt.mode, tt.n, got, err, tt.want)
+		}
+	}
+	for _, bad := range []string{"", "cube", "const:x", "const:0"} {
+		if _, err := pickK(bad, 10); err == nil {
+			t.Errorf("pickK(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sweep.csv")
+	err := run([]string{
+		"-graph", "line", "-protocol", "ag", "-sizes", "8,12",
+		"-trials", "2", "-out", out, "-seed", "5",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header + 2 sizes x 2 trials.
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "graph,protocol,model,n,k,trial,rounds") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "line-8,uniform-ag,synchronous,8,4,0,") {
+		t.Fatalf("bad row: %s", lines[1])
+	}
+}
+
+func TestSweepRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-protocol", "bogus"}, os.Stdout); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+	if err := run([]string{"-graph", "bogus"}, os.Stdout); err == nil {
+		t.Error("bogus graph accepted")
+	}
+	if err := run([]string{"-sizes", "nope"}, os.Stdout); err == nil {
+		t.Error("bogus sizes accepted")
+	}
+	if err := run([]string{"-kmode", "nope"}, os.Stdout); err == nil {
+		t.Error("bogus kmode accepted")
+	}
+}

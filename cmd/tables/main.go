@@ -1,0 +1,76 @@
+// Command tables regenerates the paper's evaluation artifacts — every row
+// of Table 1 and Table 2, the Theorem 2 queueing validation, the barbell
+// speedup, and the ablations — printing each as a text table with its
+// expected shape.
+//
+// Usage:
+//
+//	tables            # run everything at full scale
+//	tables -quick     # small sizes and trial counts
+//	tables -only E10  # a single experiment by ID
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"algossip/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	var (
+		quick  = fs.Bool("quick", false, "small sizes and trial counts")
+		seed   = fs.Uint64("seed", 42, "root seed")
+		only   = fs.String("only", "", "run a single experiment by ID (e.g. E4)")
+		trials = fs.Int("trials", 0, "override trials per data point")
+		outDir = fs.String("outdir", "", "also write each experiment's output to <outdir>/<ID>.txt")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials}
+
+	exps := experiments.All()
+	if *only != "" {
+		e, err := experiments.ByID(*only)
+		if err != nil {
+			return err
+		}
+		exps = []experiments.Experiment{e}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Artifact)
+		var buf bytes.Buffer
+		out := io.MultiWriter(os.Stdout, &buf)
+		if err := e.Run(out, opt); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTablesSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-only", "A4", "-outdir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "A4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "identical round counts") {
+		t.Fatalf("A4 output unexpected:\n%s", data)
+	}
+}
+
+func TestTablesRejectsUnknownID(t *testing.T) {
+	if err := run([]string{"-only", "E99"}); err == nil {
+		t.Error("unknown experiment ID accepted")
+	}
+}

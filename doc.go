@@ -1,0 +1,36 @@
+// Package algossip is a from-scratch Go implementation of the protocols
+// and analysis machinery of Avin, Borokhovich, Censor-Hillel and Lotker,
+// "Order Optimal Information Spreading Using Algebraic Gossip" (PODC 2011).
+//
+// The library disseminates k messages to all n nodes of an arbitrary
+// connected network using gossip with bounded message sizes:
+//
+//   - Uniform algebraic gossip: every transmission is a random linear
+//     combination (RLNC over F_q) of the sender's packets; stopping time
+//     O((k + log n + D)·Δ) on any graph and Θ(k + D) on constant-degree
+//     graphs (Theorems 1 and 3).
+//   - TAG (Tree-based Algebraic Gossip): interleaves a spanning-tree gossip
+//     protocol S with algebraic gossip along the tree, stopping in
+//     O(k + log n + d(S) + t(S)) rounds (Theorem 4). With the round-robin
+//     broadcast B_RR it is Θ(n) for k = Ω(n) on any graph (Theorem 5); with
+//     the IS protocol it is Θ(k) on graphs with large weak conductance
+//     (Theorems 6–8).
+//
+// Two execution substrates share the protocol implementations:
+//
+//   - A deterministic discrete-event simulator (synchronous and
+//     asynchronous time models) used by the experiment harness that
+//     regenerates every table and figure of the paper — see EXPERIMENTS.md.
+//   - A concurrent runtime (goroutine per node, in-memory or TCP
+//     transports) for running the real coded protocol with payloads.
+//
+// # Quickstart
+//
+//	g := algossip.Grid(8, 8)
+//	res, err := algossip.Run(algossip.Spec{
+//		Graph: g, K: 32, Protocol: algossip.ProtocolTAGRR,
+//	}, 42)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// system inventory.
+package algossip

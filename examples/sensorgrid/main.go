@@ -1,0 +1,73 @@
+// Sensorgrid: all-to-all aggregation on a constant-degree sensor network.
+// Every node of a 6x6 grid holds one sensor reading; uniform algebraic
+// gossip (the order-optimal protocol for constant-degree graphs, Theorem 3)
+// disseminates all n readings to all nodes, after which any node can
+// compute any global aggregate — here min/max/mean temperature — with no
+// coordinator and messages of bounded size.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"algossip"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sensorgrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const rows, cols = 6, 6
+	g := algossip.Grid(rows, cols)
+	n := g.N()
+
+	// Synthetic temperature field: a warm blob in one corner, in tenths of
+	// a degree so each reading fits one byte.
+	readings := make([]byte, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			readings[r*cols+c] = byte(150 + 10*r + 7*c) // 15.0°C .. 23.5°C
+		}
+	}
+
+	// One message per sensor: k = n (all-to-all communication).
+	msgs := make([]algossip.Message, n)
+	assign := make([]algossip.NodeID, n)
+	for v := 0; v < n; v++ {
+		msgs[v] = algossip.Message{Index: v, Payload: []algossip.Elem{algossip.Elem(readings[v])}}
+		assign[v] = algossip.NodeID(v)
+	}
+
+	decoded, res, err := algossip.Disseminate(g, msgs, assign, 99)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all-to-all on %s: k=n=%d readings, %d synchronous rounds (Θ(k+D), D=%d)\n",
+		g.Name(), n, res.Rounds, g.Diameter())
+
+	minT, maxT, sum := decoded[0].Payload[0], decoded[0].Payload[0], 0
+	for _, m := range decoded {
+		t := m.Payload[0]
+		if t < minT {
+			minT = t
+		}
+		if t > maxT {
+			maxT = t
+		}
+		sum += int(t)
+	}
+	fmt.Printf("aggregates computable at every node: min=%.1f°C max=%.1f°C mean=%.1f°C\n",
+		float64(minT)/10, float64(maxT)/10, float64(sum)/float64(n)/10)
+
+	for v, m := range decoded {
+		if byte(m.Payload[0]) != readings[v] {
+			return fmt.Errorf("reading %d corrupted in transit", v)
+		}
+	}
+	fmt.Println("all readings delivered intact ✓")
+	return nil
+}

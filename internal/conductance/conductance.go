@@ -1,0 +1,260 @@
+// Package conductance estimates the conductance Φ(G) and the weak
+// conductance Φ_c(G) that parameterize Section 6 of the paper. The
+// conductance of a cut S is cut(S, V∖S) / min(vol(S), vol(V∖S)); Φ(G)
+// minimizes over all cuts. The weak conductance Φ_c(G) of Censor-Hillel &
+// Shachnai relaxes this: information only needs to spread well inside
+// *large-enough communities* (subsets of at least n/c nodes containing each
+// node), so graphs like the barbell — terrible global conductance, perfect
+// clique-local conductance — have Φ_2 = Θ(1).
+//
+// Exact conductance is exponential in n, so the package provides three
+// estimators with documented contracts:
+//
+//   - Exact(g): exhaustive over all cuts; only for n <= ~22 (tests).
+//   - SpectralGap(g): 1 - λ₂ of the lazy random walk, with Cheeger bounds
+//     gap/2 <= Φ <= sqrt(2·gap).
+//   - WeakLowerBound(g, c): greedily grows <= c communities of >= n/c nodes
+//     and returns the smallest community conductance found — a certified
+//     lower bound on the best community partition of that shape, which is
+//     the quantity the IS protocol's running time tracks.
+package conductance
+
+import (
+	"math"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
+
+// cutStats returns the cut weight and volume of subset S (given as a
+// bitmask membership slice).
+func cutStats(g *graph.Graph, inS []bool) (cut, volS, volRest int) {
+	for v := 0; v < g.N(); v++ {
+		deg := g.Degree(core.NodeID(v))
+		if inS[v] {
+			volS += deg
+		} else {
+			volRest += deg
+		}
+		for _, u := range g.Neighbors(core.NodeID(v)) {
+			if inS[v] && !inS[u] {
+				cut++
+			}
+		}
+	}
+	return cut, volS, volRest
+}
+
+// phi returns the conductance of the cut S, or +Inf for trivial cuts.
+func phi(g *graph.Graph, inS []bool) float64 {
+	cut, volS, volRest := cutStats(g, inS)
+	den := volS
+	if volRest < den {
+		den = volRest
+	}
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return float64(cut) / float64(den)
+}
+
+// Exact computes Φ(G) by enumerating all 2^(n-1) cuts. It panics for
+// n > 22 — use SpectralGap beyond that.
+func Exact(g *graph.Graph) float64 {
+	n := g.N()
+	if n > 22 {
+		panic("conductance: Exact limited to n <= 22")
+	}
+	if n < 2 {
+		return 0
+	}
+	best := math.Inf(1)
+	inS := make([]bool, n)
+	// Fix node 0 in S to halve the enumeration.
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		inS[0] = true
+		for v := 1; v < n; v++ {
+			inS[v] = mask&(1<<(v-1)) != 0
+		}
+		if p := phi(g, inS); p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// SpectralGap estimates 1 - λ₂ of the lazy random walk matrix
+// P = (I + D⁻¹A)/2 by power iteration with deflation against the
+// stationary distribution π(v) = deg(v)/2m. By Cheeger's inequality,
+// gap/2 <= Φ(G) <= sqrt(2·gap).
+func SpectralGap(g *graph.Graph, iters int) float64 {
+	n := g.N()
+	if n < 2 {
+		return 1
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	twoM := 0.0
+	for v := 0; v < n; v++ {
+		twoM += float64(g.Degree(core.NodeID(v)))
+	}
+	pi := make([]float64, n)
+	for v := 0; v < n; v++ {
+		pi[v] = float64(g.Degree(core.NodeID(v))) / twoM
+	}
+	// Start from a deterministic non-uniform vector, deflated against pi.
+	x := make([]float64, n)
+	for v := range x {
+		x[v] = math.Sin(float64(v + 1))
+	}
+	y := make([]float64, n)
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		deflate(x, pi)
+		normalize(x)
+		// y = P x with P = (I + D^-1 A)/2.
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range g.Neighbors(core.NodeID(v)) {
+				sum += x[u]
+			}
+			deg := float64(g.Degree(core.NodeID(v)))
+			y[v] = 0.5*x[v] + 0.5*sum/deg
+		}
+		lambda = dot(x, y) / dot(x, x)
+		x, y = y, x
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	return 1 - lambda
+}
+
+// deflate removes the component of x along the stationary distribution,
+// using the D-weighted inner product under which P is self-adjoint.
+func deflate(x, pi []float64) {
+	// <x, 1>_pi = sum pi_v x_v ; subtract it so x ⟂ the top eigenvector 1.
+	var proj float64
+	for v := range x {
+		proj += pi[v] * x[v]
+	}
+	for v := range x {
+		x[v] -= proj
+	}
+}
+
+func normalize(x []float64) {
+	s := math.Sqrt(dot(x, x))
+	if s == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= s
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// CheegerBounds returns the (lower, upper) bounds on Φ(G) implied by the
+// spectral gap.
+func CheegerBounds(g *graph.Graph, iters int) (lo, hi float64) {
+	gap := SpectralGap(g, iters)
+	return gap / 2, math.Sqrt(2 * gap)
+}
+
+// Community is one block of a weak-conductance partition.
+type Community struct {
+	// Nodes lists the members.
+	Nodes []core.NodeID
+	// Phi is the conductance of the community's induced subgraph.
+	Phi float64
+}
+
+// WeakLowerBound greedily partitions g into at most c communities of at
+// least ⌈n/c⌉ nodes each (BFS-grown, preferring high-connectivity
+// expansion) and returns the minimum induced-subgraph conductance across
+// communities together with the partition. The result is a lower bound on
+// the weak conductance Φ_c(G) achieved by *some* admissible community
+// structure, which is what makes the IS protocol fast; the true Φ_c can
+// only be larger.
+//
+// Induced conductance uses Exact for communities of <= 22 nodes and the
+// Cheeger lower bound otherwise.
+func WeakLowerBound(g *graph.Graph, c int) (float64, []Community) {
+	n := g.N()
+	if c < 1 {
+		panic("conductance: c must be >= 1")
+	}
+	minSize := (n + c - 1) / c
+	assigned := make([]bool, n)
+	var comms []Community
+	for start := 0; start < n; start++ {
+		if assigned[start] {
+			continue
+		}
+		// Grow a community from start: repeatedly absorb the unassigned
+		// neighbor with the most edges into the community.
+		members := []core.NodeID{core.NodeID(start)}
+		assigned[start] = true
+		inComm := make(map[core.NodeID]bool)
+		inComm[core.NodeID(start)] = true
+		for len(members) < minSize {
+			best, bestScore := core.NilNode, -1
+			for _, m := range members {
+				for _, u := range g.Neighbors(m) {
+					if assigned[u] {
+						continue
+					}
+					score := 0
+					for _, w := range g.Neighbors(u) {
+						if inComm[w] {
+							score++
+						}
+					}
+					if score > bestScore {
+						best, bestScore = u, score
+					}
+				}
+			}
+			if best == core.NilNode {
+				break // no unassigned frontier; community stays small
+			}
+			members = append(members, best)
+			assigned[best] = true
+			inComm[best] = true
+		}
+		comms = append(comms, Community{Nodes: members})
+	}
+	// Merge trailing small communities into their predecessor so at most c
+	// remain (greedy growth can strand leftovers).
+	for len(comms) > c {
+		last := comms[len(comms)-1]
+		comms = comms[:len(comms)-1]
+		comms[len(comms)-1].Nodes = append(comms[len(comms)-1].Nodes, last.Nodes...)
+	}
+	minPhi := math.Inf(1)
+	for i := range comms {
+		sub := g.Subgraph(comms[i].Nodes)
+		var p float64
+		switch {
+		case sub.N() < 2:
+			p = 1
+		case sub.N() <= 22:
+			p = Exact(sub)
+		default:
+			p, _ = CheegerBounds(sub, 300)
+		}
+		comms[i].Phi = p
+		if p < minPhi {
+			minPhi = p
+		}
+	}
+	return minPhi, comms
+}

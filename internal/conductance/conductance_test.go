@@ -1,0 +1,127 @@
+package conductance
+
+import (
+	"math"
+	"testing"
+
+	"algossip/internal/graph"
+)
+
+func TestExactCompleteGraph(t *testing.T) {
+	// K_n: every balanced cut has conductance about n/(2(n-1)) ~ 1/2; the
+	// minimum over cuts of K_6 is cut of size 1x5: cut=5, vol(S)=5 ->
+	// phi=1. Balanced 3x3: cut=9, vol=15 -> 0.6.
+	got := Exact(graph.Complete(6))
+	if math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("Phi(K6) = %v, want 0.6", got)
+	}
+}
+
+func TestExactLine(t *testing.T) {
+	// Line of 8: best cut is the middle edge, cut=1, vol = 7 -> 1/7.
+	got := Exact(graph.Line(8))
+	want := 1.0 / 7.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Phi(P8) = %v, want %v", got, want)
+	}
+}
+
+func TestExactBarbellIsTiny(t *testing.T) {
+	g := graph.Barbell(16)
+	got := Exact(g)
+	// Bridge cut: cut=1, vol(one clique) = 8*7+1 = 57 -> 1/57.
+	want := 1.0 / 57.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Phi(barbell-16) = %v, want %v", got, want)
+	}
+}
+
+func TestExactPanicsOnLargeGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Exact(graph.Line(23))
+}
+
+// TestCheegerBoundsBracketExact validates gap/2 <= Phi <= sqrt(2 gap) on
+// graphs small enough for the exact computation.
+func TestCheegerBoundsBracketExact(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Complete(8), graph.Line(10), graph.Ring(12),
+		graph.Barbell(14), graph.Star(10), graph.Grid(3, 4),
+	}
+	for _, g := range graphs {
+		exact := Exact(g)
+		lo, hi := CheegerBounds(g, 500)
+		if exact < lo-1e-6 || exact > hi+1e-6 {
+			t.Errorf("%s: Phi=%.4f outside Cheeger bracket [%.4f, %.4f]", g.Name(), exact, lo, hi)
+		}
+	}
+}
+
+func TestSpectralGapOrdering(t *testing.T) {
+	// The complete graph has a much larger gap than the barbell.
+	k := SpectralGap(graph.Complete(20), 300)
+	b := SpectralGap(graph.Barbell(20), 300)
+	if k < 10*b {
+		t.Errorf("gap(K20)=%v not much larger than gap(barbell)=%v", k, b)
+	}
+}
+
+// TestWeakConductanceBarbell is the headline property of Section 6: the
+// barbell has terrible conductance but Φ_2 = Θ(1), because each clique is
+// an excellent community.
+func TestWeakConductanceBarbell(t *testing.T) {
+	g := graph.Barbell(32)
+	weak, comms := WeakLowerBound(g, 2)
+	if len(comms) > 2 {
+		t.Fatalf("got %d communities, want <= 2", len(comms))
+	}
+	global, _ := CheegerBounds(g, 300)
+	if weak < 0.3 {
+		t.Errorf("weak conductance lower bound %.3f, want Θ(1) (>= 0.3)", weak)
+	}
+	if weak < global {
+		t.Errorf("weak (%v) should exceed the global Cheeger lower bound (%v)", weak, global)
+	}
+	// Communities should partition all nodes.
+	seen := make(map[int]bool)
+	for _, c := range comms {
+		for _, v := range c.Nodes {
+			if seen[int(v)] {
+				t.Fatalf("node %d in two communities", v)
+			}
+			seen[int(v)] = true
+		}
+	}
+	if len(seen) != g.N() {
+		t.Fatalf("communities cover %d/%d nodes", len(seen), g.N())
+	}
+}
+
+func TestWeakConductanceCliqueChain(t *testing.T) {
+	g := graph.CliqueChain(4, 10)
+	weak, comms := WeakLowerBound(g, 4)
+	if weak < 0.3 {
+		t.Errorf("clique chain weak conductance %.3f, want >= 0.3", weak)
+	}
+	if len(comms) > 4 {
+		t.Errorf("%d communities, want <= 4", len(comms))
+	}
+}
+
+func TestWeakConductanceC1IsGlobal(t *testing.T) {
+	// With c=1 the only community is the whole graph, so the bound equals
+	// the induced conductance of G itself.
+	g := graph.Complete(10)
+	weak, comms := WeakLowerBound(g, 1)
+	if len(comms) != 1 {
+		t.Fatalf("c=1 produced %d communities", len(comms))
+	}
+	exact := Exact(g)
+	if math.Abs(weak-exact) > 1e-9 {
+		t.Errorf("weak(c=1) = %v, exact = %v", weak, exact)
+	}
+}

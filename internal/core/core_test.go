@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestActionStringsAndParse(t *testing.T) {
+	tests := []struct {
+		a    Action
+		want string
+	}{
+		{Push, "PUSH"},
+		{Pull, "PULL"},
+		{Exchange, "EXCHANGE"},
+		{Action(9), "Action(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.a, got, tt.want)
+		}
+	}
+	for _, s := range []string{"push", "PUSH", "Push"} {
+		if a, err := ParseAction(s); err != nil || a != Push {
+			t.Errorf("ParseAction(%q) = %v, %v", s, a, err)
+		}
+	}
+	if a, err := ParseAction("xchg"); err != nil || a != Exchange {
+		t.Errorf("ParseAction(xchg) = %v, %v", a, err)
+	}
+	if _, err := ParseAction("sideways"); err == nil {
+		t.Error("invalid action accepted")
+	}
+}
+
+func TestTimeModelStringsAndParse(t *testing.T) {
+	if Synchronous.String() != "synchronous" || Asynchronous.String() != "asynchronous" {
+		t.Error("model strings wrong")
+	}
+	if TimeModel(7).String() == "" {
+		t.Error("unknown model must still render")
+	}
+	for s, want := range map[string]TimeModel{
+		"sync": Synchronous, "s": Synchronous, "synchronous": Synchronous,
+		"async": Asynchronous, "a": Asynchronous, "asynchronous": Asynchronous,
+	} {
+		if m, err := ParseTimeModel(s); err != nil || m != want {
+			t.Errorf("ParseTimeModel(%q) = %v, %v", s, m, err)
+		}
+	}
+	if _, err := ParseTimeModel("warp"); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(6)
+	same := true
+	a2 := NewRand(5)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestSplitSeedInjective checks that distinct (parent, stream) pairs give
+// distinct children in practice, and that the map is deterministic.
+func TestSplitSeedInjective(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for parent := uint64(0); parent < 50; parent++ {
+		for stream := uint64(0); stream < 50; stream++ {
+			s := SplitSeed(parent, stream)
+			if seen[s] {
+				t.Fatalf("collision at parent=%d stream=%d", parent, stream)
+			}
+			seen[s] = true
+			if s != SplitSeed(parent, stream) {
+				t.Fatal("SplitSeed not deterministic")
+			}
+		}
+	}
+}
+
+// TestSplitSeedAvalanche: flipping the stream index should flip about half
+// the output bits on average (SplitMix64 finalizer quality).
+func TestSplitSeedAvalanche(t *testing.T) {
+	check := func(parent uint64, stream uint64) bool {
+		a := SplitSeed(parent, stream)
+		b := SplitSeed(parent, stream+1)
+		diff := a ^ b
+		bits := 0
+		for diff != 0 {
+			bits++
+			diff &= diff - 1
+		}
+		return bits >= 10 && bits <= 54
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNilNode(t *testing.T) {
+	if NilNode >= 0 {
+		t.Error("NilNode must be negative")
+	}
+}

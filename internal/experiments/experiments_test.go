@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
+
+// TestAllExperimentsQuick runs the entire experiment registry in Quick mode
+// — the full-stack integration test for the harness: every protocol, every
+// topology family, every table renderer.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.Run(&sb, Options{Quick: true, Seed: 42}); err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Artifact, err)
+			}
+			out := sb.String()
+			if len(out) < 50 {
+				t.Fatalf("%s produced suspiciously short output:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "VIOLATION") || strings.Contains(out, "WARNING") {
+				t.Errorf("%s flagged a violation:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E10")
+	if err != nil || e.ID != "E10" {
+		t.Fatalf("ByID(E10) = %+v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := GossipSpec{Graph: graph.Line(4), K: 2}.normalize()
+	if s.Model != core.Synchronous || s.Q != 2 || s.Action != core.Exchange ||
+		s.Selector != SelUniform || s.MaxRounds == 0 {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if TreeBRR.String() != "BRR" || TreeIS.String() != "IS" || TreeUniformB.String() != "uniform-B" {
+		t.Fatal("TreeKind strings wrong")
+	}
+	if SelUniform.String() != "uniform" || SelRoundRobin.String() != "round-robin" {
+		t.Fatal("SelectorKind strings wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("a", "bb")
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("xyz", "w")
+	var sb strings.Builder
+	if err := tbl.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"a", "bb", "2.50", "xyz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSingleSourceSpec exercises the single-source seeding path.
+func TestSingleSourceSpec(t *testing.T) {
+	res, err := UniformAG(GossipSpec{Graph: graph.Complete(12), K: 6, SingleSource: true}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"algossip/internal/core"
+	"algossip/internal/gossip/algebraic"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the index key used in DESIGN.md and EXPERIMENTS.md (E1..E12,
+	// A1..A4).
+	ID string
+	// Artifact names the paper table/figure/theorem it regenerates.
+	Artifact string
+	// Run executes the experiment, writing its table to w.
+	Run func(w io.Writer, opt Options) error
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Artifact: "Theorem 1 / Table 1 row 1", Run: E1UniformAGAnyGraph},
+		{ID: "E2", Artifact: "Theorem 3 / Table 1 row 2", Run: E2ConstDegreeOptimal},
+		{ID: "E3", Artifact: "Theorem 4 / Table 1 row 3", Run: E3TAGGeneral},
+		{ID: "E4", Artifact: "Theorem 5 / Table 1 row 4", Run: E4TAGRoundRobin},
+		{ID: "E5", Artifact: "Theorems 6-8 / Table 1 row 5", Run: E5TAGIS},
+		{ID: "E6", Artifact: "Table 2 row Line", Run: E6Table2Line},
+		{ID: "E7", Artifact: "Table 2 row Grid", Run: E7Table2Grid},
+		{ID: "E8", Artifact: "Table 2 row Binary Tree", Run: E8Table2BinaryTree},
+		{ID: "E9", Artifact: "Figure 1 / Theorem 2", Run: E9QueueChain},
+		{ID: "E10", Artifact: "Section 1.1 barbell speedup", Run: E10BarbellSpeedup},
+		{ID: "E11", Artifact: "Theorem 3 lower bound", Run: E11LowerBoundFloor},
+		{ID: "E12", Artifact: "Deb et al. complete-graph baseline", Run: E12CompleteGraph},
+		{ID: "E13", Artifact: "traffic accounting (bounded message sizes)", Run: E13Traffic},
+		{ID: "E14", Artifact: "dissemination curve (per-node completion CDF)", Run: E14DisseminationCurve},
+		{ID: "A1", Artifact: "ablation: field size", Run: A1FieldSize},
+		{ID: "A2", Artifact: "ablation: gossip action", Run: A2Action},
+		{ID: "A3", Artifact: "ablation: RLNC vs uncoded", Run: A3Uncoded},
+		{ID: "A4", Artifact: "ablation: rank-only equivalence", Run: A4RankOnly},
+		{ID: "A5", Artifact: "ablation: sync vs async time model", Run: A5SyncVsAsync},
+		{ID: "A6", Artifact: "failure injection: packet loss", Run: A6LossRobustness},
+		{ID: "A7", Artifact: "ablation: RLNC generation size", Run: A7Generations},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// uniformAGPayload runs payload-mode (q=256) uniform algebraic gossip with
+// the exact same seed layout as UniformAG, so that A4 can compare round
+// counts one-to-one against the rank-only fast path.
+func uniformAGPayload(g *graph.Graph, k int, seed uint64) (sim.Result, error) {
+	cfg := rlnc.Config{Field: mustGF256(), K: k, PayloadLen: 4}
+	p, err := algebraic.New(g, core.Synchronous, sim.NewUniform(g),
+		algebraic.Config{RLNC: cfg}, core.NewRand(core.SplitSeed(seed, 1)))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	// Payload randomness comes from an independent stream so the protocol
+	// RNG consumption matches the rank-only run exactly.
+	msgs := algebraic.RandomMessages(cfg, core.NewRand(core.SplitSeed(seed, 50)))
+	if err := p.SeedAll(algebraic.RoundRobinAssign(k, g.N()), msgs); err != nil {
+		return sim.Result{}, err
+	}
+	return sim.New(g, core.Synchronous, p, core.SplitSeed(seed, 2),
+		sim.WithMaxRounds(1<<21)).Run()
+}

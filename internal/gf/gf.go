@@ -1,0 +1,138 @@
+// Package gf implements the finite fields F_q used by random linear network
+// coding (RLNC). Algebraic gossip draws the coefficients of every random
+// linear combination uniformly from F_q; the paper's bounds only need q >= 2
+// (the probability that a combination from a helpful node is helpful is at
+// least 1 - 1/q, Lemma 2.1 of Deb et al.), so the package provides GF(2),
+// the binary extension fields GF(4), GF(16) and GF(256), a generic GF(2^m)
+// constructor, and small prime fields F_p.
+//
+// All elements are represented as a single byte (Elem), which covers every
+// field of order at most 256 — more than enough: larger fields only move the
+// helpfulness probability closer to 1.
+package gf
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Elem is an element of a finite field of order at most 256. The zero value
+// is the additive identity of every field.
+type Elem uint8
+
+// Field is a finite field F_q with q <= 256. Implementations must be
+// immutable after construction and safe for concurrent use.
+//
+// Div and Inv panic when the divisor is zero; callers own the precondition,
+// exactly as with integer division.
+type Field interface {
+	// Order returns q, the number of elements.
+	Order() int
+	// Char returns the characteristic of the field (2 for GF(2^m), p for F_p).
+	Char() int
+	// Name returns a short human-readable name such as "GF(256)".
+	Name() string
+
+	// Add returns a + b.
+	Add(a, b Elem) Elem
+	// Sub returns a - b.
+	Sub(a, b Elem) Elem
+	// Neg returns -a.
+	Neg(a Elem) Elem
+	// Mul returns a * b.
+	Mul(a, b Elem) Elem
+	// Div returns a / b. It panics if b == 0.
+	Div(a, b Elem) Elem
+	// Inv returns the multiplicative inverse of a. It panics if a == 0.
+	Inv(a Elem) Elem
+
+	// AXPY performs dst[i] += c * src[i] for every index of src.
+	// len(dst) must be at least len(src).
+	AXPY(dst, src []Elem, c Elem)
+	// Scale performs v[i] *= c for every index of v.
+	Scale(v []Elem, c Elem)
+	// DotProduct returns the inner product of a and b, which must have
+	// equal length.
+	DotProduct(a, b []Elem) Elem
+}
+
+// Rand returns an element of f drawn uniformly at random.
+func Rand(f Field, rng *rand.Rand) Elem {
+	return Elem(rng.IntN(f.Order()))
+}
+
+// RandNonZero returns a nonzero element of f drawn uniformly at random.
+func RandNonZero(f Field, rng *rand.Rand) Elem {
+	return Elem(1 + rng.IntN(f.Order()-1))
+}
+
+// RandVector fills a fresh length-n vector with uniform random elements of f.
+func RandVector(f Field, n int, rng *rand.Rand) []Elem {
+	v := make([]Elem, n)
+	for i := range v {
+		v[i] = Rand(f, rng)
+	}
+	return v
+}
+
+// IsZeroVector reports whether every entry of v is zero.
+func IsZeroVector(v []Elem) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// New returns the field with the given order. Supported orders are 2, 4, 8,
+// 16, 32, 64, 128 and 256 (binary extension fields) and small primes up to
+// 251.
+func New(order int) (Field, error) {
+	switch order {
+	case 2:
+		return GF2{}, nil
+	case 4, 8, 16, 32, 64, 128, 256:
+		m := 0
+		for v := order; v > 1; v >>= 1 {
+			m++
+		}
+		return NewGF2m(m)
+	default:
+		if order > 256 {
+			return nil, fmt.Errorf("gf: order %d exceeds byte representation", order)
+		}
+		if !isPrime(order) {
+			return nil, fmt.Errorf("gf: unsupported field order %d (not a power of two or a prime)", order)
+		}
+		return NewPrime(order)
+	}
+}
+
+// MustNew is like New but panics on error. It is intended for package-level
+// construction with known-good orders.
+func MustNew(order int) Field {
+	f, err := New(order)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Default returns the field used by the paper's canonical configuration,
+// GF(256): one coefficient per byte and helpfulness probability 255/256.
+func Default() Field {
+	return MustNew(256)
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,212 @@
+package gf
+
+import "fmt"
+
+// Standard irreducible polynomials for GF(2^m), written with the leading
+// x^m bit included (e.g. 0x11D = x^8 + x^4 + x^3 + x^2 + 1).
+var _irreducible = map[int]uint{
+	1: 0x3,   // x + 1
+	2: 0x7,   // x^2 + x + 1
+	3: 0xB,   // x^3 + x + 1
+	4: 0x13,  // x^4 + x + 1
+	5: 0x25,  // x^5 + x^2 + 1
+	6: 0x43,  // x^6 + x + 1
+	7: 0x89,  // x^7 + x^3 + 1
+	8: 0x11D, // x^8 + x^4 + x^3 + x^2 + 1 (the Rijndael-adjacent classic)
+}
+
+// GF2m is the binary extension field GF(2^m) for 1 <= m <= 8, implemented
+// with exponent/logarithm tables over a generator, so multiplication and
+// inversion are two table lookups. Addition is XOR.
+type GF2m struct {
+	m     int
+	order int
+	mask  Elem
+	// exp has length 2*order so products of logs index without a modulo.
+	exp []Elem
+	log []uint16
+	inv []Elem
+	// mulTab is the full q x q multiplication table, flattened; for q <= 256
+	// this is at most 64 KiB and makes AXPY a pure table walk.
+	mulTab []Elem
+}
+
+var _ Field = (*GF2m)(nil)
+
+// NewGF2m constructs GF(2^m) for 1 <= m <= 8 using a standard irreducible
+// polynomial.
+func NewGF2m(m int) (*GF2m, error) {
+	poly, ok := _irreducible[m]
+	if !ok {
+		return nil, fmt.Errorf("gf: no irreducible polynomial registered for m=%d", m)
+	}
+	order := 1 << m
+	f := &GF2m{
+		m:     m,
+		order: order,
+		mask:  Elem(order - 1),
+		exp:   make([]Elem, 2*order),
+		log:   make([]uint16, order),
+		inv:   make([]Elem, order),
+	}
+
+	// Find a generator by trial: x itself (value 2) generates the
+	// multiplicative group for all our polynomials except degenerate m=1.
+	gen := uint(2)
+	if m == 1 {
+		gen = 1
+	}
+	if !f.buildTables(gen, poly) {
+		// Fall back to scanning for a generator.
+		found := false
+		for g := uint(2); g < uint(order); g++ {
+			if f.buildTables(g, poly) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("gf: no generator found for GF(2^%d) with poly %#x", m, poly)
+		}
+	}
+
+	// Inverses: a^-1 = g^(q-1-log a).
+	for a := 1; a < order; a++ {
+		f.inv[a] = f.exp[(order-1)-int(f.log[a])]
+	}
+
+	// Full multiplication table.
+	f.mulTab = make([]Elem, order*order)
+	for a := 0; a < order; a++ {
+		for b := 0; b < order; b++ {
+			if a == 0 || b == 0 {
+				continue
+			}
+			f.mulTab[a*order+b] = f.exp[int(f.log[a])+int(f.log[b])]
+		}
+	}
+	return f, nil
+}
+
+// buildTables fills exp/log from the candidate generator; it reports whether
+// the candidate generates the full multiplicative group.
+func (f *GF2m) buildTables(gen, poly uint) bool {
+	order := f.order
+	seen := make([]bool, order)
+	x := uint(1)
+	for i := 0; i < order-1; i++ {
+		if x == 0 || x >= uint(order) || seen[x] {
+			return false
+		}
+		seen[x] = true
+		f.exp[i] = Elem(x)
+		f.log[x] = uint16(i)
+		// Multiply by gen with polynomial reduction.
+		x = polyMul(x, gen, poly, f.m)
+	}
+	if x != 1 { // must cycle back to 1 after order-1 steps
+		return false
+	}
+	for i := order - 1; i < 2*order; i++ {
+		f.exp[i] = f.exp[(i)%(order-1)]
+	}
+	return true
+}
+
+// polyMul multiplies two elements of GF(2^m) by shift-and-add with reduction
+// modulo poly. Used only during table construction.
+func polyMul(a, b, poly uint, m int) uint {
+	var acc uint
+	for b > 0 {
+		if b&1 == 1 {
+			acc ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a&(1<<uint(m)) != 0 {
+			a ^= poly
+		}
+	}
+	return acc
+}
+
+// Order returns 2^m.
+func (f *GF2m) Order() int { return f.order }
+
+// Char returns 2.
+func (f *GF2m) Char() int { return 2 }
+
+// Name returns e.g. "GF(256)".
+func (f *GF2m) Name() string { return fmt.Sprintf("GF(%d)", f.order) }
+
+// Add returns a XOR b.
+func (f *GF2m) Add(a, b Elem) Elem { return (a ^ b) & f.mask }
+
+// Sub returns a XOR b.
+func (f *GF2m) Sub(a, b Elem) Elem { return (a ^ b) & f.mask }
+
+// Neg returns a.
+func (f *GF2m) Neg(a Elem) Elem { return a & f.mask }
+
+// Mul returns a * b via the multiplication table.
+func (f *GF2m) Mul(a, b Elem) Elem {
+	return f.mulTab[int(a)*f.order+int(b)]
+}
+
+// Div returns a / b. It panics if b == 0.
+func (f *GF2m) Div(a, b Elem) Elem {
+	if b == 0 {
+		panic("gf: division by zero in " + f.Name())
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+(f.order-1)-int(f.log[b])]
+}
+
+// Inv returns a^-1. It panics if a == 0.
+func (f *GF2m) Inv(a Elem) Elem {
+	if a == 0 {
+		panic("gf: inverse of zero in " + f.Name())
+	}
+	return f.inv[a]
+}
+
+// AXPY performs dst[i] ^= c * src[i] using one row of the multiplication
+// table, which turns the inner loop into a lookup and XOR.
+func (f *GF2m) AXPY(dst, src []Elem, c Elem) {
+	if c == 0 {
+		return
+	}
+	row := f.mulTab[int(c)*f.order : int(c)*f.order+f.order]
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// Scale performs v[i] *= c in place.
+func (f *GF2m) Scale(v []Elem, c Elem) {
+	if c == 1 {
+		return
+	}
+	if c == 0 {
+		for i := range v {
+			v[i] = 0
+		}
+		return
+	}
+	row := f.mulTab[int(c)*f.order : int(c)*f.order+f.order]
+	for i, x := range v {
+		v[i] = row[x]
+	}
+}
+
+// DotProduct returns sum_i a[i]*b[i].
+func (f *GF2m) DotProduct(a, b []Elem) Elem {
+	var acc Elem
+	for i := range a {
+		acc ^= f.mulTab[int(a[i])*f.order+int(b[i])]
+	}
+	return acc
+}

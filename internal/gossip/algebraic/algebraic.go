@@ -1,0 +1,312 @@
+// Package algebraic implements the algebraic gossip protocol (paper
+// Sections 2 and 3): every message a node sends is a uniformly random
+// linear combination of the packets it stores (RLNC), and a node finishes
+// once its equation matrix reaches rank k.
+//
+// The protocol is parameterized by the communication model
+// (sim.PartnerSelector): with sim.Uniform it is the *uniform algebraic
+// gossip* of Theorem 1; with sim.Fixed it is the on-tree exchange of TAG's
+// Phase 2 (Lemma 1); with sim.RoundRobin it is a quasirandom variant.
+package algebraic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+	"algossip/internal/gossip"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+// Config parameterizes an algebraic gossip run.
+type Config struct {
+	// RLNC is the coding configuration (field, k, payload length, mode).
+	RLNC rlnc.Config
+	// Action is the information-flow direction on contact; the paper's
+	// results are for Exchange, the default when zero.
+	Action core.Action
+	// DiscardDuplicatePerRound enables the simplifying assumption from the
+	// proof of Theorem 1 for the synchronous model: if a node receives two
+	// messages from the same sender in one round, the second is discarded.
+	// The deployed protocol keeps both; enabling this matches the analyzed
+	// (slower or equal) process.
+	DiscardDuplicatePerRound bool
+	// LossRate drops each transmitted packet independently with this
+	// probability (failure injection). Network coding tolerates loss
+	// gracefully: the expected slowdown is about 1/(1-LossRate), because
+	// every surviving packet is still helpful with probability >= 1-1/q.
+	LossRate float64
+}
+
+// delivery is one staged packet transfer (synchronous model).
+type delivery struct {
+	to, from core.NodeID
+	pkt      *rlnc.Packet
+}
+
+// Protocol is the algebraic gossip state machine. It implements
+// sim.Protocol. Not safe for concurrent use.
+type Protocol struct {
+	g     *graph.Graph
+	model core.TimeModel
+	sel   sim.PartnerSelector
+	rng   *rand.Rand
+	cfg   Config
+
+	nodes  []*rlnc.Node
+	seeded int // number of distinct message indices seeded
+
+	staged    []delivery
+	traffic   gossip.Traffic
+	doneCount int
+	doneRound []int // round at which each node reached rank k, -1 before
+	round     int   // current round (sync: from BeginRound; async: slots/n)
+	slots     int   // async wakeup counter
+	obs       sim.Observer
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New constructs an algebraic gossip protocol over g. The caller seeds the
+// k initial messages with Seed before running.
+func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Config, rng *rand.Rand) (*Protocol, error) {
+	if cfg.Action == 0 {
+		cfg.Action = core.Exchange
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("algebraic: loss rate %v outside [0, 1)", cfg.LossRate)
+	}
+	n := g.N()
+	p := &Protocol{
+		g:         g,
+		model:     model,
+		sel:       sel,
+		rng:       rng,
+		cfg:       cfg,
+		nodes:     make([]*rlnc.Node, n),
+		doneRound: make([]int, n),
+		obs:       sim.NopObserver{},
+	}
+	for i := range p.nodes {
+		node, err := rlnc.NewNode(cfg.RLNC)
+		if err != nil {
+			return nil, fmt.Errorf("algebraic: node %d: %w", i, err)
+		}
+		p.nodes[i] = node
+	}
+	for i := range p.doneRound {
+		p.doneRound[i] = -1
+	}
+	return p, nil
+}
+
+// SetObserver installs a progress observer (must be called before running).
+func (p *Protocol) SetObserver(obs sim.Observer) { p.obs = obs }
+
+// Seed places message msg at node v (a node can hold more than one initial
+// message). In rank-only mode the payload may be nil.
+func (p *Protocol) Seed(v core.NodeID, msg rlnc.Message) {
+	p.nodes[v].Seed(msg)
+	p.seeded++
+	p.refreshDone(v)
+}
+
+// SeedAll distributes messages according to assign: message i is placed at
+// node assign[i]. msgs[i] provides the payloads; msgs may be nil in
+// rank-only mode, in which case bare indices are seeded.
+func (p *Protocol) SeedAll(assign []core.NodeID, msgs []rlnc.Message) error {
+	if len(assign) != p.cfg.RLNC.K {
+		return errors.New("algebraic: assignment length must equal k")
+	}
+	for i, v := range assign {
+		msg := rlnc.Message{Index: i}
+		if msgs != nil {
+			msg = msgs[i]
+			if msg.Index != i {
+				return fmt.Errorf("algebraic: message %d has index %d", i, msg.Index)
+			}
+		}
+		p.Seed(v, msg)
+	}
+	return nil
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("algebraic-gossip(%s,%s)", p.sel.Name(), p.cfg.Action)
+}
+
+// OnWake implements sim.Protocol: node v contacts sel.Partner(v) and
+// transfers packets according to the configured action.
+func (p *Protocol) OnWake(v core.NodeID) {
+	if p.model == core.Asynchronous {
+		p.slots++
+		p.round = p.slots / p.g.N()
+	}
+	u := p.sel.Partner(v, p.rng)
+	if u == core.NilNode {
+		return
+	}
+	switch p.cfg.Action {
+	case core.Push:
+		p.send(v, u)
+	case core.Pull:
+		p.send(u, v)
+	case core.Exchange:
+		p.send(v, u)
+		p.send(u, v)
+	}
+}
+
+// Tick advances the protocol's internal asynchronous clock without any
+// communication. Wrapper protocols (TAG) call it on wakeups they spend on
+// another phase, so per-node completion rounds stay calibrated.
+func (p *Protocol) Tick() {
+	if p.model == core.Asynchronous {
+		p.slots++
+		p.round = p.slots / p.g.N()
+	}
+}
+
+// send emits a random combination from node `from` toward node `to`. In the
+// synchronous model the delivery is staged until EndRound (information
+// received in a round is available only at the next round); in the
+// asynchronous model it applies immediately. With LossRate set, the packet
+// may be dropped in flight.
+func (p *Protocol) send(from, to core.NodeID) {
+	pkt := p.nodes[from].Emit(p.rng)
+	if pkt == nil {
+		return
+	}
+	p.traffic.Sent++
+	if p.cfg.LossRate > 0 && p.rng.Float64() < p.cfg.LossRate {
+		p.traffic.Dropped++
+		return // lost in flight
+	}
+	if p.model == core.Synchronous {
+		p.staged = append(p.staged, delivery{to: to, from: from, pkt: pkt})
+		return
+	}
+	p.apply(to, pkt)
+}
+
+// apply lets node `to` receive the packet and updates completion tracking.
+func (p *Protocol) apply(to core.NodeID, pkt *rlnc.Packet) {
+	if p.nodes[to].Receive(pkt) {
+		p.traffic.Helpful++
+		p.refreshDone(to)
+	} else {
+		p.traffic.Useless++
+	}
+}
+
+// refreshDone records the completion round for node v if it just reached
+// full rank.
+func (p *Protocol) refreshDone(v core.NodeID) {
+	if p.doneRound[v] < 0 && p.nodes[v].CanDecode() {
+		p.doneRound[v] = p.round
+		p.doneCount++
+		p.obs.NodeDone(v, p.round)
+	}
+}
+
+// BeginRound implements sim.Protocol.
+func (p *Protocol) BeginRound(round int) { p.round = round }
+
+// EndRound implements sim.Protocol: applies the staged deliveries. With
+// DiscardDuplicatePerRound, only the first packet from each (sender,
+// receiver) pair survives the round.
+func (p *Protocol) EndRound(round int) {
+	p.round = round
+	if p.cfg.DiscardDuplicatePerRound {
+		type pair struct{ to, from core.NodeID }
+		seen := make(map[pair]bool, len(p.staged))
+		for _, d := range p.staged {
+			key := pair{d.to, d.from}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			p.apply(d.to, d.pkt)
+		}
+	} else {
+		for _, d := range p.staged {
+			p.apply(d.to, d.pkt)
+		}
+	}
+	p.staged = p.staged[:0]
+}
+
+// Done implements sim.Protocol: true once every node has rank k.
+func (p *Protocol) Done() bool { return p.doneCount == len(p.nodes) }
+
+// Traffic returns the protocol's transmission counters.
+func (p *Protocol) Traffic() gossip.Traffic { return p.traffic }
+
+// MessageBits returns the wire size of one of this protocol's messages.
+func (p *Protocol) MessageBits() int { return gossip.MessageBits(p.cfg.RLNC) }
+
+// Rank returns node v's current rank.
+func (p *Protocol) Rank(v core.NodeID) int { return p.nodes[v].Rank() }
+
+// Node returns node v's RLNC state (for decoding in tests and examples).
+func (p *Protocol) Node(v core.NodeID) *rlnc.Node { return p.nodes[v] }
+
+// DoneRounds returns, per node, the round at which it reached rank k
+// (-1 if it has not). The slice is a copy.
+func (p *Protocol) DoneRounds() []int {
+	return append([]int(nil), p.doneRound...)
+}
+
+// RoundRobinAssign places message i at node i mod n — the all-to-all
+// pattern when k == n, and an even spread otherwise.
+func RoundRobinAssign(k, n int) []core.NodeID {
+	out := make([]core.NodeID, k)
+	for i := range out {
+		out[i] = core.NodeID(i % n)
+	}
+	return out
+}
+
+// SingleAssign places all k messages at one origin node.
+func SingleAssign(k int, origin core.NodeID) []core.NodeID {
+	out := make([]core.NodeID, k)
+	for i := range out {
+		out[i] = origin
+	}
+	return out
+}
+
+// RandomAssign places each message at an independently uniform node.
+func RandomAssign(k, n int, rng *rand.Rand) []core.NodeID {
+	out := make([]core.NodeID, k)
+	for i := range out {
+		out[i] = core.NodeID(rng.IntN(n))
+	}
+	return out
+}
+
+// RandomMessages builds k messages with uniform random payloads of length r
+// for payload-mode runs.
+func RandomMessages(cfg rlnc.Config, rng *rand.Rand) []rlnc.Message {
+	msgs := make([]rlnc.Message, cfg.K)
+	for i := range msgs {
+		msgs[i] = rlnc.Message{Index: i}
+		if !cfg.RankOnly {
+			msgs[i].Payload = randVector(cfg, rng)
+		}
+	}
+	return msgs
+}
+
+func randVector(cfg rlnc.Config, rng *rand.Rand) []gf.Elem {
+	v := make([]gf.Elem, cfg.PayloadLen)
+	for i := range v {
+		v[i] = gf.Rand(cfg.Field, rng)
+	}
+	return v
+}

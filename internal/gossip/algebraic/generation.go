@@ -1,0 +1,164 @@
+package algebraic
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/gossip"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+// GenProtocol is algebraic gossip with generation-based RLNC (see
+// rlnc.GenConfig): the k messages are coded in independent generations,
+// trading per-packet coefficient overhead against a coupon-collector
+// effect across generations. It exists for the generation-size ablation
+// (A7); the paper's protocol is the single-generation special case.
+type GenProtocol struct {
+	g     *graph.Graph
+	model core.TimeModel
+	sel   sim.PartnerSelector
+	rng   *rand.Rand
+	cfg   rlnc.GenConfig
+
+	nodes     []*rlnc.GenNode
+	staged    []genDelivery
+	traffic   gossip.Traffic
+	doneSeen  []bool
+	doneCount int
+	round     int
+	slots     int
+}
+
+type genDelivery struct {
+	to  core.NodeID
+	pkt *rlnc.GenPacket
+}
+
+var _ sim.Protocol = (*GenProtocol)(nil)
+
+// NewGen constructs a generation-coded gossip protocol; seed messages with
+// Seed before running. Contacts are EXCHANGE.
+func NewGen(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg rlnc.GenConfig, rng *rand.Rand) (*GenProtocol, error) {
+	n := g.N()
+	p := &GenProtocol{
+		g:     g,
+		model: model,
+		sel:   sel,
+		rng:   rng,
+		cfg:   cfg,
+		nodes: make([]*rlnc.GenNode, n),
+	}
+	for i := range p.nodes {
+		node, err := rlnc.NewGenNode(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("algebraic: node %d: %w", i, err)
+		}
+		p.nodes[i] = node
+	}
+	return p, nil
+}
+
+// Seed places message msg (global index) at node v.
+func (p *GenProtocol) Seed(v core.NodeID, msg rlnc.Message) {
+	p.nodes[v].Seed(msg)
+	p.refreshDone(v)
+}
+
+// SeedAll places message i at node assign[i]; msgs may be nil in rank-only
+// mode.
+func (p *GenProtocol) SeedAll(assign []core.NodeID, msgs []rlnc.Message) error {
+	if len(assign) != p.cfg.K {
+		return fmt.Errorf("algebraic: assignment length %d != k %d", len(assign), p.cfg.K)
+	}
+	for i, v := range assign {
+		msg := rlnc.Message{Index: i}
+		if msgs != nil {
+			msg = msgs[i]
+		}
+		p.Seed(v, msg)
+	}
+	return nil
+}
+
+// Name implements sim.Protocol.
+func (p *GenProtocol) Name() string {
+	return fmt.Sprintf("gen-algebraic-gossip(g=%d)", p.cfg.GenSize)
+}
+
+// OnWake implements sim.Protocol (EXCHANGE with a selected partner).
+func (p *GenProtocol) OnWake(v core.NodeID) {
+	if p.model == core.Asynchronous {
+		p.slots++
+		p.round = p.slots / p.g.N()
+	}
+	u := p.sel.Partner(v, p.rng)
+	if u == core.NilNode {
+		return
+	}
+	p.send(v, u)
+	p.send(u, v)
+}
+
+func (p *GenProtocol) send(from, to core.NodeID) {
+	pkt := p.nodes[from].Emit(p.rng)
+	if pkt == nil {
+		return
+	}
+	p.traffic.Sent++
+	if p.model == core.Synchronous {
+		p.staged = append(p.staged, genDelivery{to: to, pkt: pkt})
+		return
+	}
+	p.apply(to, pkt)
+}
+
+func (p *GenProtocol) apply(to core.NodeID, pkt *rlnc.GenPacket) {
+	if p.nodes[to].Receive(pkt) {
+		p.traffic.Helpful++
+		p.refreshDone(to)
+	} else {
+		p.traffic.Useless++
+	}
+}
+
+// refreshDone counts node v's completion exactly once (CanDecode is
+// monotone, but v is re-checked on every helpful packet).
+func (p *GenProtocol) refreshDone(v core.NodeID) {
+	if !p.nodes[v].CanDecode() {
+		return
+	}
+	if p.doneSeen == nil {
+		p.doneSeen = make([]bool, len(p.nodes))
+	}
+	if !p.doneSeen[v] {
+		p.doneSeen[v] = true
+		p.doneCount++
+	}
+}
+
+// BeginRound implements sim.Protocol.
+func (p *GenProtocol) BeginRound(round int) { p.round = round }
+
+// EndRound implements sim.Protocol.
+func (p *GenProtocol) EndRound(round int) {
+	p.round = round
+	for _, d := range p.staged {
+		p.apply(d.to, d.pkt)
+	}
+	p.staged = p.staged[:0]
+}
+
+// Done implements sim.Protocol.
+func (p *GenProtocol) Done() bool { return p.doneCount == len(p.nodes) }
+
+// Rank returns node v's total rank.
+func (p *GenProtocol) Rank(v core.NodeID) int { return p.nodes[v].Rank() }
+
+// Node returns node v's generation-coded state.
+func (p *GenProtocol) Node(v core.NodeID) *rlnc.GenNode { return p.nodes[v] }
+
+// Traffic returns the protocol's transmission counters.
+func (p *GenProtocol) Traffic() gossip.Traffic { return p.traffic }

@@ -1,0 +1,194 @@
+// Package broadcast implements gossip broadcast (1-dissemination)
+// protocols, which double as spanning-tree (STP) protocols: when a node
+// receives the broadcast message for the first time, it marks the sender as
+// its parent, so the completed broadcast induces a spanning tree rooted at
+// the origin (paper Sections 2 and 4.1).
+//
+// With the round-robin communication model this is the B_RR protocol of
+// Theorem 5, which finishes in at most 3n synchronous rounds with
+// probability 1 on any connected graph (via Lemma 2: the degree sum along
+// any shortest path is at most 3n), and in O(n) rounds w.h.p. in the
+// asynchronous model.
+package broadcast
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/gossip"
+	"algossip/internal/graph"
+	"algossip/internal/sim"
+)
+
+// Config parameterizes a broadcast run.
+type Config struct {
+	// Origin is the node that initially holds the message.
+	Origin core.NodeID
+	// Action is the information-flow direction on contact. The default
+	// (zero value) is Push, matching the proof of Theorem 5; Exchange also
+	// satisfies the theorem.
+	Action core.Action
+}
+
+// inform is one staged "u becomes informed by v" event (synchronous model).
+type inform struct {
+	to, from core.NodeID
+}
+
+// Protocol is a gossip broadcast state machine implementing sim.Protocol.
+// Pair it with sim.NewUniform for uniform broadcast or sim.NewRoundRobin
+// for B_RR.
+type Protocol struct {
+	g     *graph.Graph
+	model core.TimeModel
+	sel   sim.PartnerSelector
+	rng   *rand.Rand
+	cfg   Config
+
+	informed      []bool
+	parent        []core.NodeID
+	informedRound []int
+	informedCount int
+	staged        []inform
+	traffic       gossip.Traffic
+	round         int
+	slots         int
+	obs           sim.Observer
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New constructs a broadcast protocol over g with the message at
+// cfg.Origin.
+func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Config, rng *rand.Rand) *Protocol {
+	if cfg.Action == 0 {
+		cfg.Action = core.Push
+	}
+	n := g.N()
+	p := &Protocol{
+		g:             g,
+		model:         model,
+		sel:           sel,
+		rng:           rng,
+		cfg:           cfg,
+		informed:      make([]bool, n),
+		parent:        make([]core.NodeID, n),
+		informedRound: make([]int, n),
+		obs:           sim.NopObserver{},
+	}
+	for i := range p.parent {
+		p.parent[i] = core.NilNode
+		p.informedRound[i] = -1
+	}
+	p.informed[cfg.Origin] = true
+	p.informedRound[cfg.Origin] = 0
+	p.informedCount = 1
+	return p
+}
+
+// SetObserver installs a progress observer (must be called before running).
+func (p *Protocol) SetObserver(obs sim.Observer) { p.obs = obs }
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("broadcast(%s,%s)", p.sel.Name(), p.cfg.Action)
+}
+
+// OnWake implements sim.Protocol.
+func (p *Protocol) OnWake(v core.NodeID) {
+	if p.model == core.Asynchronous {
+		p.slots++
+		p.round = p.slots / p.g.N()
+	}
+	u := p.sel.Partner(v, p.rng)
+	if u == core.NilNode {
+		return
+	}
+	switch p.cfg.Action {
+	case core.Push:
+		p.transfer(v, u)
+	case core.Pull:
+		p.transfer(u, v)
+	case core.Exchange:
+		p.transfer(v, u)
+		p.transfer(u, v)
+	}
+}
+
+// transfer propagates the message from `from` to `to` if `from` is informed
+// (start-of-round state in the synchronous model, where informs are staged).
+// Every transmission is counted, including ones the receiver discards.
+func (p *Protocol) transfer(from, to core.NodeID) {
+	if !p.informed[from] {
+		return // nothing to send yet
+	}
+	p.traffic.Sent++
+	if p.informed[to] {
+		p.traffic.Useless++
+		return
+	}
+	if p.model == core.Synchronous {
+		p.staged = append(p.staged, inform{to: to, from: from})
+		return
+	}
+	p.apply(to, from)
+}
+
+// apply marks `to` informed with parent `from` (first informer wins).
+func (p *Protocol) apply(to, from core.NodeID) {
+	if p.informed[to] {
+		p.traffic.Useless++
+		return
+	}
+	p.traffic.Helpful++
+	p.informed[to] = true
+	p.parent[to] = from
+	p.informedRound[to] = p.round
+	p.informedCount++
+	p.obs.NodeDone(to, p.round)
+}
+
+// BeginRound implements sim.Protocol.
+func (p *Protocol) BeginRound(round int) { p.round = round }
+
+// EndRound implements sim.Protocol. Informs become visible at the end of
+// the round; a node informed this round starts sending next round.
+func (p *Protocol) EndRound(round int) {
+	p.round = round
+	for _, in := range p.staged {
+		p.apply(in.to, in.from)
+	}
+	p.staged = p.staged[:0]
+}
+
+// Traffic returns the protocol's transmission counters.
+func (p *Protocol) Traffic() gossip.Traffic { return p.traffic }
+
+// Done implements sim.Protocol: true once every node is informed.
+func (p *Protocol) Done() bool { return p.informedCount == p.g.N() }
+
+// Informed reports whether v has received the broadcast.
+func (p *Protocol) Informed(v core.NodeID) bool { return p.informed[v] }
+
+// Parent returns v's parent in the induced spanning tree (NilNode until v
+// is informed, and for the origin).
+func (p *Protocol) Parent(v core.NodeID) core.NodeID { return p.parent[v] }
+
+// InformedRounds returns, per node, the round at which it was informed
+// (-1 if not yet; 0 for the origin). The slice is a copy.
+func (p *Protocol) InformedRounds() []int {
+	return append([]int(nil), p.informedRound...)
+}
+
+// Tree returns the induced spanning tree once the broadcast is complete.
+// The boolean is false while any node is uninformed.
+func (p *Protocol) Tree() (*graph.Tree, bool) {
+	if !p.Done() {
+		return nil, false
+	}
+	return &graph.Tree{
+		Root:   p.cfg.Origin,
+		Parent: append([]core.NodeID(nil), p.parent...),
+	}, true
+}

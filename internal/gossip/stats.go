@@ -1,0 +1,82 @@
+// Package gossip holds types shared by the protocol implementations in its
+// subpackages, most importantly traffic accounting: the paper's whole
+// premise is gossip with *bounded message sizes*, so protocols count every
+// transmission and expose the wire size of one message, letting experiments
+// compare total traffic (bits on the wire) and coding efficiency (fraction
+// of received packets that were helpful) across protocols.
+package gossip
+
+import (
+	"fmt"
+	"math"
+
+	"algossip/internal/rlnc"
+)
+
+// Traffic counts protocol transmissions.
+type Traffic struct {
+	// Sent is the number of packets handed to the network.
+	Sent int
+	// Helpful is the number of received packets that increased the
+	// receiver's rank (or taught it a new message, for uncoded gossip).
+	Helpful int
+	// Useless is the number of received packets that carried no new
+	// information and were discarded.
+	Useless int
+	// Dropped is the number of packets lost to failure injection.
+	Dropped int
+}
+
+// Received returns Helpful + Useless.
+func (t Traffic) Received() int { return t.Helpful + t.Useless }
+
+// Efficiency returns the fraction of received packets that were helpful
+// (0 when nothing was received).
+func (t Traffic) Efficiency() float64 {
+	if t.Received() == 0 {
+		return 0
+	}
+	return float64(t.Helpful) / float64(t.Received())
+}
+
+// Add accumulates other into t.
+func (t *Traffic) Add(other Traffic) {
+	t.Sent += other.Sent
+	t.Helpful += other.Helpful
+	t.Useless += other.Useless
+	t.Dropped += other.Dropped
+}
+
+// String renders a compact summary.
+func (t Traffic) String() string {
+	return fmt.Sprintf("sent=%d helpful=%d useless=%d dropped=%d eff=%.2f",
+		t.Sent, t.Helpful, t.Useless, t.Dropped, t.Efficiency())
+}
+
+// MessageBits returns the wire size of one algebraic-gossip message in
+// bits: (k + r)·log2(q) — k coefficient symbols plus r payload symbols
+// (paper Section 2: "the length of each message is r·log2 q + k·log2 q
+// bits"). Rank-only simulations still report the size the real message
+// would have had, with r = 1 symbol as the minimum payload.
+func MessageBits(cfg rlnc.Config) int {
+	bitsPerSym := int(math.Ceil(math.Log2(float64(cfg.Field.Order()))))
+	r := cfg.PayloadLen
+	if r == 0 {
+		r = 1
+	}
+	return (cfg.K + r) * bitsPerSym
+}
+
+// UncodedMessageBits returns the wire size of one store-and-forward
+// message: log2(k) bits of index plus the r·log2(q) payload.
+func UncodedMessageBits(k, payloadLen, fieldOrder int) int {
+	bitsPerSym := int(math.Ceil(math.Log2(float64(fieldOrder))))
+	if payloadLen == 0 {
+		payloadLen = 1
+	}
+	idxBits := int(math.Ceil(math.Log2(float64(k))))
+	if idxBits == 0 {
+		idxBits = 1
+	}
+	return idxBits + payloadLen*bitsPerSym
+}

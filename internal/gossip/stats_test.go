@@ -1,0 +1,61 @@
+package gossip
+
+import (
+	"strings"
+	"testing"
+
+	"algossip/internal/gf"
+	"algossip/internal/rlnc"
+)
+
+func TestTrafficAccounting(t *testing.T) {
+	var tr Traffic
+	if tr.Efficiency() != 0 {
+		t.Fatal("empty traffic efficiency must be 0")
+	}
+	tr.Add(Traffic{Sent: 10, Helpful: 6, Useless: 2, Dropped: 2})
+	tr.Add(Traffic{Sent: 5, Helpful: 2, Useless: 2, Dropped: 1})
+	if tr.Sent != 15 || tr.Helpful != 8 || tr.Useless != 4 || tr.Dropped != 3 {
+		t.Fatalf("Add wrong: %+v", tr)
+	}
+	if tr.Received() != 12 {
+		t.Fatalf("Received = %d", tr.Received())
+	}
+	if e := tr.Efficiency(); e < 0.66 || e > 0.67 {
+		t.Fatalf("Efficiency = %v", e)
+	}
+	if !strings.Contains(tr.String(), "sent=15") {
+		t.Fatalf("String() = %q", tr.String())
+	}
+}
+
+func TestMessageBits(t *testing.T) {
+	tests := []struct {
+		cfg  rlnc.Config
+		want int
+	}{
+		// (k + r)·log2(q): the paper's message size formula.
+		{rlnc.Config{Field: gf.MustNew(256), K: 10, PayloadLen: 20}, (10 + 20) * 8},
+		{rlnc.Config{Field: gf.MustNew(2), K: 64, PayloadLen: 64}, 128},
+		{rlnc.Config{Field: gf.MustNew(16), K: 8, PayloadLen: 4}, (8 + 4) * 4},
+		// Rank-only: payload floor of one symbol.
+		{rlnc.Config{Field: gf.MustNew(2), K: 64, RankOnly: true}, 65},
+	}
+	for _, tt := range tests {
+		if got := MessageBits(tt.cfg); got != tt.want {
+			t.Errorf("MessageBits(%s,k=%d,r=%d) = %d, want %d",
+				tt.cfg.Field.Name(), tt.cfg.K, tt.cfg.PayloadLen, got, tt.want)
+		}
+	}
+}
+
+func TestUncodedMessageBits(t *testing.T) {
+	// 16 messages -> 4 index bits; 8 payload bytes over GF(256) -> 64 bits.
+	if got := UncodedMessageBits(16, 8, 256); got != 68 {
+		t.Fatalf("got %d, want 68", got)
+	}
+	// Degenerate single message still needs one index bit.
+	if got := UncodedMessageBits(1, 0, 2); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package uncoded implements the store-and-forward baseline: nodes gossip
+// whole initial messages instead of linear combinations. On contact, the
+// sender transmits one uniformly random message from its store (the
+// classic "random useless-prone" rumor mongering that motivates network
+// coding — Deb et al. showed the coupon-collector effect makes this a
+// factor Θ(log n) slower than RLNC on the complete graph for k = n).
+//
+// It exists as an ablation baseline (experiment A3): identical scheduling,
+// identical message budget per contact, no coding.
+package uncoded
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/gossip"
+	"algossip/internal/graph"
+	"algossip/internal/linalg"
+	"algossip/internal/sim"
+)
+
+// Config parameterizes the uncoded baseline.
+type Config struct {
+	// K is the number of distinct initial messages.
+	K int
+	// Action is the flow direction on contact (default Exchange, matching
+	// the algebraic-gossip configuration it is compared against).
+	Action core.Action
+}
+
+// delivery is one staged message transfer (synchronous model).
+type delivery struct {
+	to  core.NodeID
+	msg int
+}
+
+// Protocol is the store-and-forward gossip state machine.
+type Protocol struct {
+	g     *graph.Graph
+	model core.TimeModel
+	sel   sim.PartnerSelector
+	rng   *rand.Rand
+	cfg   Config
+
+	known     []linalg.BitVec // per node, bitset of known message indices
+	knownCnt  []int
+	staged    []delivery
+	traffic   gossip.Traffic
+	doneCount int
+	doneRound []int
+	round     int
+	slots     int
+}
+
+var _ sim.Protocol = (*Protocol)(nil)
+
+// New constructs the uncoded protocol; seed initial messages with Seed.
+func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Config, rng *rand.Rand) *Protocol {
+	if cfg.Action == 0 {
+		cfg.Action = core.Exchange
+	}
+	n := g.N()
+	p := &Protocol{
+		g:         g,
+		model:     model,
+		sel:       sel,
+		rng:       rng,
+		cfg:       cfg,
+		known:     make([]linalg.BitVec, n),
+		knownCnt:  make([]int, n),
+		doneRound: make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		p.known[v] = linalg.NewBitVec(cfg.K)
+		p.doneRound[v] = -1
+	}
+	return p
+}
+
+// Seed places message index msg at node v.
+func (p *Protocol) Seed(v core.NodeID, msg int) {
+	if msg < 0 || msg >= p.cfg.K {
+		panic(fmt.Sprintf("uncoded: message %d out of range [0,%d)", msg, p.cfg.K))
+	}
+	p.set(v, msg)
+}
+
+// SeedAll places message i at node assign[i].
+func (p *Protocol) SeedAll(assign []core.NodeID) {
+	for i, v := range assign {
+		p.Seed(v, i)
+	}
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("uncoded-gossip(%s,%s)", p.sel.Name(), p.cfg.Action)
+}
+
+// OnWake implements sim.Protocol.
+func (p *Protocol) OnWake(v core.NodeID) {
+	if p.model == core.Asynchronous {
+		p.slots++
+		p.round = p.slots / p.g.N()
+	}
+	u := p.sel.Partner(v, p.rng)
+	if u == core.NilNode {
+		return
+	}
+	switch p.cfg.Action {
+	case core.Push:
+		p.send(v, u)
+	case core.Pull:
+		p.send(u, v)
+	case core.Exchange:
+		p.send(v, u)
+		p.send(u, v)
+	}
+}
+
+// send transmits one uniformly random known message from `from` to `to`.
+func (p *Protocol) send(from, to core.NodeID) {
+	if p.knownCnt[from] == 0 {
+		return
+	}
+	msg := p.randomKnown(from)
+	p.traffic.Sent++
+	if p.model == core.Synchronous {
+		p.staged = append(p.staged, delivery{to: to, msg: msg})
+		return
+	}
+	p.learn(to, msg)
+}
+
+// randomKnown samples a uniformly random set bit of from's known set.
+func (p *Protocol) randomKnown(from core.NodeID) int {
+	target := p.rng.IntN(p.knownCnt[from])
+	seen := 0
+	for i := 0; i < p.cfg.K; i++ {
+		if p.known[from].Get(i) {
+			if seen == target {
+				return i
+			}
+			seen++
+		}
+	}
+	panic("uncoded: known count out of sync")
+}
+
+// learn ingests a received message, counting it against traffic.
+func (p *Protocol) learn(to core.NodeID, msg int) {
+	if p.known[to].Get(msg) {
+		p.traffic.Useless++
+		return
+	}
+	p.traffic.Helpful++
+	p.set(to, msg)
+}
+
+// set installs a message without touching traffic counters (seeding).
+func (p *Protocol) set(to core.NodeID, msg int) {
+	if p.known[to].Get(msg) {
+		return
+	}
+	p.known[to].Set(msg)
+	p.knownCnt[to]++
+	if p.knownCnt[to] == p.cfg.K && p.doneRound[to] < 0 {
+		p.doneRound[to] = p.round
+		p.doneCount++
+	}
+}
+
+// BeginRound implements sim.Protocol.
+func (p *Protocol) BeginRound(round int) { p.round = round }
+
+// EndRound implements sim.Protocol.
+func (p *Protocol) EndRound(round int) {
+	p.round = round
+	for _, d := range p.staged {
+		p.learn(d.to, d.msg)
+	}
+	p.staged = p.staged[:0]
+}
+
+// Done implements sim.Protocol.
+func (p *Protocol) Done() bool { return p.doneCount == p.g.N() }
+
+// Traffic returns the protocol's transmission counters.
+func (p *Protocol) Traffic() gossip.Traffic { return p.traffic }
+
+// KnownCount returns how many distinct messages v holds.
+func (p *Protocol) KnownCount(v core.NodeID) int { return p.knownCnt[v] }
+
+// DoneRounds returns per-node completion rounds (-1 where incomplete).
+func (p *Protocol) DoneRounds() []int { return append([]int(nil), p.doneRound...) }

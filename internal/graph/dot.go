@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT writes the graph in Graphviz DOT format, for debugging and
+// documentation figures.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n", g.Name()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  %d -- %d;\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteDOT writes the rooted tree in Graphviz DOT format with edges
+// directed child -> parent.
+func (t *Tree) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph tree {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %d [shape=doublecircle];\n", t.Root); err != nil {
+		return err
+	}
+	for v, p := range t.Parent {
+		if p < 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %d -> %d;\n", v, p); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,365 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+)
+
+// Line returns the path graph P_n: 0-1-2-...-(n-1). Constant maximum degree
+// 2, diameter n-1 — the paper's canonical "uniform AG is order optimal"
+// topology (Table 2, row 1).
+func Line(n int) *Graph {
+	b := NewBuilder(fmt.Sprintf("line-%d", n), n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(core.NodeID(i), core.NodeID(i+1))
+	}
+	return b.Build()
+}
+
+// Ring returns the cycle C_n. Constant maximum degree 2, diameter ⌊n/2⌋.
+func Ring(n int) *Graph {
+	b := NewBuilder(fmt.Sprintf("ring-%d", n), n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(core.NodeID(i), core.NodeID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols 2D grid. Maximum degree 4, diameter
+// rows+cols-2 (Table 2, row 2 uses the √n x √n square grid).
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(fmt.Sprintf("grid-%dx%d", rows, cols), rows*cols)
+	id := func(r, c int) core.NodeID { return core.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the rows x cols grid with wraparound edges. Maximum degree
+// 4, vertex-transitive.
+func Torus(rows, cols int) *Graph {
+	b := NewBuilder(fmt.Sprintf("torus-%dx%d", rows, cols), rows*cols)
+	id := func(r, c int) core.NodeID { return core.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+		}
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n (diameter 1, Δ = n-1): the
+// topology of Deb et al.'s original algebraic-gossip analysis.
+func Complete(n int) *Graph {
+	b := NewBuilder(fmt.Sprintf("complete-%d", n), n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(core.NodeID(i), core.NodeID(j))
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star graph: node 0 connected to all others. Diameter 2,
+// Δ = n-1.
+func Star(n int) *Graph {
+	b := NewBuilder(fmt.Sprintf("star-%d", n), n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, core.NodeID(i))
+	}
+	return b.Build()
+}
+
+// BinaryTree returns the complete binary tree with n nodes (heap indexing:
+// node i has children 2i+1 and 2i+2). Constant maximum degree 3, diameter
+// Θ(log n) — Table 2, row 3.
+func BinaryTree(n int) *Graph {
+	return KAryTree(n, 2)
+}
+
+// KAryTree returns the complete k-ary tree with n nodes in heap order.
+func KAryTree(n, k int) *Graph {
+	if k < 1 {
+		panic("graph: arity must be at least 1")
+	}
+	b := NewBuilder(fmt.Sprintf("%d-ary-tree-%d", k, n), n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(core.NodeID(i), core.NodeID((i-1)/k))
+	}
+	return b.Build()
+}
+
+// Barbell returns the barbell graph: two cliques of ⌈n/2⌉ and ⌊n/2⌋ nodes
+// joined by a single edge. It is the paper's worst case for uniform
+// algebraic gossip (Ω(n²) rounds for all-to-all) and the showcase for TAG
+// (Θ(n)) and for IS (large weak conductance despite the bottleneck).
+// Nodes 0..⌈n/2⌉-1 form the left clique; the bridge is between the last
+// left node and the first right node.
+func Barbell(n int) *Graph {
+	if n < 2 {
+		panic("graph: barbell needs at least 2 nodes")
+	}
+	b := NewBuilder(fmt.Sprintf("barbell-%d", n), n)
+	left := (n + 1) / 2
+	for i := 0; i < left; i++ {
+		for j := i + 1; j < left; j++ {
+			b.AddEdge(core.NodeID(i), core.NodeID(j))
+		}
+	}
+	for i := left; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(core.NodeID(i), core.NodeID(j))
+		}
+	}
+	// The single bridge edge.
+	if left < n {
+		b.AddEdge(core.NodeID(left-1), core.NodeID(left))
+	}
+	return b.Build()
+}
+
+// Lollipop returns a clique of cliqueSize nodes with a path of pathLen
+// additional nodes attached: another classic low-conductance topology.
+func Lollipop(cliqueSize, pathLen int) *Graph {
+	n := cliqueSize + pathLen
+	b := NewBuilder(fmt.Sprintf("lollipop-%d+%d", cliqueSize, pathLen), n)
+	for i := 0; i < cliqueSize; i++ {
+		for j := i + 1; j < cliqueSize; j++ {
+			b.AddEdge(core.NodeID(i), core.NodeID(j))
+		}
+	}
+	for i := cliqueSize; i < n; i++ {
+		b.AddEdge(core.NodeID(i-1), core.NodeID(i))
+	}
+	return b.Build()
+}
+
+// CliqueChain returns c cliques of size m arranged in a chain, consecutive
+// cliques joined by a single edge. For constant c this family has large
+// weak conductance Φ_c but poor (classic) conductance — the graphs Section 6
+// of the paper targets. n = c*m.
+func CliqueChain(c, m int) *Graph {
+	if c < 1 || m < 1 {
+		panic("graph: clique chain needs c >= 1 and m >= 1")
+	}
+	n := c * m
+	b := NewBuilder(fmt.Sprintf("cliquechain-%dx%d", c, m), n)
+	for q := 0; q < c; q++ {
+		base := q * m
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				b.AddEdge(core.NodeID(base+i), core.NodeID(base+j))
+			}
+		}
+		if q > 0 {
+			b.AddEdge(core.NodeID(base-1), core.NodeID(base))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube with 2^d nodes: degree d,
+// diameter d — a log-degree, log-diameter benchmark.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	b := NewBuilder(fmt.Sprintf("hypercube-%d", d), n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			b.AddEdge(core.NodeID(v), core.NodeID(v^(1<<bit)))
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi returns a connected G(n, p) sample: edges are drawn i.i.d.
+// with probability p, and if the sample is disconnected the components are
+// stitched with uniformly random edges (documented deviation to guarantee
+// the connectivity all theorems assume).
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(fmt.Sprintf("er-%d-p%.3f", n, p), n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(core.NodeID(i), core.NodeID(j))
+			}
+		}
+	}
+	g := b.Build()
+	if g.IsConnected() {
+		return g
+	}
+	// Stitch components: run BFS from 0, connect any unreached node to a
+	// random reached one, repeat.
+	for {
+		dist, _ := g.BFS(0)
+		var reached, unreached []core.NodeID
+		for v, d := range dist {
+			if d >= 0 {
+				reached = append(reached, core.NodeID(v))
+			} else {
+				unreached = append(unreached, core.NodeID(v))
+			}
+		}
+		if len(unreached) == 0 {
+			return g
+		}
+		b2 := NewBuilder(g.Name(), n)
+		for _, e := range g.Edges() {
+			b2.AddEdge(e[0], e[1])
+		}
+		b2.AddEdge(unreached[rng.IntN(len(unreached))], reached[rng.IntN(len(reached))])
+		g = b2.Build()
+	}
+}
+
+// RandomRegular returns a (near-)d-regular connected graph on n nodes via
+// the pairing model with retries; if pairing repeatedly fails, leftover
+// stubs are dropped, so a few vertices may have degree d-1. n*d should be
+// even for an exact construction.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if d >= n {
+		panic("graph: degree must be < n")
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, ok := tryPairing(n, d, rng)
+		if ok && g.IsConnected() {
+			return g
+		}
+	}
+	// Fallback: a ring plus random chords keeps it connected and near-regular.
+	b := NewBuilder(fmt.Sprintf("randreg-%d-d%d", n, d), n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(core.NodeID(i), core.NodeID((i+1)%n))
+	}
+	for extra := 0; extra < (d-2)*n/2; extra++ {
+		b.AddEdge(core.NodeID(rng.IntN(n)), core.NodeID(rng.IntN(n)))
+	}
+	return b.Build()
+}
+
+func tryPairing(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]core.NodeID, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, core.NodeID(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := NewBuilder(fmt.Sprintf("randreg-%d-d%d", n, d), n)
+	seen := make(map[[2]core.NodeID]bool)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			return nil, false
+		}
+		key := [2]core.NodeID{min(u, v), max(u, v)}
+		if seen[key] {
+			return nil, false
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build(), true
+}
+
+// WattsStrogatz returns a small-world ring lattice: each node connected to
+// its k/2 nearest neighbors on each side, with each edge rewired to a random
+// endpoint with probability beta. Connectivity is restored by stitching as
+// in ErdosRenyi if rewiring disconnects the graph.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) *Graph {
+	if k%2 != 0 || k >= n {
+		panic("graph: WattsStrogatz requires even k < n")
+	}
+	type edge struct{ u, v core.NodeID }
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			edges = append(edges, edge{core.NodeID(i), core.NodeID((i + j) % n)})
+		}
+	}
+	for i := range edges {
+		if rng.Float64() < beta {
+			edges[i].v = core.NodeID(rng.IntN(n))
+		}
+	}
+	b := NewBuilder(fmt.Sprintf("ws-%d-k%d-b%.2f", n, k, beta), n)
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	g := b.Build()
+	if g.IsConnected() {
+		return g
+	}
+	// Reuse the ER stitcher by adding ring edges until connected.
+	b2 := NewBuilder(g.Name(), n)
+	for _, e := range g.Edges() {
+		b2.AddEdge(e[0], e[1])
+	}
+	for i := 0; i < n; i++ {
+		b2.AddEdge(core.NodeID(i), core.NodeID((i+1)%n))
+	}
+	return b2.Build()
+}
+
+// CompleteBipartite returns K_{a,b}: every left node connected to every
+// right node. Diameter 2, Δ = max(a,b).
+func CompleteBipartite(a, b int) *Graph {
+	g := NewBuilder(fmt.Sprintf("bipartite-%dx%d", a, b), a+b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.AddEdge(core.NodeID(i), core.NodeID(a+j))
+		}
+	}
+	return g.Build()
+}
+
+// Grid3D returns the x·y·z three-dimensional grid (Δ = 6).
+func Grid3D(x, y, z int) *Graph {
+	b := NewBuilder(fmt.Sprintf("grid3d-%dx%dx%d", x, y, z), x*y*z)
+	id := func(i, j, k int) core.NodeID { return core.NodeID((i*y+j)*z + k) }
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				if i+1 < x {
+					b.AddEdge(id(i, j, k), id(i+1, j, k))
+				}
+				if j+1 < y {
+					b.AddEdge(id(i, j, k), id(i, j+1, k))
+				}
+				if k+1 < z {
+					b.AddEdge(id(i, j, k), id(i, j, k+1))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a spine path of spine nodes with legs leaf nodes
+// hanging off each spine node — a constant-degree tree with linear
+// diameter, another Theorem 3 regime.
+func Caterpillar(spine, legs int) *Graph {
+	n := spine * (1 + legs)
+	b := NewBuilder(fmt.Sprintf("caterpillar-%dx%d", spine, legs), n)
+	for i := 0; i < spine; i++ {
+		if i+1 < spine {
+			b.AddEdge(core.NodeID(i), core.NodeID(i+1))
+		}
+		for l := 0; l < legs; l++ {
+			b.AddEdge(core.NodeID(i), core.NodeID(spine+i*legs+l))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"math/bits"
+	"math/rand/v2"
+)
+
+// BitVec is a packed vector over GF(2), 64 coordinates per word.
+type BitVec []uint64
+
+// NewBitVec returns an all-zero vector with the given number of bits.
+func NewBitVec(nbits int) BitVec {
+	return make(BitVec, (nbits+63)/64)
+}
+
+// Set sets bit i to 1.
+func (v BitVec) Set(i int) { v[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear sets bit i to 0.
+func (v BitVec) Clear(i int) { v[i/64] &^= 1 << (uint(i) % 64) }
+
+// Get reports whether bit i is 1.
+func (v BitVec) Get(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Xor performs v ^= w element-wise. w must not be longer than v.
+func (v BitVec) Xor(w BitVec) {
+	for i, x := range w {
+		v[i] ^= x
+	}
+}
+
+// Or performs v |= w element-wise. w must not be longer than v.
+func (v BitVec) Or(w BitVec) {
+	for i, x := range w {
+		v[i] |= x
+	}
+}
+
+// IsZero reports whether every bit is 0.
+func (v BitVec) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (v BitVec) OnesCount() int {
+	total := 0
+	for _, x := range v {
+		total += bits.OnesCount64(x)
+	}
+	return total
+}
+
+// Clone returns an independent copy of v.
+func (v BitVec) Clone() BitVec {
+	return append(BitVec(nil), v...)
+}
+
+// LowestSet returns the index of the lowest set bit, or -1 if v is zero.
+func (v BitVec) LowestSet() int {
+	for i, x := range v {
+		if x != 0 {
+			return i*64 + bits.TrailingZeros64(x)
+		}
+	}
+	return -1
+}
+
+// BitMatrix maintains rows over GF(2) in row-echelon form using packed
+// 64-bit words. It is the fast path for rank-only algebraic-gossip
+// simulation with q = 2: a rank update costs O(rank * cols / 64).
+//
+// The zero value is not usable; construct with NewBitMatrix.
+type BitMatrix struct {
+	cols  int
+	rows  []BitVec
+	pivot []int
+}
+
+// NewBitMatrix returns an empty GF(2) matrix with the given number of
+// columns.
+func NewBitMatrix(cols int) *BitMatrix {
+	if cols <= 0 {
+		panic("linalg: cols must be positive")
+	}
+	return &BitMatrix{cols: cols}
+}
+
+// Cols returns the number of columns.
+func (m *BitMatrix) Cols() int { return m.cols }
+
+// Rank returns the number of independent rows stored.
+func (m *BitMatrix) Rank() int { return len(m.rows) }
+
+// Full reports whether rank equals cols.
+func (m *BitMatrix) Full() bool { return len(m.rows) == m.cols }
+
+// reduce eliminates row in place against the echelon rows and returns its
+// pivot bit, or -1 if it reduced to zero.
+func (m *BitMatrix) reduce(row BitVec) int {
+	for i, p := range m.pivot {
+		if row.Get(p) {
+			row.Xor(m.rows[i])
+		}
+	}
+	return row.LowestSet()
+}
+
+// Add inserts the row if independent, reporting whether the rank increased.
+// The input is consumed (mutated); pass a copy if the caller needs it again.
+func (m *BitMatrix) Add(row BitVec) bool {
+	p := m.reduce(row)
+	if p < 0 {
+		return false
+	}
+	at := len(m.rows)
+	for i, q := range m.pivot {
+		if q > p {
+			at = i
+			break
+		}
+	}
+	m.rows = append(m.rows, nil)
+	m.pivot = append(m.pivot, 0)
+	copy(m.rows[at+1:], m.rows[at:])
+	copy(m.pivot[at+1:], m.pivot[at:])
+	m.rows[at] = row
+	m.pivot[at] = p
+	return true
+}
+
+// WouldHelp reports whether the row is independent of the stored rows
+// without modifying the matrix or the input.
+func (m *BitMatrix) WouldHelp(row BitVec) bool {
+	return m.reduce(row.Clone()) >= 0
+}
+
+// Basis returns a copy of the i-th stored echelon row, 0 <= i < Rank().
+func (m *BitMatrix) Basis(i int) BitVec {
+	return m.rows[i].Clone()
+}
+
+// RandomCombination returns a uniformly random GF(2) combination of the
+// stored rows (each row included independently with probability 1/2).
+// It returns nil when the matrix is empty.
+func (m *BitMatrix) RandomCombination(rng *rand.Rand) BitVec {
+	if len(m.rows) == 0 {
+		return nil
+	}
+	out := NewBitVec(m.cols)
+	for _, row := range m.rows {
+		if rng.Uint64()&1 == 1 {
+			out.Xor(row)
+		}
+	}
+	return out
+}

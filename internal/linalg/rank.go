@@ -1,0 +1,215 @@
+// Package linalg provides the linear algebra needed by random linear
+// network coding: incremental Gaussian elimination with rank tracking over
+// an arbitrary finite field, decoding by back-substitution, and a fast
+// bitset specialization for GF(2) used by large-scale simulations.
+//
+// The central object is the RankMatrix: each gossip node stores the linear
+// equations it has received in (non-reduced) row-echelon form. A received
+// combination is *helpful* (paper Definition 3) exactly when inserting it
+// increases the rank, which the echelon form detects in O(rank * width)
+// time.
+package linalg
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"algossip/internal/gf"
+)
+
+// ErrNotFullRank is returned by Solve when the stored equations do not yet
+// determine all unknowns.
+var ErrNotFullRank = errors.New("linalg: matrix is not full rank")
+
+// RankMatrix maintains a set of rows over a finite field in row-echelon
+// form. Each row has cols coefficient entries followed by extra augmented
+// entries (the RLNC payload); elimination is driven by the coefficient part
+// only, with the augmented part carried along.
+//
+// The zero value is not usable; construct with NewRankMatrix.
+type RankMatrix struct {
+	f     gf.Field
+	cols  int
+	extra int
+	rows  [][]gf.Elem // echelon rows, pivot columns strictly increasing
+	pivot []int       // pivot[i] is the pivot column of rows[i]
+}
+
+// NewRankMatrix returns an empty matrix over field f with cols coefficient
+// columns and extra augmented columns per row.
+func NewRankMatrix(f gf.Field, cols, extra int) *RankMatrix {
+	if cols <= 0 {
+		panic("linalg: cols must be positive")
+	}
+	if extra < 0 {
+		panic("linalg: extra must be non-negative")
+	}
+	return &RankMatrix{f: f, cols: cols, extra: extra}
+}
+
+// Cols returns the number of coefficient columns (the number of unknowns).
+func (m *RankMatrix) Cols() int { return m.cols }
+
+// Extra returns the number of augmented columns per row.
+func (m *RankMatrix) Extra() int { return m.extra }
+
+// Width returns the total row width, cols + extra.
+func (m *RankMatrix) Width() int { return m.cols + m.extra }
+
+// Rank returns the number of linearly independent rows stored.
+func (m *RankMatrix) Rank() int { return len(m.rows) }
+
+// Full reports whether the matrix has full rank, i.e. the linear system is
+// solvable and the node can decode all k initial messages.
+func (m *RankMatrix) Full() bool { return len(m.rows) == m.cols }
+
+// Row returns the i-th stored echelon row. The returned slice aliases
+// internal storage and must not be modified.
+func (m *RankMatrix) Row(i int) []gf.Elem { return m.rows[i] }
+
+// reduce eliminates row against the stored echelon rows in place and returns
+// the pivot column, or -1 if the coefficient part reduced to zero.
+func (m *RankMatrix) reduce(row []gf.Elem) int {
+	f := m.f
+	for i, p := range m.pivot {
+		c := row[p]
+		if c == 0 {
+			continue
+		}
+		// row -= (c / rows[i][p]) * rows[i]
+		factor := f.Div(c, m.rows[i][p])
+		f.AXPY(row, m.rows[i], f.Neg(factor))
+	}
+	for j := 0; j < m.cols; j++ {
+		if row[j] != 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// Add inserts the given row (length Width) if it is linearly independent of
+// the stored rows, keeping echelon form. It reports whether the rank
+// increased — i.e. whether the row was a *helpful message*. The input slice
+// is copied; the caller keeps ownership.
+func (m *RankMatrix) Add(row []gf.Elem) bool {
+	if len(row) != m.Width() {
+		panic("linalg: row width mismatch")
+	}
+	work := make([]gf.Elem, len(row))
+	copy(work, row)
+	p := m.reduce(work)
+	if p < 0 {
+		return false
+	}
+	m.insert(work, p)
+	return true
+}
+
+// insert places an already-reduced row with pivot column p, keeping pivots
+// strictly increasing.
+func (m *RankMatrix) insert(row []gf.Elem, p int) {
+	at := len(m.rows)
+	for i, q := range m.pivot {
+		if q > p {
+			at = i
+			break
+		}
+	}
+	m.rows = append(m.rows, nil)
+	m.pivot = append(m.pivot, 0)
+	copy(m.rows[at+1:], m.rows[at:])
+	copy(m.pivot[at+1:], m.pivot[at:])
+	m.rows[at] = row
+	m.pivot[at] = p
+}
+
+// WouldHelp reports whether the given coefficient vector (length Cols) is
+// linearly independent of the stored rows, without modifying the matrix.
+// This is the helpful-message test of Definition 3.
+func (m *RankMatrix) WouldHelp(coeffs []gf.Elem) bool {
+	if len(coeffs) != m.cols {
+		panic("linalg: coefficient width mismatch")
+	}
+	work := make([]gf.Elem, m.Width())
+	copy(work, coeffs)
+	return m.reduce(work) >= 0
+}
+
+// RandomCombination returns a fresh row that is a uniformly random linear
+// combination of the stored rows — exactly the message an algebraic-gossip
+// node transmits. It returns nil when the matrix is empty (the node knows
+// nothing yet).
+func (m *RankMatrix) RandomCombination(rng *rand.Rand) []gf.Elem {
+	if len(m.rows) == 0 {
+		return nil
+	}
+	out := make([]gf.Elem, m.Width())
+	for _, row := range m.rows {
+		c := gf.Rand(m.f, rng)
+		m.f.AXPY(out, row, c)
+	}
+	return out
+}
+
+// Solve performs full back-substitution (RREF) and returns the decoded
+// augmented part: a cols x extra matrix whose i-th row is the payload of
+// unknown i. It returns ErrNotFullRank when Rank() < Cols. The stored rows
+// are reduced in place (which preserves the row space, so further Adds
+// remain correct).
+func (m *RankMatrix) Solve() ([][]gf.Elem, error) {
+	if !m.Full() {
+		return nil, ErrNotFullRank
+	}
+	f := m.f
+	// Normalize pivots to 1 and eliminate above, bottom-up. With full rank,
+	// pivot[i] == i for all i.
+	for i := m.cols - 1; i >= 0; i-- {
+		row := m.rows[i]
+		p := m.pivot[i]
+		if c := row[p]; c != 1 {
+			f.Scale(row, f.Inv(c))
+		}
+		for j := 0; j < i; j++ {
+			above := m.rows[j]
+			if c := above[p]; c != 0 {
+				f.AXPY(above, row, f.Neg(c))
+			}
+		}
+	}
+	out := make([][]gf.Elem, m.cols)
+	for i := range out {
+		payload := make([]gf.Elem, m.extra)
+		copy(payload, m.rows[i][m.cols:])
+		out[i] = payload
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *RankMatrix) Clone() *RankMatrix {
+	cp := &RankMatrix{
+		f:     m.f,
+		cols:  m.cols,
+		extra: m.extra,
+		rows:  make([][]gf.Elem, len(m.rows)),
+		pivot: append([]int(nil), m.pivot...),
+	}
+	for i, r := range m.rows {
+		cp.rows[i] = append([]gf.Elem(nil), r...)
+	}
+	return cp
+}
+
+// Rank computes the rank of an arbitrary set of rows (coefficient part
+// only) over field f without retaining them.
+func Rank(f gf.Field, rows [][]gf.Elem, cols int) int {
+	m := NewRankMatrix(f, cols, 0)
+	for _, r := range rows {
+		if len(r) < cols {
+			panic("linalg: row shorter than cols")
+		}
+		m.Add(r[:cols])
+	}
+	return m.Rank()
+}

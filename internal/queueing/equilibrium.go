@@ -1,0 +1,102 @@
+package queueing
+
+import (
+	"container/heap"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+)
+
+// SimulateOpenLineEquilibrium runs the open Jackson line exactly as the
+// proof of Theorem 2 (Lemma 7) sets it up: before the k real customers
+// start arriving (Poisson rate lambda at the farthest queue), every queue
+// is padded with *dummy customers* drawn from the Jackson equilibrium
+// distribution — geometric with parameter ρ = lambda/mu, P(L=j) = (1-ρ)ρ^j
+// — so the network starts in its stationary state. Padding can only delay
+// the real customers (the paper's argument), and with the system in
+// equilibrium each real customer's per-queue sojourn time is exactly
+// Exp(mu - lambda) (Lemma 8), which is what makes the closed-form analysis
+// go through.
+//
+// It returns the time at which the k-th real customer departs the root.
+func SimulateOpenLineEquilibrium(lmax, k int, mu, lambda float64, rng *rand.Rand) float64 {
+	if lambda <= 0 || mu <= lambda {
+		panic("queueing: need 0 < lambda < mu for a stable equilibrium")
+	}
+	if lmax < 1 || k < 1 {
+		panic("queueing: need lmax >= 1 and k >= 1")
+	}
+	rho := lambda / mu
+
+	// Queue contents as FIFO slices of flags: true = real customer.
+	queues := make([][]bool, lmax)
+	for q := range queues {
+		for rng.Float64() < rho { // geometric(1-rho) dummy count
+			queues[q] = append(queues[q], false)
+		}
+	}
+
+	// Pending Poisson arrivals of the k real customers at queue lmax-1.
+	arrivals := make([]float64, k)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() / lambda
+		arrivals[i] = t
+	}
+	nextArrival := 0
+
+	events := &eventQueue{}
+	busy := make([]bool, lmax)
+	start := func(q int, now float64) {
+		busy[q] = true
+		heap.Push(events, event{at: now + rng.ExpFloat64()/mu, node: core.NodeID(q)})
+	}
+	for q := range queues {
+		if len(queues[q]) > 0 {
+			start(q, 0)
+		}
+	}
+
+	const arrivalMarker = core.NilNode
+	pushArrival := func() {
+		if nextArrival < k {
+			heap.Push(events, event{at: arrivals[nextArrival], node: arrivalMarker})
+		}
+	}
+	pushArrival()
+
+	realDeparted := 0
+	var now float64
+	for realDeparted < k {
+		e := heap.Pop(events).(event)
+		now = e.at
+		if e.node == arrivalMarker {
+			last := lmax - 1
+			queues[last] = append(queues[last], true)
+			if !busy[last] {
+				start(last, now)
+			}
+			nextArrival++
+			pushArrival()
+			continue
+		}
+		q := int(e.node)
+		busy[q] = false
+		customer := queues[q][0]
+		queues[q] = queues[q][1:]
+		if q == 0 {
+			if customer {
+				realDeparted++
+			}
+		} else {
+			queues[q-1] = append(queues[q-1], customer)
+			if !busy[q-1] {
+				start(q-1, now)
+			}
+		}
+		if len(queues[q]) > 0 {
+			start(q, now)
+		}
+	}
+	return now
+}

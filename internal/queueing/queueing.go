@@ -1,0 +1,216 @@
+// Package queueing implements the feed-forward queueing networks that power
+// the paper's analysis (Theorem 2 and Figures 1, 3 and 4): n single-server
+// queues arranged in a tree, k customers initially distributed arbitrarily,
+// no external arrivals, every serviced customer moving to the parent queue
+// and leaving the system at the root.
+//
+// The proof of Theorem 2 runs through a chain of stochastic dominations,
+//
+//	t(Q^tree_n) ≼ t(Q̂^tree_n) ≈ t(Q^line) ≼ t(Q̂^line) = O((k+l_max+log n)/µ),
+//
+// and this package implements every system in the chain so the chain can be
+// validated empirically: the work-conserving tree network, the line network
+// obtained by merging levels, the line network with all customers pushed to
+// the farthest queue, and the Jackson-style open line with Poisson arrivals
+// used in the final step (Lemma 7).
+//
+// Service distributions are pluggable: exponential servers (the M/M/1
+// systems of the theorem) and geometric servers (the discrete process that
+// the gossip reduction actually yields; Lemma 2 of Borokhovich et al. shows
+// exponential servers with µ = p are stochastically slower).
+package queueing
+
+import (
+	"container/heap"
+	"math"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
+
+// Sampler draws one service time.
+type Sampler func(rng *rand.Rand) float64
+
+// Exponential returns a sampler of Exp(mu) service times (mean 1/mu).
+func Exponential(mu float64) Sampler {
+	if mu <= 0 {
+		panic("queueing: rate must be positive")
+	}
+	return func(rng *rand.Rand) float64 { return rng.ExpFloat64() / mu }
+}
+
+// Geometric returns a sampler of Geom(p) service times counted in whole
+// timeslots (support 1, 2, ...; mean 1/p).
+func Geometric(p float64) Sampler {
+	if p <= 0 || p > 1 {
+		panic("queueing: success probability must be in (0, 1]")
+	}
+	logq := math.Log1p(-p)
+	return func(rng *rand.Rand) float64 {
+		if p == 1 {
+			return 1
+		}
+		u := rng.Float64()
+		return math.Floor(math.Log(1-u)/logq) + 1
+	}
+}
+
+// event is a scheduled service completion.
+type event struct {
+	at   float64
+	node core.NodeID
+}
+
+// eventQueue is a min-heap of events ordered by completion time.
+type eventQueue []event
+
+func (q eventQueue) Len() int           { return len(q) }
+func (q eventQueue) Less(i, j int) bool { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)        { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// SimulateTree runs the closed feed-forward tree network Q^tree_n:
+// customersAt[v] customers start at node v, every server is always on
+// (work-conserving), and the simulation returns the time at which the last
+// customer departs through the root.
+func SimulateTree(tree *graph.Tree, customersAt []int, service Sampler, rng *rand.Rand) float64 {
+	n := tree.N()
+	if len(customersAt) != n {
+		panic("queueing: customersAt length must equal tree size")
+	}
+	total := 0
+	queueLen := make([]int, n)
+	for v, c := range customersAt {
+		if c < 0 {
+			panic("queueing: negative customer count")
+		}
+		queueLen[v] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+
+	events := &eventQueue{}
+	busy := make([]bool, n)
+	start := func(v core.NodeID, now float64) {
+		busy[v] = true
+		heap.Push(events, event{at: now + service(rng), node: v})
+	}
+	for v := 0; v < n; v++ {
+		if queueLen[v] > 0 {
+			start(core.NodeID(v), 0)
+		}
+	}
+
+	departed := 0
+	var now float64
+	for departed < total {
+		e := heap.Pop(events).(event)
+		now = e.at
+		v := e.node
+		busy[v] = false
+		queueLen[v]--
+		if v == tree.Root {
+			departed++
+		} else {
+			p := tree.Parent[v]
+			queueLen[p]++
+			if !busy[p] {
+				start(p, now)
+			}
+		}
+		if queueLen[v] > 0 {
+			start(v, now)
+		}
+	}
+	return now
+}
+
+// SimulateLine runs the closed line network Q^line: queues at levels
+// l_max, ..., 1 in series, customersAtLevel[l] customers starting at level
+// l (level 0 is outside; level 1 is the root queue). Returns the drain
+// time. This is the system obtained from Q̂^tree by merging each level into
+// a single queue (Definition 6 / Lemma 5).
+func SimulateLine(customersAtLevel []int, service Sampler, rng *rand.Rand) float64 {
+	lmax := len(customersAtLevel) - 1
+	// Build the path tree root=0 <- 1 <- ... <- lmax and reuse SimulateTree.
+	parent := make([]core.NodeID, lmax)
+	for i := range parent {
+		if i == 0 {
+			parent[i] = core.NilNode
+		} else {
+			parent[i] = core.NodeID(i - 1)
+		}
+	}
+	tree := &graph.Tree{Root: 0, Parent: parent}
+	customers := make([]int, lmax)
+	for level := 1; level <= lmax; level++ {
+		customers[level-1] = customersAtLevel[level]
+	}
+	return SimulateTree(tree, customers, service, rng)
+}
+
+// SimulateLineAllAtEnd runs Q̂^line: the line of lmax queues with all k
+// customers at the farthest queue (Definition 8) — the stochastically
+// slowest system in the chain and the one Theorem 2 bounds directly.
+func SimulateLineAllAtEnd(lmax, k int, service Sampler, rng *rand.Rand) float64 {
+	customersAtLevel := make([]int, lmax+1)
+	customersAtLevel[lmax] = k
+	return SimulateLine(customersAtLevel, service, rng)
+}
+
+// SimulateOpenLine runs the open Jackson line of Lemma 7: the k customers
+// arrive at the farthest queue as a Poisson process of rate lambda and
+// traverse lmax exponential-µ queues. Returns the departure time of the
+// k-th customer through the root. (Initial queue contents are empty; the
+// paper additionally pads queues to equilibrium, which only slows the
+// system — this simulation therefore lower-bounds the analyzed one while
+// keeping the same scaling.)
+func SimulateOpenLine(lmax, k int, mu, lambda float64, rng *rand.Rand) float64 {
+	if lambda <= 0 || mu <= 0 {
+		panic("queueing: rates must be positive")
+	}
+	// Arrival times: cumulative exponentials of rate lambda.
+	arrivals := make([]float64, k)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() / lambda
+		arrivals[i] = t
+	}
+	// Exact recursion per queue: d_i = max(a_i, d_{i-1}) + S_i
+	// (the "later arrivals yield later departures" recurrence of the
+	// paper's appendix, applied stage by stage).
+	dep := append([]float64(nil), arrivals...)
+	for stage := 0; stage < lmax; stage++ {
+		var prev float64
+		for i := range dep {
+			startAt := dep[i]
+			if prev > startAt {
+				startAt = prev
+			}
+			prev = startAt + rng.ExpFloat64()/mu
+			dep[i] = prev
+		}
+	}
+	return dep[k-1]
+}
+
+// MeanDrainTime averages the drain time of fn over trials independent runs
+// seeded from seed.
+func MeanDrainTime(trials int, seed uint64, fn func(rng *rand.Rand) float64) float64 {
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		rng := core.NewRand(core.SplitSeed(seed, uint64(i)))
+		sum += fn(rng)
+	}
+	return sum / float64(trials)
+}

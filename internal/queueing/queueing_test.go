@@ -1,0 +1,284 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
+
+const testTrials = 200
+
+func pathTree(lmax int) *graph.Tree {
+	parent := make([]core.NodeID, lmax)
+	for i := range parent {
+		if i == 0 {
+			parent[i] = core.NilNode
+		} else {
+			parent[i] = core.NodeID(i - 1)
+		}
+	}
+	return &graph.Tree{Root: 0, Parent: parent}
+}
+
+func TestSamplers(t *testing.T) {
+	rng := core.NewRand(1)
+	// Exponential(2) has mean 0.5.
+	exp := Exponential(2)
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		x := exp(rng)
+		if x < 0 {
+			t.Fatal("negative service time")
+		}
+		sum += x
+	}
+	if mean := sum / 20000; math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("Exp(2) mean = %.3f, want 0.5", mean)
+	}
+	// Geometric(0.25) has mean 4 and support {1, 2, ...}.
+	geo := Geometric(0.25)
+	sum = 0
+	for i := 0; i < 20000; i++ {
+		x := geo(rng)
+		if x < 1 || x != math.Trunc(x) {
+			t.Fatalf("geometric sample %v not a positive integer", x)
+		}
+		sum += x
+	}
+	if mean := sum / 20000; math.Abs(mean-4) > 0.3 {
+		t.Errorf("Geom(0.25) mean = %.3f, want 4", mean)
+	}
+	if Geometric(1)(rng) != 1 {
+		t.Error("Geom(1) must always be 1")
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Exponential(0) },
+		func() { Exponential(-1) },
+		func() { Geometric(0) },
+		func() { Geometric(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSingleQueueDrain: one M/M/1 queue with k customers drains in about
+// k/µ (sum of k exponential services).
+func TestSingleQueueDrain(t *testing.T) {
+	tree := pathTree(1)
+	const k, mu = 50, 2.0
+	mean := MeanDrainTime(testTrials, 7, func(rng *rand.Rand) float64 {
+		return SimulateTree(tree, []int{k}, Exponential(mu), rng)
+	})
+	want := k / mu
+	if math.Abs(mean-want) > 0.15*want {
+		t.Errorf("drain = %.2f, want ~%.2f", mean, want)
+	}
+}
+
+func TestEmptySystem(t *testing.T) {
+	tree := pathTree(3)
+	if d := SimulateTree(tree, []int{0, 0, 0}, Exponential(1), core.NewRand(1)); d != 0 {
+		t.Fatalf("empty system drained in %v", d)
+	}
+}
+
+// TestDominanceChain validates the heart of Theorem 2's proof empirically:
+// mean drain times are ordered t(Q^tree) <= t(Q^line) <= t(Q̂^line) when the
+// line is built from the tree's levels.
+func TestDominanceChain(t *testing.T) {
+	// A binary-ish tree of depth 4 with customers scattered.
+	g := graph.BinaryTree(15)
+	tree := g.BFSTree(0)
+	customers := make([]int, 15)
+	total := 0
+	for v := range customers {
+		customers[v] = v % 3 // 0,1,2,0,1,2,...
+		total += customers[v]
+	}
+	depths := tree.Depths()
+	lmax := tree.Depth()
+	byLevel := make([]int, lmax+1)
+	for v, c := range customers {
+		byLevel[depths[v]] += c
+	}
+
+	mu := 1.0
+	meanTree := MeanDrainTime(testTrials, 3, func(rng *rand.Rand) float64 {
+		return SimulateTree(tree, customers, Exponential(mu), rng)
+	})
+	meanLine := MeanDrainTime(testTrials, 4, func(rng *rand.Rand) float64 {
+		return SimulateLine(byLevel, Exponential(mu), rng)
+	})
+	meanEnd := MeanDrainTime(testTrials, 5, func(rng *rand.Rand) float64 {
+		return SimulateLineAllAtEnd(lmax, total, Exponential(mu), rng)
+	})
+
+	slack := 1.07 // tolerate Monte Carlo noise on an inequality of means
+	if meanTree > meanLine*slack {
+		t.Errorf("dominance violated: tree %.2f > line %.2f", meanTree, meanLine)
+	}
+	if meanLine > meanEnd*slack {
+		t.Errorf("dominance violated: line %.2f > line-all-at-end %.2f", meanLine, meanEnd)
+	}
+}
+
+// TestTheorem2Scaling: the drain time of Q̂^line grows linearly in k (for
+// fixed lmax) and linearly in lmax (for fixed k), with slope about 1/µ and
+// 1/(µ) respectively — O((k + lmax)/µ).
+func TestTheorem2Scaling(t *testing.T) {
+	mu := 1.0
+	drain := func(lmax, k int, seed uint64) float64 {
+		return MeanDrainTime(testTrials, seed, func(rng *rand.Rand) float64 {
+			return SimulateLineAllAtEnd(lmax, k, Exponential(mu), rng)
+		})
+	}
+	// Linear in k: doubling k from 100 to 200 with lmax=5 roughly doubles
+	// the k-term. t ≈ k/µ for k >> lmax.
+	t100 := drain(5, 100, 11)
+	t200 := drain(5, 200, 12)
+	ratio := t200 / t100
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("k-scaling ratio = %.2f, want ~2 (t100=%.1f t200=%.1f)", ratio, t100, t200)
+	}
+	// Linear in lmax for k small.
+	l10 := drain(10, 3, 13)
+	l40 := drain(40, 3, 14)
+	if l40 < l10*2 {
+		t.Errorf("lmax-scaling too flat: lmax=10 -> %.1f, lmax=40 -> %.1f", l10, l40)
+	}
+}
+
+// TestGeometricFasterThanExponential validates Lemma 2 of Borokhovich et
+// al.: with equal means (µ = p), geometric servers drain no slower than...
+// precisely, exponential servers are stochastically slower, so mean drain
+// with Exp(p) >= mean drain with Geom(p).
+func TestGeometricFasterThanExponential(t *testing.T) {
+	tree := pathTree(6)
+	customers := []int{0, 2, 2, 2, 2, 2}
+	p := 0.5
+	meanGeo := MeanDrainTime(testTrials*2, 21, func(rng *rand.Rand) float64 {
+		return SimulateTree(tree, customers, Geometric(p), rng)
+	})
+	meanExp := MeanDrainTime(testTrials*2, 22, func(rng *rand.Rand) float64 {
+		return SimulateTree(tree, customers, Exponential(p), rng)
+	})
+	if meanExp < meanGeo*0.95 {
+		t.Errorf("exponential (%.2f) unexpectedly faster than geometric (%.2f)", meanExp, meanGeo)
+	}
+}
+
+// TestOpenLineJackson: with λ = µ/2 (ρ = 1/2), the k-th departure leaves
+// after about 2k/µ + 2·lmax/µ — Lemma 7's two-phase accounting.
+func TestOpenLineJackson(t *testing.T) {
+	const mu = 1.0
+	const k, lmax = 200, 10
+	mean := MeanDrainTime(testTrials, 31, func(rng *rand.Rand) float64 {
+		return SimulateOpenLine(lmax, k, mu, mu/2, rng)
+	})
+	// t1 ≈ 2k/µ dominates; allow [2k/µ, (2k+8·lmax)/µ + slack].
+	lo := 2.0 * k / mu * 0.9
+	hi := (2.0*k + 10.0*lmax) / mu * 1.2
+	if mean < lo || mean > hi {
+		t.Errorf("open line k-th departure = %.1f, want in [%.1f, %.1f]", mean, lo, hi)
+	}
+}
+
+// TestMovingCustomerBackwardSlows validates Lemma 6: moving one customer
+// one queue backward cannot speed up the drain (compared on means).
+func TestMovingCustomerBackwardSlows(t *testing.T) {
+	base := []int{0, 3, 3, 3, 0}  // levels 0..4
+	moved := []int{0, 3, 2, 4, 0} // one customer moved from level 2 to 3
+	meanBase := MeanDrainTime(testTrials*2, 41, func(rng *rand.Rand) float64 {
+		return SimulateLine(base, Exponential(1), rng)
+	})
+	meanMoved := MeanDrainTime(testTrials*2, 42, func(rng *rand.Rand) float64 {
+		return SimulateLine(moved, Exponential(1), rng)
+	})
+	if meanMoved < meanBase*0.93 {
+		t.Errorf("moving a customer backward sped the system up: %.2f -> %.2f", meanBase, meanMoved)
+	}
+}
+
+func TestSimulateTreeOnBFSTreeOfGraph(t *testing.T) {
+	g := graph.Grid(4, 4)
+	tree := g.BFSTree(0)
+	customers := make([]int, 16)
+	for i := range customers {
+		customers[i] = 1
+	}
+	d := SimulateTree(tree, customers, Exponential(1), core.NewRand(9))
+	if d <= 0 {
+		t.Fatalf("drain time %v", d)
+	}
+}
+
+// TestEquilibriumPaddingSlowsAndMatchesLemma8 validates the Lemma 7 setup:
+// (i) the equilibrium-padded open line is no faster on average than the
+// unpadded one, and (ii) the k-th real departure lands near the closed form
+// t1 + t2 ≈ k/λ + lmax/(µ-λ) for k >> lmax (each sojourn is Exp(µ-λ) in
+// equilibrium, Lemma 8).
+func TestEquilibriumPaddingSlowsAndMatchesLemma8(t *testing.T) {
+	const mu, lambda = 1.0, 0.5
+	const k, lmax = 150, 8
+	padded := MeanDrainTime(testTrials, 51, func(rng *rand.Rand) float64 {
+		return SimulateOpenLineEquilibrium(lmax, k, mu, lambda, rng)
+	})
+	plain := MeanDrainTime(testTrials, 52, func(rng *rand.Rand) float64 {
+		return SimulateOpenLine(lmax, k, mu, lambda, rng)
+	})
+	if padded < plain*0.95 {
+		t.Errorf("equilibrium padding sped the system up: %.1f vs %.1f", padded, plain)
+	}
+	// Closed form: the last arrival lands ~ k/λ; it then needs ~lmax
+	// sojourns of mean 1/(µ-λ).
+	want := float64(k)/lambda + float64(lmax)/(mu-lambda)
+	if padded < want*0.85 || padded > want*1.25 {
+		t.Errorf("padded drain %.1f, closed form %.1f", padded, want)
+	}
+}
+
+func TestEquilibriumValidation(t *testing.T) {
+	rng := core.NewRand(1)
+	for _, fn := range []func(){
+		func() { SimulateOpenLineEquilibrium(5, 5, 1.0, 1.0, rng) }, // lambda == mu
+		func() { SimulateOpenLineEquilibrium(0, 5, 1.0, 0.5, rng) }, // lmax < 1
+		func() { SimulateOpenLineEquilibrium(5, 0, 1.0, 0.5, rng) }, // k < 1
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkTreeDrain(b *testing.B) {
+	g := graph.Grid(8, 8)
+	tree := g.BFSTree(0)
+	customers := make([]int, g.N())
+	for i := range customers {
+		customers[i] = 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := core.NewRand(uint64(i))
+		_ = SimulateTree(tree, customers, Exponential(1), rng)
+	}
+}

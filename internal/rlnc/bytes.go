@@ -1,0 +1,70 @@
+package rlnc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"algossip/internal/gf"
+)
+
+// SplitBytes chunks arbitrary data into k messages of payloadLen GF(256)
+// symbols each, prefixing the original length so JoinBytes can strip the
+// padding. It requires a field of order 256 (one byte per symbol) and
+// k*payloadLen >= len(data)+8.
+func SplitBytes(data []byte, k, payloadLen int) ([]Message, error) {
+	const header = 8
+	capacity := k*payloadLen - header
+	if capacity < len(data) {
+		return nil, fmt.Errorf("rlnc: %d bytes exceed capacity %d (k=%d, r=%d)",
+			len(data), capacity, k, payloadLen)
+	}
+	buf := make([]byte, k*payloadLen)
+	binary.BigEndian.PutUint64(buf, uint64(len(data)))
+	copy(buf[header:], data)
+	msgs := make([]Message, k)
+	for i := range msgs {
+		payload := make([]gf.Elem, payloadLen)
+		for j := 0; j < payloadLen; j++ {
+			payload[j] = gf.Elem(buf[i*payloadLen+j])
+		}
+		msgs[i] = Message{Index: i, Payload: payload}
+	}
+	return msgs, nil
+}
+
+// JoinBytes reassembles the original byte slice from k decoded messages
+// (in any order).
+func JoinBytes(msgs []Message) ([]byte, error) {
+	if len(msgs) == 0 {
+		return nil, fmt.Errorf("rlnc: no messages")
+	}
+	payloadLen := len(msgs[0].Payload)
+	buf := make([]byte, len(msgs)*payloadLen)
+	seen := make([]bool, len(msgs))
+	for _, m := range msgs {
+		if m.Index < 0 || m.Index >= len(msgs) {
+			return nil, fmt.Errorf("rlnc: message index %d out of range", m.Index)
+		}
+		if seen[m.Index] {
+			return nil, fmt.Errorf("rlnc: duplicate message index %d", m.Index)
+		}
+		seen[m.Index] = true
+		if len(m.Payload) != payloadLen {
+			return nil, fmt.Errorf("rlnc: inconsistent payload length")
+		}
+		for j, s := range m.Payload {
+			buf[m.Index*payloadLen+j] = byte(s)
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("rlnc: missing message index %d", i)
+		}
+	}
+	const header = 8
+	size := binary.BigEndian.Uint64(buf)
+	if int(size) > len(buf)-header {
+		return nil, fmt.Errorf("rlnc: corrupt length header %d", size)
+	}
+	return buf[header : header+int(size)], nil
+}

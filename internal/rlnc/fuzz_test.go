@@ -1,0 +1,83 @@
+package rlnc
+
+import (
+	"bytes"
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+)
+
+// FuzzSplitJoinBytes fuzzes the byte chunking layer: for any input that
+// fits the declared capacity, split followed by join must reproduce it
+// exactly, and out-of-capacity inputs must be rejected, never mangled.
+func FuzzSplitJoinBytes(f *testing.F) {
+	f.Add([]byte("hello"), uint8(4), uint8(8))
+	f.Add([]byte{}, uint8(1), uint8(9))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), uint8(16), uint8(32))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, rRaw uint8) {
+		k := 1 + int(kRaw)%32
+		r := 1 + int(rRaw)%64
+		msgs, err := SplitBytes(data, k, r)
+		if err != nil {
+			if k*r-8 >= len(data) {
+				t.Fatalf("rejected fitting input: k=%d r=%d len=%d: %v", k, r, len(data), err)
+			}
+			return
+		}
+		got, err := JoinBytes(msgs)
+		if err != nil {
+			t.Fatalf("join failed: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d out", len(data), len(got))
+		}
+	})
+}
+
+// FuzzDecoderNeverPanics throws arbitrary coefficient/payload bytes at a
+// node and requires graceful handling: rank stays within [0, k], and a
+// full-rank node decodes without error.
+func FuzzDecoderNeverPanics(f *testing.F) {
+	f.Add(uint64(1), []byte{1, 2, 3, 4, 5, 6})
+	f.Add(uint64(2), []byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		const k, r = 4, 2
+		cfg := Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
+		n := MustNewNode(cfg)
+		// Feed raw bytes as packets, k+r bytes at a time.
+		for i := 0; i+k+r <= len(raw); i += k + r {
+			pkt := &Packet{
+				Coeffs:  bytesToElems(raw[i : i+k]),
+				Payload: bytesToElems(raw[i+k : i+k+r]),
+			}
+			n.Receive(pkt)
+			if n.Rank() < 0 || n.Rank() > k {
+				t.Fatalf("rank %d out of range", n.Rank())
+			}
+		}
+		// Top up with well-formed packets from a full source and decode.
+		rng := core.NewRand(seed)
+		src := MustNewNode(cfg)
+		for i := 0; i < k; i++ {
+			src.Seed(Message{Index: i, Payload: gf.RandVector(cfg.Field, r, rng)})
+		}
+		for guard := 0; !n.CanDecode() && guard < 1000; guard++ {
+			n.Receive(src.Emit(rng))
+		}
+		if !n.CanDecode() {
+			t.Fatal("node never reached full rank")
+		}
+		if _, err := n.Decode(); err != nil {
+			t.Fatalf("decode at full rank failed: %v", err)
+		}
+	})
+}
+
+func bytesToElems(b []byte) []gf.Elem {
+	out := make([]gf.Elem, len(b))
+	for i, x := range b {
+		out[i] = gf.Elem(x)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package rlnc
+
+import (
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+)
+
+func genCfg(k, genSize int) GenConfig {
+	return GenConfig{
+		Inner:   Config{Field: gf.MustNew(256), PayloadLen: 4},
+		K:       k,
+		GenSize: genSize,
+	}
+}
+
+func TestGenConfigValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Inner: Config{Field: gf.MustNew(2)}, K: 0, GenSize: 1},
+		{Inner: Config{Field: gf.MustNew(2)}, K: 4, GenSize: 0},
+		{Inner: Config{Field: gf.MustNew(2)}, K: 4, GenSize: 5},
+	}
+	for _, cfg := range bad {
+		if _, err := NewGenNode(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestGenerationsAndBounds(t *testing.T) {
+	cfg := genCfg(10, 4)
+	if cfg.Generations() != 3 {
+		t.Fatalf("Generations = %d, want 3", cfg.Generations())
+	}
+	lo, hi := cfg.genBounds(2)
+	if lo != 8 || hi != 10 {
+		t.Fatalf("last generation bounds = [%d,%d), want [8,10)", lo, hi)
+	}
+}
+
+// TestGenRoundTrip: a source with all messages coded in generations feeds a
+// sink until it decodes all k with correct global indices and payloads.
+func TestGenRoundTrip(t *testing.T) {
+	for _, genSize := range []int{1, 3, 5, 10} {
+		cfg := genCfg(10, genSize)
+		rng := core.NewRand(uint64(genSize))
+		src, err := NewGenNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := make([]Message, cfg.K)
+		for i := range msgs {
+			msgs[i] = Message{Index: i, Payload: gf.RandVector(cfg.Inner.Field, 4, rng)}
+			src.Seed(msgs[i])
+		}
+		if !src.CanDecode() {
+			t.Fatal("source must be full rank")
+		}
+		dst, err := NewGenNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for !dst.CanDecode() {
+			steps++
+			if steps > 20000 {
+				t.Fatalf("genSize=%d: no convergence", genSize)
+			}
+			dst.Receive(src.Emit(rng))
+		}
+		got, err := dst.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != cfg.K {
+			t.Fatalf("decoded %d messages", len(got))
+		}
+		for i, m := range got {
+			if m.Index != i {
+				t.Fatalf("message %d has index %d", i, m.Index)
+			}
+			for j := range m.Payload {
+				if m.Payload[j] != msgs[i].Payload[j] {
+					t.Fatalf("genSize=%d: payload mismatch at (%d,%d)", genSize, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenEmitEmpty(t *testing.T) {
+	n, err := NewGenNode(genCfg(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Emit(core.NewRand(1)) != nil {
+		t.Fatal("empty node must emit nil")
+	}
+	if n.Receive(nil) {
+		t.Fatal("nil packet must not help")
+	}
+}
+
+func TestGenMessageBitsShrink(t *testing.T) {
+	full := genCfg(64, 64).MessageBits()
+	small := genCfg(64, 8).MessageBits()
+	if small >= full {
+		t.Fatalf("generation size 8 packet (%d bits) not smaller than full (%d bits)", small, full)
+	}
+}
+
+func TestGenDecodeBeforeReady(t *testing.T) {
+	n, err := NewGenNode(genCfg(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Seed(Message{Index: 0, Payload: make([]gf.Elem, 4)})
+	if _, err := n.Decode(); err == nil {
+		t.Fatal("decode before full rank must fail")
+	}
+}
+
+// TestGenCouponCollectorEffect: with single-message generations (GenSize=1,
+// i.e. uncoded-per-slot), the transfer takes more emissions than full
+// coding because the random generation choice repeats finished generations.
+func TestGenCouponCollectorEffect(t *testing.T) {
+	transfers := func(genSize int) int {
+		cfg := genCfg(24, genSize)
+		total := 0
+		for seed := uint64(0); seed < 5; seed++ {
+			rng := core.NewRand(seed)
+			src, _ := NewGenNode(cfg)
+			for i := 0; i < cfg.K; i++ {
+				src.Seed(Message{Index: i, Payload: gf.RandVector(cfg.Inner.Field, 4, rng)})
+			}
+			dst, _ := NewGenNode(cfg)
+			for !dst.CanDecode() {
+				total++
+				dst.Receive(src.Emit(rng))
+			}
+		}
+		return total
+	}
+	single := transfers(1)
+	full := transfers(24)
+	if single <= full {
+		t.Errorf("GenSize=1 (%d transfers) should pay a coupon-collector premium vs full coding (%d)",
+			single, full)
+	}
+}

@@ -1,0 +1,268 @@
+// Package rlnc implements random linear network coding, the message content
+// of algebraic gossip (paper Section 2, "Random Linear Network Coding").
+//
+// There are k initial messages x_1..x_k, each a vector of r symbols over
+// F_q. Every transmitted packet is a random linear combination of all
+// packets stored at the sender: it carries the k coefficients of the
+// combination and the combined r-symbol payload, for a total of
+// (k + r)·log2(q) bits. A node stores only packets that are linearly
+// independent of what it already holds (helpful messages, Definition 3);
+// once its coefficient matrix reaches rank k it solves the linear system
+// and recovers all k initial messages.
+//
+// Two backends share one API: a generic finite-field backend carrying
+// payloads, and a coefficient-only GF(2) bitset backend used by large-scale
+// simulations where only the stopping time matters (the rank evolution — and
+// hence the stopping time — does not depend on payload content).
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/gf"
+	"algossip/internal/linalg"
+)
+
+// ErrCannotDecode is returned by Decode before the node has accumulated k
+// independent equations.
+var ErrCannotDecode = errors.New("rlnc: rank below k, cannot decode yet")
+
+// Config describes one RLNC deployment: the field, the number of unknowns
+// k, and the payload length r in field symbols.
+type Config struct {
+	// Field is the coefficient field F_q.
+	Field gf.Field
+	// K is the number of initial messages (unknowns).
+	K int
+	// PayloadLen is r, the number of field symbols per message payload.
+	// Ignored in rank-only mode.
+	PayloadLen int
+	// RankOnly drops payloads and tracks only coefficient vectors. With
+	// Field of order 2 this additionally selects the packed-bitset backend.
+	RankOnly bool
+}
+
+func (c Config) validate() error {
+	if c.Field == nil {
+		return errors.New("rlnc: nil field")
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("rlnc: k must be positive, got %d", c.K)
+	}
+	if !c.RankOnly && c.PayloadLen <= 0 {
+		return fmt.Errorf("rlnc: payload length must be positive, got %d", c.PayloadLen)
+	}
+	return nil
+}
+
+// bitMode reports whether the packed GF(2) backend applies.
+func (c Config) bitMode() bool { return c.RankOnly && c.Field.Order() == 2 }
+
+// Message is an initial (decoded) message: its index in 1..k (zero-based
+// here) and its payload.
+type Message struct {
+	// Index identifies the unknown x_{Index+1}.
+	Index int
+	// Payload holds r field symbols.
+	Payload []gf.Elem
+}
+
+// Packet is one transmitted coded message.
+type Packet struct {
+	// Coeffs has length k (generic backend). Nil in bit mode.
+	Coeffs []gf.Elem
+	// Bits is the packed k-bit coefficient vector (bit mode). Nil otherwise.
+	Bits linalg.BitVec
+	// Payload is the combined payload (nil in rank-only mode).
+	Payload []gf.Elem
+}
+
+// IsZero reports whether the packet's coefficient vector is all-zero (such
+// packets carry no information and are never helpful).
+func (p *Packet) IsZero() bool {
+	if p.Bits != nil {
+		return p.Bits.IsZero()
+	}
+	return gf.IsZeroVector(p.Coeffs)
+}
+
+// Node is the per-gossip-node RLNC state: the matrix of stored equations.
+// It is not safe for concurrent use; the concurrent runtime wraps it.
+type Node struct {
+	cfg Config
+	mat *linalg.RankMatrix // generic backend
+	bit *linalg.BitMatrix  // bit backend
+}
+
+// NewNode returns an empty node for the given configuration.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{cfg: cfg}
+	if cfg.bitMode() {
+		n.bit = linalg.NewBitMatrix(cfg.K)
+	} else {
+		extra := cfg.PayloadLen
+		if cfg.RankOnly {
+			extra = 0
+		}
+		n.mat = linalg.NewRankMatrix(cfg.Field, cfg.K, extra)
+	}
+	return n, nil
+}
+
+// MustNewNode is NewNode for known-good configurations; it panics on error.
+func MustNewNode(cfg Config) *Node {
+	n, err := NewNode(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Rank returns the dimension of the node's equation space.
+func (n *Node) Rank() int {
+	if n.bit != nil {
+		return n.bit.Rank()
+	}
+	return n.mat.Rank()
+}
+
+// CanDecode reports whether the node has reached rank k.
+func (n *Node) CanDecode() bool { return n.Rank() == n.cfg.K }
+
+// Seed installs an initial message at this node: the trivial equation
+// x_{msg.Index} = msg.Payload. In rank-only mode the payload may be nil.
+func (n *Node) Seed(msg Message) {
+	if msg.Index < 0 || msg.Index >= n.cfg.K {
+		panic(fmt.Sprintf("rlnc: seed index %d out of range [0,%d)", msg.Index, n.cfg.K))
+	}
+	if n.bit != nil {
+		v := linalg.NewBitVec(n.cfg.K)
+		v.Set(msg.Index)
+		n.bit.Add(v)
+		return
+	}
+	row := make([]gf.Elem, n.mat.Width())
+	row[msg.Index] = 1
+	if !n.cfg.RankOnly {
+		if len(msg.Payload) != n.cfg.PayloadLen {
+			panic(fmt.Sprintf("rlnc: payload length %d, want %d", len(msg.Payload), n.cfg.PayloadLen))
+		}
+		copy(row[n.cfg.K:], msg.Payload)
+	}
+	n.mat.Add(row)
+}
+
+// Emit builds the packet an algebraic-gossip node transmits: a uniformly
+// random linear combination of all stored packets. It returns nil when the
+// node stores nothing yet (rank 0).
+func (n *Node) Emit(rng *rand.Rand) *Packet {
+	if n.bit != nil {
+		combo := n.bit.RandomCombination(rng)
+		if combo == nil {
+			return nil
+		}
+		return &Packet{Bits: combo}
+	}
+	combo := n.mat.RandomCombination(rng)
+	if combo == nil {
+		return nil
+	}
+	p := &Packet{Coeffs: combo[:n.cfg.K:n.cfg.K]}
+	if !n.cfg.RankOnly {
+		p.Payload = combo[n.cfg.K:]
+	}
+	return p
+}
+
+// Receive processes an incoming packet and reports whether it was helpful,
+// i.e. increased the node's rank (Definition 3). Unhelpful packets are
+// discarded, exactly as in the paper.
+func (n *Node) Receive(p *Packet) bool {
+	if p == nil || p.IsZero() {
+		return false
+	}
+	if n.bit != nil {
+		if p.Bits == nil {
+			panic("rlnc: generic packet delivered to bit-mode node")
+		}
+		return n.bit.Add(p.Bits.Clone())
+	}
+	if p.Coeffs == nil {
+		panic("rlnc: bit packet delivered to generic-mode node")
+	}
+	row := make([]gf.Elem, n.mat.Width())
+	copy(row, p.Coeffs)
+	if !n.cfg.RankOnly {
+		copy(row[n.cfg.K:], p.Payload)
+	}
+	return n.mat.Add(row)
+}
+
+// WouldHelp reports whether the packet would increase this node's rank,
+// without storing it.
+func (n *Node) WouldHelp(p *Packet) bool {
+	if p == nil || p.IsZero() {
+		return false
+	}
+	if n.bit != nil {
+		return n.bit.WouldHelp(p.Bits)
+	}
+	return n.mat.WouldHelp(p.Coeffs)
+}
+
+// HelpfulTo reports whether this node is a *helpful node* for other
+// (Definition 3): whether some combination this node can construct is
+// independent of everything other has — equivalently, whether this node's
+// equation space is not contained in other's.
+func (n *Node) HelpfulTo(other *Node) bool {
+	if n.bit != nil {
+		for i := 0; i < n.bit.Rank(); i++ {
+			// Row access via re-reduction: test each basis row.
+			if other.bit.WouldHelp(n.bitRow(i)) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n.mat.Rank(); i++ {
+		if other.mat.WouldHelp(n.mat.Row(i)[:n.cfg.K]) {
+			return true
+		}
+	}
+	return false
+}
+
+// bitRow reconstructs basis row i of the bit backend. The BitMatrix does
+// not expose rows directly, so Node keeps this thin helper.
+func (n *Node) bitRow(i int) linalg.BitVec {
+	return n.bit.Basis(i)
+}
+
+// Decode solves the linear system and returns all k initial messages in
+// index order. It returns ErrCannotDecode when rank < k, and an error in
+// rank-only mode (there are no payloads to recover).
+func (n *Node) Decode() ([]Message, error) {
+	if n.cfg.RankOnly {
+		return nil, errors.New("rlnc: decode unavailable in rank-only mode")
+	}
+	if !n.CanDecode() {
+		return nil, ErrCannotDecode
+	}
+	payloads, err := n.mat.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("rlnc: decode: %w", err)
+	}
+	out := make([]Message, n.cfg.K)
+	for i := range out {
+		out[i] = Message{Index: i, Payload: payloads[i]}
+	}
+	return out, nil
+}

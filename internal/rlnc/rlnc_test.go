@@ -1,0 +1,333 @@
+package rlnc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+)
+
+func genericCfg(q, k, r int) Config {
+	return Config{Field: gf.MustNew(q), K: k, PayloadLen: r}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil field", Config{K: 3, PayloadLen: 1}},
+		{"zero k", Config{Field: gf.MustNew(2), PayloadLen: 1}},
+		{"zero payload", Config{Field: gf.MustNew(2), K: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewNode(tt.cfg); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	// Rank-only mode needs no payload length.
+	if _, err := NewNode(Config{Field: gf.MustNew(2), K: 3, RankOnly: true}); err != nil {
+		t.Errorf("rank-only config rejected: %v", err)
+	}
+}
+
+func TestSeedAndRank(t *testing.T) {
+	n := MustNewNode(genericCfg(256, 4, 2))
+	if n.Rank() != 0 || n.CanDecode() {
+		t.Fatal("fresh node must be empty")
+	}
+	n.Seed(Message{Index: 0, Payload: []gf.Elem{1, 2}})
+	n.Seed(Message{Index: 2, Payload: []gf.Elem{3, 4}})
+	if n.Rank() != 2 {
+		t.Fatalf("rank = %d, want 2", n.Rank())
+	}
+	// Re-seeding the same index is not helpful.
+	n.Seed(Message{Index: 0, Payload: []gf.Elem{1, 2}})
+	if n.Rank() != 2 {
+		t.Fatalf("rank after duplicate seed = %d, want 2", n.Rank())
+	}
+}
+
+func TestEmitFromEmptyNode(t *testing.T) {
+	for _, cfg := range []Config{
+		genericCfg(256, 3, 2),
+		{Field: gf.MustNew(2), K: 3, RankOnly: true},
+	} {
+		n := MustNewNode(cfg)
+		if n.Emit(core.NewRand(1)) != nil {
+			t.Error("empty node must emit nil")
+		}
+	}
+}
+
+// TestGossipPairConvergence wires two nodes directly: one holds all k
+// messages, the other receives random combinations until it can decode.
+// Validates emit→receive→decode end to end on every backend.
+func TestGossipPairConvergence(t *testing.T) {
+	cfgs := []Config{
+		genericCfg(2, 6, 4),
+		genericCfg(4, 6, 4),
+		genericCfg(256, 6, 4),
+		{Field: gf.MustNew(256), K: 6, RankOnly: true},
+		{Field: gf.MustNew(2), K: 6, RankOnly: true}, // bit backend
+	}
+	for _, cfg := range cfgs {
+		name := cfg.Field.Name()
+		if cfg.RankOnly {
+			name += "-rankonly"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := core.NewRand(42)
+			src := MustNewNode(cfg)
+			msgs := make([]Message, cfg.K)
+			for i := range msgs {
+				msgs[i] = Message{Index: i}
+				if !cfg.RankOnly {
+					msgs[i].Payload = gf.RandVector(cfg.Field, cfg.PayloadLen, rng)
+				}
+				src.Seed(msgs[i])
+			}
+			if !src.CanDecode() {
+				t.Fatal("source must be full rank after seeding all messages")
+			}
+			dst := MustNewNode(cfg)
+			transmissions := 0
+			for !dst.CanDecode() {
+				transmissions++
+				if transmissions > 10000 {
+					t.Fatal("no convergence")
+				}
+				dst.Receive(src.Emit(rng))
+			}
+			// With q >= 2, expected transmissions ≈ k/(1-1/q); allow slack.
+			if transmissions > 40*cfg.K {
+				t.Errorf("took %d transmissions for k=%d", transmissions, cfg.K)
+			}
+			if cfg.RankOnly {
+				if _, err := dst.Decode(); err == nil {
+					t.Error("rank-only decode must fail")
+				}
+				return
+			}
+			got, err := dst.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range msgs {
+				if got[i].Index != i {
+					t.Fatalf("message %d has index %d", i, got[i].Index)
+				}
+				for j := range msgs[i].Payload {
+					if got[i].Payload[j] != msgs[i].Payload[j] {
+						t.Fatalf("payload mismatch at message %d symbol %d", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeBeforeFullRank(t *testing.T) {
+	n := MustNewNode(genericCfg(256, 3, 1))
+	n.Seed(Message{Index: 0, Payload: []gf.Elem{7}})
+	if _, err := n.Decode(); !errors.Is(err, ErrCannotDecode) {
+		t.Fatalf("err = %v, want ErrCannotDecode", err)
+	}
+}
+
+func TestReceiveNilAndZero(t *testing.T) {
+	n := MustNewNode(genericCfg(256, 3, 1))
+	if n.Receive(nil) {
+		t.Error("nil packet must not help")
+	}
+	zero := &Packet{Coeffs: make([]gf.Elem, 3), Payload: make([]gf.Elem, 1)}
+	if n.Receive(zero) {
+		t.Error("zero packet must not help")
+	}
+}
+
+// TestHelpfulNodePredicate exercises Definition 3: x is helpful to y iff
+// x's subspace is not contained in y's.
+func TestHelpfulNodePredicate(t *testing.T) {
+	cfg := genericCfg(256, 4, 1)
+	x := MustNewNode(cfg)
+	y := MustNewNode(cfg)
+	x.Seed(Message{Index: 0, Payload: []gf.Elem{1}})
+	if !x.HelpfulTo(y) {
+		t.Fatal("x with info must be helpful to empty y")
+	}
+	if y.HelpfulTo(x) {
+		t.Fatal("empty y cannot be helpful")
+	}
+	y.Seed(Message{Index: 0, Payload: []gf.Elem{1}})
+	if x.HelpfulTo(y) {
+		t.Fatal("equal subspaces are not helpful")
+	}
+	x.Seed(Message{Index: 1, Payload: []gf.Elem{2}})
+	if !x.HelpfulTo(y) {
+		t.Fatal("strictly larger subspace must be helpful")
+	}
+}
+
+func TestHelpfulNodePredicateBitMode(t *testing.T) {
+	cfg := Config{Field: gf.MustNew(2), K: 4, RankOnly: true}
+	x := MustNewNode(cfg)
+	y := MustNewNode(cfg)
+	x.Seed(Message{Index: 2})
+	if !x.HelpfulTo(y) || y.HelpfulTo(x) {
+		t.Fatal("helpfulness wrong on bit backend")
+	}
+	y.Seed(Message{Index: 2})
+	if x.HelpfulTo(y) {
+		t.Fatal("equal subspaces are not helpful (bit backend)")
+	}
+}
+
+// TestHelpfulMessageProbability empirically checks Lemma 2.1 of Deb et al.:
+// a combination from a helpful node is helpful with probability >= 1 - 1/q.
+func TestHelpfulMessageProbability(t *testing.T) {
+	for _, q := range []int{2, 4, 256} {
+		cfg := genericCfg(q, 8, 1)
+		rng := core.NewRand(uint64(q))
+		src := MustNewNode(cfg)
+		for i := 0; i < cfg.K; i++ {
+			src.Seed(Message{Index: i, Payload: []gf.Elem{gf.Elem(i % q)}})
+		}
+		dst := MustNewNode(cfg)
+		dst.Seed(Message{Index: 0, Payload: []gf.Elem{0}})
+
+		const trials = 3000
+		helpful := 0
+		for i := 0; i < trials; i++ {
+			if dst.WouldHelp(src.Emit(rng)) {
+				helpful++
+			}
+		}
+		rate := float64(helpful) / trials
+		want := 1 - 1/float64(q)
+		if rate < want-0.05 {
+			t.Errorf("q=%d: helpful rate %.3f below 1-1/q=%.3f", q, rate, want)
+		}
+	}
+}
+
+func TestSeedPanicsOnBadIndex(t *testing.T) {
+	n := MustNewNode(genericCfg(2, 3, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Seed(Message{Index: 3, Payload: []gf.Elem{1}})
+}
+
+func TestBackendMismatchPanics(t *testing.T) {
+	bitNode := MustNewNode(Config{Field: gf.MustNew(2), K: 3, RankOnly: true})
+	genNode := MustNewNode(genericCfg(256, 3, 1))
+	genNode.Seed(Message{Index: 0, Payload: []gf.Elem{1}})
+	bitNode.Seed(Message{Index: 0})
+	assertPanics(t, func() { bitNode.Receive(genNode.Emit(core.NewRand(1))) })
+	assertPanics(t, func() { genNode.Receive(bitNode.Emit(core.NewRand(1))) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestSplitJoinBytesRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hello, gossip"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	for _, data := range payloads {
+		k := 8
+		r := (len(data)+8)/k + 1
+		msgs, err := SplitBytes(data, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) != k {
+			t.Fatalf("got %d messages, want %d", len(msgs), k)
+		}
+		// Shuffle order to prove order independence.
+		msgs[0], msgs[k-1] = msgs[k-1], msgs[0]
+		got, err := JoinBytes(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(data))
+		}
+	}
+}
+
+func TestSplitBytesCapacity(t *testing.T) {
+	if _, err := SplitBytes(make([]byte, 100), 4, 4); err == nil {
+		t.Error("expected capacity error")
+	}
+}
+
+func TestJoinBytesErrors(t *testing.T) {
+	msgs, err := SplitBytes([]byte("abc"), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := append([]Message(nil), msgs...)
+	dup[1] = dup[0]
+	if _, err := JoinBytes(dup); err == nil {
+		t.Error("duplicate index not rejected")
+	}
+	if _, err := JoinBytes(nil); err == nil {
+		t.Error("empty input not rejected")
+	}
+}
+
+// TestFullRLNCRoundTripQuick: random data of random size survives
+// split → encode → network-coded delivery → decode → join.
+func TestFullRLNCRoundTripQuick(t *testing.T) {
+	f := gf.MustNew(256)
+	check := func(seed uint64, sizeRaw uint16) bool {
+		rng := core.NewRand(seed)
+		size := int(sizeRaw) % 500
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		k := 5
+		r := (size+8)/k + 1
+		msgs, err := SplitBytes(data, k, r)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Field: f, K: k, PayloadLen: r}
+		src := MustNewNode(cfg)
+		for _, m := range msgs {
+			src.Seed(m)
+		}
+		dst := MustNewNode(cfg)
+		for i := 0; i < 1000 && !dst.CanDecode(); i++ {
+			dst.Receive(src.Emit(rng))
+		}
+		decoded, err := dst.Decode()
+		if err != nil {
+			return false
+		}
+		got, err := JoinBytes(decoded)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

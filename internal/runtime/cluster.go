@@ -1,0 +1,246 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+)
+
+// ClusterConfig describes a concurrent gossip deployment.
+type ClusterConfig struct {
+	// Graph is the communication topology.
+	Graph *graph.Graph
+	// RLNC configures the codec (usually payload mode with GF(256)).
+	RLNC rlnc.Config
+	// Interval is each node's mean gossip period (default 1ms). Every tick
+	// the node initiates one EXCHANGE with a uniformly random neighbor.
+	Interval time.Duration
+	// Seed roots per-node randomness.
+	Seed uint64
+}
+
+// Cluster is a running set of gossip nodes over a Transport.
+type Cluster struct {
+	cfg       ClusterConfig
+	transport Transport
+	nodes     []*clusterNode
+	doneCh    chan core.NodeID
+	killCh    chan core.NodeID
+}
+
+// clusterNode is the per-goroutine state.
+type clusterNode struct {
+	id        core.NodeID
+	neighbors []core.NodeID
+	inbox     <-chan Envelope
+	transport Transport
+	interval  time.Duration
+	seed      uint64
+
+	mu       sync.Mutex
+	codec    *rlnc.Node
+	rng      *rand.Rand // guarded by mu; drives packet emission
+	finished bool
+
+	doneCh chan<- core.NodeID
+}
+
+// NewCluster builds a cluster over the given transport. Seed initial
+// messages with Seed before calling Run.
+func NewCluster(cfg ClusterConfig, transport Transport) (*Cluster, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("runtime: nil graph")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Millisecond
+	}
+	n := cfg.Graph.N()
+	c := &Cluster{
+		cfg:       cfg,
+		transport: transport,
+		nodes:     make([]*clusterNode, n),
+		doneCh:    make(chan core.NodeID, n),
+		killCh:    make(chan core.NodeID, n),
+	}
+	for v := 0; v < n; v++ {
+		codec, err := rlnc.NewNode(cfg.RLNC)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: node %d codec: %w", v, err)
+		}
+		inbox, err := transport.Register(core.NodeID(v))
+		if err != nil {
+			return nil, fmt.Errorf("runtime: node %d register: %w", v, err)
+		}
+		seed := core.SplitSeed(cfg.Seed, uint64(v))
+		c.nodes[v] = &clusterNode{
+			id:        core.NodeID(v),
+			neighbors: cfg.Graph.Neighbors(core.NodeID(v)),
+			inbox:     inbox,
+			transport: transport,
+			interval:  cfg.Interval,
+			seed:      seed,
+			codec:     codec,
+			rng:       core.NewRand(core.SplitSeed(seed, 1)),
+			doneCh:    c.doneCh,
+		}
+	}
+	return c, nil
+}
+
+// Seed places an initial message at node v.
+func (c *Cluster) Seed(v core.NodeID, msg rlnc.Message) {
+	node := c.nodes[v]
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	node.codec.Seed(msg)
+	node.checkDoneLocked()
+}
+
+// Rank returns node v's current rank.
+func (c *Cluster) Rank(v core.NodeID) int {
+	node := c.nodes[v]
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	return node.codec.Rank()
+}
+
+// Decode decodes node v's messages (payload mode, after completion).
+func (c *Cluster) Decode(v core.NodeID) ([]rlnc.Message, error) {
+	node := c.nodes[v]
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	return node.codec.Decode()
+}
+
+// Kill crashes node v: its goroutine stops gossiping and the cluster no
+// longer waits for it to complete (churn / failure injection). Any
+// information held only by v is lost unless it already spread. Kill is
+// asynchronous and only takes effect while Run is active.
+func (c *Cluster) Kill(v core.NodeID) {
+	select {
+	case c.killCh <- v:
+	default: // a node can only die once; drop redundant kills
+	}
+}
+
+// Run starts all node goroutines and blocks until every live node can
+// decode or ctx is cancelled. Nodes keep gossiping until every node has
+// finished (early finishers still serve their neighbors). It returns the
+// number of nodes that completed.
+func (c *Cluster) Run(ctx context.Context) (int, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	nodeCancels := make([]context.CancelFunc, len(c.nodes))
+	for i, node := range c.nodes {
+		nodeCtx, nodeCancel := context.WithCancel(runCtx)
+		nodeCancels[i] = nodeCancel
+		wg.Add(1)
+		go func(n *clusterNode) {
+			defer wg.Done()
+			n.run(nodeCtx)
+		}(node)
+	}
+
+	finished := 0
+	target := len(c.nodes)
+	completed := make(map[core.NodeID]bool, target)
+	dead := make(map[core.NodeID]bool)
+	for finished < target {
+		select {
+		case v := <-c.doneCh:
+			if dead[v] {
+				continue // its completion was already written off
+			}
+			completed[v] = true
+			finished++
+		case v := <-c.killCh:
+			if dead[v] {
+				continue
+			}
+			dead[v] = true
+			nodeCancels[v]()
+			if !completed[v] {
+				target--
+			}
+		case <-ctx.Done():
+			cancel()
+			wg.Wait()
+			return finished, fmt.Errorf("runtime: cluster interrupted with %d/%d nodes complete: %w",
+				finished, target, ctx.Err())
+		}
+	}
+	cancel()
+	wg.Wait()
+	return finished, nil
+}
+
+// run is the node's event loop: react to incoming packets, and initiate an
+// EXCHANGE with a random neighbor on every tick.
+func (n *clusterNode) run(ctx context.Context) {
+	rng := core.NewRand(n.seed)
+	ticker := time.NewTicker(n.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-n.inbox:
+			if !ok {
+				return
+			}
+			n.handle(env)
+		case <-ticker.C:
+			if len(n.neighbors) == 0 {
+				continue
+			}
+			peer := n.neighbors[rng.IntN(len(n.neighbors))]
+			n.sendPacket(peer, true)
+		}
+	}
+}
+
+// handle ingests a packet and serves the EXCHANGE reply leg.
+func (n *clusterNode) handle(env Envelope) {
+	pkt := &rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload}
+	n.mu.Lock()
+	if len(env.Coeffs) > 0 {
+		n.codec.Receive(pkt)
+		n.checkDoneLocked()
+	}
+	n.mu.Unlock()
+	if env.WantReply {
+		n.sendPacket(env.From, false)
+	}
+}
+
+// sendPacket emits one random combination toward peer. Transport errors are
+// ignored: gossip is redundant and the next tick retries elsewhere.
+func (n *clusterNode) sendPacket(peer core.NodeID, wantReply bool) {
+	n.mu.Lock()
+	pkt := n.codec.Emit(n.rng)
+	n.mu.Unlock()
+	env := Envelope{From: n.id, WantReply: wantReply}
+	if pkt != nil {
+		env.Coeffs = pkt.Coeffs
+		env.Payload = pkt.Payload
+	} else if !wantReply {
+		return // nothing to say and nobody waiting
+	}
+	_ = n.transport.Send(peer, env)
+}
+
+// checkDoneLocked signals completion exactly once. Callers hold n.mu.
+func (n *clusterNode) checkDoneLocked() {
+	if !n.finished && n.codec.CanDecode() {
+		n.finished = true
+		n.doneCh <- n.id
+	}
+}

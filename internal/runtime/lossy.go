@@ -1,0 +1,67 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"algossip/internal/core"
+)
+
+// LossyTransport wraps another Transport and drops each Send independently
+// with a fixed probability — failure injection for validating that coded
+// gossip completes under packet loss (every surviving combination is still
+// helpful with probability at least 1-1/q, so loss only dilates time).
+type LossyTransport struct {
+	inner Transport
+	rate  float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropped uint64
+	sent    uint64
+}
+
+var _ Transport = (*LossyTransport)(nil)
+
+// NewLossyTransport wraps inner with i.i.d. drop probability rate in [0,1).
+func NewLossyTransport(inner Transport, rate float64, seed uint64) (*LossyTransport, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("runtime: loss rate %v outside [0, 1)", rate)
+	}
+	return &LossyTransport{inner: inner, rate: rate, rng: core.NewRand(seed)}, nil
+}
+
+// Register implements Transport.
+func (t *LossyTransport) Register(id core.NodeID) (<-chan Envelope, error) {
+	return t.inner.Register(id)
+}
+
+// Send implements Transport, dropping the envelope with the configured
+// probability. Drops are reported as success to the caller — exactly like
+// a lossy wire.
+func (t *LossyTransport) Send(to core.NodeID, env Envelope) error {
+	t.mu.Lock()
+	drop := t.rng.Float64() < t.rate
+	if drop {
+		t.dropped++
+	} else {
+		t.sent++
+	}
+	t.mu.Unlock()
+	if drop {
+		return nil
+	}
+	return t.inner.Send(to, env)
+}
+
+// Close implements Transport.
+func (t *LossyTransport) Close() error { return t.inner.Close() }
+
+// Stats returns (delivered, dropped) counts.
+func (t *LossyTransport) Stats() (delivered, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sent, t.dropped
+}

@@ -1,0 +1,241 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+)
+
+func testRLNC(k, r int) rlnc.Config {
+	return rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
+}
+
+func seedMessages(t *testing.T, c *Cluster, cfg rlnc.Config, n int) []rlnc.Message {
+	t.Helper()
+	rng := core.NewRand(99)
+	msgs := make([]rlnc.Message, cfg.K)
+	for i := range msgs {
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)}
+		c.Seed(core.NodeID(i%n), msgs[i])
+	}
+	return msgs
+}
+
+func verifyDecode(t *testing.T, c *Cluster, msgs []rlnc.Message, n int) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		got, err := c.Decode(core.NodeID(v))
+		if err != nil {
+			t.Fatalf("node %d: %v", v, err)
+		}
+		for i := range msgs {
+			for j := range msgs[i].Payload {
+				if got[i].Payload[j] != msgs[i].Payload[j] {
+					t.Fatalf("node %d message %d symbol %d mismatch", v, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestClusterChanTransport(t *testing.T) {
+	g := graph.Grid(3, 3)
+	cfg := testRLNC(5, 8)
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := seedMessages(t, c, cfg, g.N())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.N() {
+		t.Fatalf("completed %d/%d nodes", done, g.N())
+	}
+	verifyDecode(t, c, msgs, g.N())
+}
+
+func TestClusterTCPTransport(t *testing.T) {
+	g := graph.Ring(6)
+	cfg := testRLNC(4, 6)
+	tr := NewTCPTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 500 * time.Microsecond, Seed: 2}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := seedMessages(t, c, cfg, g.N())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.N() {
+		t.Fatalf("completed %d/%d nodes", done, g.N())
+	}
+	verifyDecode(t, c, msgs, g.N())
+	if _, ok := tr.Addr(0); !ok {
+		t.Error("Addr lookup failed for registered node")
+	}
+}
+
+func TestClusterContextCancel(t *testing.T) {
+	g := graph.Line(4)
+	cfg := testRLNC(3, 4)
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: time.Hour, Seed: 3}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed only one message so the cluster cannot finish; then cancel.
+	c.Seed(0, rlnc.Message{Index: 0, Payload: make([]gf.Elem, 4)})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done, err := c.Run(ctx)
+	if err == nil {
+		t.Fatal("expected interruption error")
+	}
+	if done == g.N() {
+		t.Fatal("cluster cannot have finished")
+	}
+}
+
+func TestChanTransportErrors(t *testing.T) {
+	tr := NewChanTransport()
+	if _, err := tr.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Register(1); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := tr.Send(2, Envelope{}); err == nil {
+		t.Error("send to unknown node accepted")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(1, Envelope{}); err == nil {
+		t.Error("send after close accepted")
+	}
+	if _, err := tr.Register(3); err == nil {
+		t.Error("register after close accepted")
+	}
+	if err := tr.Close(); err != nil {
+		t.Error("double close must be nil")
+	}
+}
+
+func TestChanTransportBackpressureDrops(t *testing.T) {
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	if _, err := tr.Register(0); err != nil {
+		t.Fatal(err)
+	}
+	// Overfill the inbox; Send must not block.
+	doneCh := make(chan struct{})
+	go func() {
+		for i := 0; i < inboxSize*3; i++ {
+			_ = tr.Send(0, Envelope{From: 1})
+		}
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send blocked on full inbox")
+	}
+}
+
+func TestTCPTransportSendUnknown(t *testing.T) {
+	tr := NewTCPTransport()
+	defer func() { _ = tr.Close() }()
+	if err := tr.Send(9, Envelope{}); err == nil {
+		t.Error("send to unknown node accepted")
+	}
+}
+
+func TestClusterSingleSourceAllMessagesAtOneNode(t *testing.T) {
+	g := graph.Star(5)
+	cfg := testRLNC(6, 4)
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 7}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := core.NewRand(5)
+	msgs := make([]rlnc.Message, cfg.K)
+	for i := range msgs {
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)}
+		c.Seed(0, msgs[i]) // all at the hub
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	verifyDecode(t, c, msgs, g.N())
+}
+
+// TestClusterChurn kills a node mid-run (one that holds no unique
+// information) and verifies the surviving nodes still all decode — gossip's
+// redundancy makes single-node crashes harmless.
+func TestClusterChurn(t *testing.T) {
+	g := graph.Grid(3, 3) // killing corner node 8 keeps the rest connected
+	cfg := testRLNC(4, 4)
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 12}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := core.NewRand(9)
+	msgs := make([]rlnc.Message, cfg.K)
+	for i := range msgs {
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)}
+		c.Seed(core.NodeID(i), msgs[i]) // seeds at nodes 0..3, far from node 8
+	}
+
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		c.Kill(8)
+		c.Kill(8) // redundant kill must be harmless
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either node 8 finished before the kill landed (fast run) or the
+	// cluster completed with 8 survivors; both are valid outcomes.
+	if done < g.N()-1 {
+		t.Fatalf("completed %d nodes, want >= %d", done, g.N()-1)
+	}
+	// Every survivor decodes correctly.
+	for v := 0; v < g.N()-1; v++ {
+		got, err := c.Decode(core.NodeID(v))
+		if err != nil {
+			t.Fatalf("survivor %d: %v", v, err)
+		}
+		for i := range msgs {
+			for j := range msgs[i].Payload {
+				if got[i].Payload[j] != msgs[i].Payload[j] {
+					t.Fatalf("survivor %d message %d mismatch", v, i)
+				}
+			}
+		}
+	}
+}

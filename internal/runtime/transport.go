@@ -1,0 +1,282 @@
+// Package runtime deploys the gossip protocols as real concurrent
+// processes: one goroutine per node, communicating through a pluggable
+// Transport. This is the "production" face of the library — the simulator
+// (internal/sim) measures round complexity deterministically, while this
+// package runs the same RLNC exchange over channels or TCP sockets, with
+// payloads, decoding, and graceful shutdown.
+//
+// Two transports ship with the package: ChanTransport (in-process, used by
+// examples and tests) and TCPTransport (gob-framed messages over loopback
+// or a real network).
+package runtime
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+)
+
+// EnvelopeKind distinguishes wire message types.
+type EnvelopeKind int
+
+const (
+	// EnvelopePacket carries one RLNC coded packet (the default).
+	EnvelopePacket EnvelopeKind = iota
+	// EnvelopeAnnounce is a spanning-tree broadcast message: "I am part of
+	// the tree; adopt me as your parent if you have none" (distributed
+	// TAG's Phase 1).
+	EnvelopeAnnounce
+)
+
+// Envelope is the wire message: one coded packet plus exchange metadata.
+type Envelope struct {
+	// Kind selects the message type.
+	Kind EnvelopeKind
+	// From is the sending node.
+	From core.NodeID
+	// WantReply marks the first leg of an EXCHANGE: the receiver answers
+	// with one packet of its own (with WantReply unset).
+	WantReply bool
+	// Coeffs is the k-length coefficient vector.
+	Coeffs []gf.Elem
+	// Payload is the combined payload (may be empty in rank-only runs).
+	Payload []gf.Elem
+}
+
+// Transport moves envelopes between nodes. Implementations must be safe
+// for concurrent use.
+type Transport interface {
+	// Register allocates the inbox for node id. It must be called once per
+	// node before Send targets it.
+	Register(id core.NodeID) (<-chan Envelope, error)
+	// Send delivers env to node to. Delivery may be asynchronous; Send
+	// must not block indefinitely once the receiver is closed.
+	Send(to core.NodeID, env Envelope) error
+	// Close releases all resources; subsequent Sends fail.
+	Close() error
+}
+
+// inboxSize buffers bursts without unbounded growth; gossip tolerates drops
+// but we prefer backpressure-free small buffers.
+const inboxSize = 256
+
+// ChanTransport is an in-process Transport backed by buffered channels.
+// The zero value is not usable; construct with NewChanTransport.
+type ChanTransport struct {
+	mu     sync.RWMutex
+	boxes  map[core.NodeID]chan Envelope
+	closed bool
+}
+
+var _ Transport = (*ChanTransport)(nil)
+
+// NewChanTransport returns an empty in-process transport.
+func NewChanTransport() *ChanTransport {
+	return &ChanTransport{boxes: make(map[core.NodeID]chan Envelope)}
+}
+
+// Register implements Transport.
+func (t *ChanTransport) Register(id core.NodeID) (<-chan Envelope, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("runtime: transport closed")
+	}
+	if _, ok := t.boxes[id]; ok {
+		return nil, fmt.Errorf("runtime: node %d already registered", id)
+	}
+	ch := make(chan Envelope, inboxSize)
+	t.boxes[id] = ch
+	return ch, nil
+}
+
+// Send implements Transport. When the receiver's inbox is full the envelope
+// is dropped — gossip is loss-tolerant by design, and unhelpful packets are
+// redundant anyway.
+func (t *ChanTransport) Send(to core.NodeID, env Envelope) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return errors.New("runtime: transport closed")
+	}
+	ch, ok := t.boxes[to]
+	if !ok {
+		return fmt.Errorf("runtime: unknown node %d", to)
+	}
+	select {
+	case ch <- env:
+	default: // drop on backpressure
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for _, ch := range t.boxes {
+		close(ch)
+	}
+	return nil
+}
+
+// TCPTransport carries envelopes as gob-encoded frames over TCP. Each
+// registered node gets its own listener; senders keep one persistent
+// connection per destination.
+type TCPTransport struct {
+	mu        sync.Mutex
+	addrs     map[core.NodeID]string
+	listeners map[core.NodeID]net.Listener
+	boxes     map[core.NodeID]chan Envelope
+	conns     map[core.NodeID]*gobConn
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type gobConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport returns a TCP transport; nodes listen on loopback ports
+// assigned by the kernel.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{
+		addrs:     make(map[core.NodeID]string),
+		listeners: make(map[core.NodeID]net.Listener),
+		boxes:     make(map[core.NodeID]chan Envelope),
+		conns:     make(map[core.NodeID]*gobConn),
+	}
+}
+
+// Register implements Transport: it starts a listener for the node and a
+// goroutine funneling decoded envelopes into the inbox.
+func (t *TCPTransport) Register(id core.NodeID) (<-chan Envelope, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("runtime: transport closed")
+	}
+	if _, ok := t.boxes[id]; ok {
+		return nil, fmt.Errorf("runtime: node %d already registered", id)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("runtime: listen for node %d: %w", id, err)
+	}
+	ch := make(chan Envelope, inboxSize)
+	t.listeners[id] = ln
+	t.addrs[id] = ln.Addr().String()
+	t.boxes[id] = ch
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				defer func() { _ = conn.Close() }()
+				dec := gob.NewDecoder(conn)
+				for {
+					var env Envelope
+					if err := dec.Decode(&env); err != nil {
+						return
+					}
+					select {
+					case ch <- env:
+					default: // drop on backpressure
+					}
+				}
+			}()
+		}
+	}()
+	return ch, nil
+}
+
+// Addr returns the listen address of a registered node (for diagnostics).
+func (t *TCPTransport) Addr(id core.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[id]
+	return a, ok
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to core.NodeID, env Envelope) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("runtime: transport closed")
+	}
+	gc, ok := t.conns[to]
+	if !ok {
+		addr, known := t.addrs[to]
+		if !known {
+			t.mu.Unlock()
+			return fmt.Errorf("runtime: unknown node %d", to)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("runtime: dial node %d: %w", to, err)
+		}
+		gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
+		t.conns[to] = gc
+	}
+	t.mu.Unlock()
+
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if err := gc.enc.Encode(env); err != nil {
+		// Connection broke; forget it so the next Send redials.
+		t.mu.Lock()
+		if t.conns[to] == gc {
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		_ = gc.conn.Close()
+		return fmt.Errorf("runtime: send to node %d: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	for _, gc := range t.conns {
+		_ = gc.conn.Close()
+	}
+	boxes := t.boxes
+	t.mu.Unlock()
+
+	t.wg.Wait()
+	for _, ch := range boxes {
+		close(ch)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
+
+// DefaultMaxRounds caps runaway simulations; experiments override it when a
+// topology legitimately needs more (e.g. uniform AG on the barbell).
+const DefaultMaxRounds = 1 << 20
+
+// ErrRoundLimit is returned (wrapped) by Run when the protocol did not
+// complete within the configured round budget.
+var ErrRoundLimit = errors.New("sim: round limit exceeded")
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Protocol is the protocol name.
+	Protocol string
+	// Graph is the topology name.
+	Graph string
+	// Model is the time model the run used.
+	Model core.TimeModel
+	// Rounds is the stopping time in rounds (the paper's unit). In the
+	// asynchronous model this is ⌈timeslots/n⌉.
+	Rounds int
+	// Timeslots is the stopping time in timeslots (asynchronous model
+	// only; in the synchronous model it equals n·Rounds by convention).
+	Timeslots int
+	// Completed reports whether the protocol finished within the budget.
+	Completed bool
+}
+
+// String renders a compact one-line summary.
+func (r Result) String() string {
+	status := "done"
+	if !r.Completed {
+		status = "TIMEOUT"
+	}
+	return fmt.Sprintf("%s on %s [%s]: %d rounds (%s)",
+		r.Protocol, r.Graph, r.Model, r.Rounds, status)
+}
+
+// Engine drives one protocol over one graph under one time model with a
+// deterministic scheduling RNG. Engines are single-use: construct, Run,
+// discard.
+type Engine struct {
+	g         *graph.Graph
+	model     core.TimeModel
+	proto     Protocol
+	rng       *rand.Rand
+	maxRounds int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMaxRounds overrides the round budget.
+func WithMaxRounds(rounds int) Option {
+	return func(e *Engine) { e.maxRounds = rounds }
+}
+
+// New returns an Engine for the given graph, time model and protocol.
+// schedSeed feeds the scheduling RNG (asynchronous wakeup order); protocol
+// randomness is owned by the protocol itself.
+func New(g *graph.Graph, model core.TimeModel, proto Protocol, schedSeed uint64, opts ...Option) *Engine {
+	e := &Engine{
+		g:         g,
+		model:     model,
+		proto:     proto,
+		rng:       core.NewRand(schedSeed),
+		maxRounds: DefaultMaxRounds,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Run executes the simulation until the protocol reports Done or the round
+// budget is exhausted, returning the stopping time. The error wraps
+// ErrRoundLimit on timeout; the Result is valid either way.
+func (e *Engine) Run() (Result, error) {
+	res := Result{
+		Protocol: e.proto.Name(),
+		Graph:    e.g.Name(),
+		Model:    e.model,
+	}
+	switch e.model {
+	case core.Synchronous:
+		rounds, done := e.runSync()
+		res.Rounds = rounds
+		res.Timeslots = rounds * e.g.N()
+		res.Completed = done
+	case core.Asynchronous:
+		slots, done := e.runAsync()
+		res.Timeslots = slots
+		res.Rounds = (slots + e.g.N() - 1) / e.g.N()
+		res.Completed = done
+	default:
+		return res, fmt.Errorf("sim: unknown time model %v", e.model)
+	}
+	if !res.Completed {
+		return res, fmt.Errorf("sim: %s on %s after %d rounds: %w",
+			res.Protocol, res.Graph, res.Rounds, ErrRoundLimit)
+	}
+	return res, nil
+}
+
+// runSync executes synchronous rounds: every node wakes exactly once per
+// round; the protocol stages deliveries and applies them in EndRound.
+func (e *Engine) runSync() (rounds int, done bool) {
+	n := e.g.N()
+	for round := 0; round < e.maxRounds; round++ {
+		if e.proto.Done() {
+			return round, true
+		}
+		e.proto.BeginRound(round)
+		for v := 0; v < n; v++ {
+			e.proto.OnWake(core.NodeID(v))
+		}
+		e.proto.EndRound(round)
+	}
+	return e.maxRounds, e.proto.Done()
+}
+
+// runAsync executes asynchronous timeslots: one uniformly random node wakes
+// per slot; deliveries apply immediately.
+func (e *Engine) runAsync() (timeslots int, done bool) {
+	n := e.g.N()
+	budget := e.maxRounds * n
+	for slot := 0; slot < budget; slot++ {
+		if e.proto.Done() {
+			return slot, true
+		}
+		e.proto.OnWake(core.NodeID(e.rng.IntN(n)))
+	}
+	return budget, e.proto.Done()
+}

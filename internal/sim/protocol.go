@@ -1,0 +1,62 @@
+// Package sim is the discrete-event gossip simulation engine. It implements
+// the two time models of the paper (Section 2):
+//
+//   - Synchronous: in every round, every node takes an action and selects a
+//     single communication partner; information received in a round becomes
+//     usable only at the beginning of the next round. The engine enforces
+//     this by calling BeginRound / EndRound around the per-node wakeups, and
+//     protocols stage their deliveries until EndRound.
+//   - Asynchronous: at every timeslot, one node selected independently and
+//     uniformly at random takes an action; n consecutive timeslots count as
+//     one round. Deliveries apply immediately.
+//
+// Partner selection is factored out into PartnerSelector (the paper's
+// "gossip communication model"): uniform gossip, round-robin (quasirandom)
+// gossip, and the fixed-parent selection used by TAG's Phase 2.
+package sim
+
+import "algossip/internal/core"
+
+// Protocol is a gossip protocol driven by the engine. A protocol owns all
+// per-node state; the engine only decides who wakes up when.
+//
+// Implementations must tolerate OnWake being called for any node at any
+// time (the engine's scheduling is the only contract), and must make
+// synchronous-model staging decisions based on the TimeModel they were
+// constructed with.
+type Protocol interface {
+	// Name identifies the protocol in results and traces.
+	Name() string
+	// OnWake is invoked when node v takes an action: v selects a partner
+	// and communicates according to the protocol.
+	OnWake(v core.NodeID)
+	// BeginRound is invoked before the wakeups of a synchronous round.
+	// It is never invoked in the asynchronous model.
+	BeginRound(round int)
+	// EndRound is invoked after the wakeups of a synchronous round;
+	// staged deliveries must be applied here. Never invoked in the
+	// asynchronous model.
+	EndRound(round int)
+	// Done reports whether the protocol's global task is complete (e.g.
+	// every node reached rank k). It must be cheap: the engine polls it
+	// every timeslot in the asynchronous model.
+	Done() bool
+}
+
+// Observer receives progress callbacks from protocols that support
+// per-node completion tracking. All callbacks are synchronous and must not
+// retain the arguments.
+type Observer interface {
+	// NodeDone fires once per node, when that node completes the task
+	// (reaches full rank / becomes informed), with the round number in the
+	// protocol's time model.
+	NodeDone(v core.NodeID, round int)
+}
+
+// NopObserver is an Observer that ignores all callbacks.
+type NopObserver struct{}
+
+var _ Observer = NopObserver{}
+
+// NodeDone implements Observer.
+func (NopObserver) NodeDone(core.NodeID, int) {}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
+
+// PartnerSelector is the paper's "gossip communication model": it decides
+// which neighbor a woken node contacts.
+type PartnerSelector interface {
+	// Partner returns the communication partner for a wakeup of v, or
+	// core.NilNode if v has no usable partner (e.g. an isolated node).
+	Partner(v core.NodeID, rng *rand.Rand) core.NodeID
+	// Name identifies the communication model, e.g. "uniform".
+	Name() string
+}
+
+// Uniform selects a partner uniformly at random among all neighbors
+// (Definition 1, uniform gossip).
+type Uniform struct {
+	g *graph.Graph
+}
+
+var _ PartnerSelector = (*Uniform)(nil)
+
+// NewUniform returns a uniform selector over g.
+func NewUniform(g *graph.Graph) *Uniform { return &Uniform{g: g} }
+
+// Partner implements PartnerSelector.
+func (u *Uniform) Partner(v core.NodeID, rng *rand.Rand) core.NodeID {
+	nb := u.g.Neighbors(v)
+	if len(nb) == 0 {
+		return core.NilNode
+	}
+	return nb[rng.IntN(len(nb))]
+}
+
+// Name implements PartnerSelector.
+func (u *Uniform) Name() string { return "uniform" }
+
+// RoundRobin selects partners according to a fixed cyclic list of each
+// node's neighbors, with a uniformly random initial position (Definition 2;
+// the quasirandom rumor-spreading model). It is stateful: each call for
+// node v advances v's cursor.
+type RoundRobin struct {
+	g      *graph.Graph
+	cursor []int
+	seeded []bool
+}
+
+var _ PartnerSelector = (*RoundRobin)(nil)
+
+// NewRoundRobin returns a round-robin selector over g. Each node's initial
+// list position is drawn uniformly on its first wakeup.
+func NewRoundRobin(g *graph.Graph) *RoundRobin {
+	return &RoundRobin{
+		g:      g,
+		cursor: make([]int, g.N()),
+		seeded: make([]bool, g.N()),
+	}
+}
+
+// Partner implements PartnerSelector.
+func (r *RoundRobin) Partner(v core.NodeID, rng *rand.Rand) core.NodeID {
+	nb := r.g.Neighbors(v)
+	if len(nb) == 0 {
+		return core.NilNode
+	}
+	if !r.seeded[v] {
+		r.cursor[v] = rng.IntN(len(nb))
+		r.seeded[v] = true
+	}
+	u := nb[r.cursor[v]]
+	r.cursor[v] = (r.cursor[v] + 1) % len(nb)
+	return u
+}
+
+// Name implements PartnerSelector.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Fixed selects a fixed partner per node — TAG's Phase 2 communication
+// model, where every node exchanges only with its spanning-tree parent.
+// Nodes mapped to core.NilNode (e.g. the root) never initiate.
+type Fixed struct {
+	partner []core.NodeID
+}
+
+var _ PartnerSelector = (*Fixed)(nil)
+
+// NewFixed returns a fixed selector with all partners unset (NilNode).
+func NewFixed(n int) *Fixed {
+	p := make([]core.NodeID, n)
+	for i := range p {
+		p[i] = core.NilNode
+	}
+	return &Fixed{partner: p}
+}
+
+// Set assigns v's fixed partner.
+func (f *Fixed) Set(v, partner core.NodeID) { f.partner[v] = partner }
+
+// Get returns v's fixed partner (NilNode if unset).
+func (f *Fixed) Get(v core.NodeID) core.NodeID { return f.partner[v] }
+
+// Partner implements PartnerSelector.
+func (f *Fixed) Partner(v core.NodeID, _ *rand.Rand) core.NodeID {
+	return f.partner[v]
+}
+
+// Name implements PartnerSelector.
+func (f *Fixed) Name() string { return "fixed" }

@@ -1,0 +1,142 @@
+// Package simtest provides a reusable conformance suite for sim.Protocol
+// implementations. Every gossip protocol in this repository runs the same
+// checks: completion under both time models, determinism under fixed seeds,
+// monotone Done, tolerance of arbitrary wakeup orders, and round-staging
+// discipline in the synchronous model. New protocols get the whole battery
+// by providing a Factory.
+package simtest
+
+import (
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+	"algossip/internal/sim"
+)
+
+// Factory builds a fresh protocol instance over g for one conformance run.
+// Implementations must seed whatever initial state the protocol needs
+// (messages, origins) before returning.
+type Factory func(g *graph.Graph, model core.TimeModel, seed uint64) sim.Protocol
+
+// Run executes the full conformance battery against the factory.
+func Run(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	t.Run(name+"/completes", func(t *testing.T) { checkCompletes(t, factory) })
+	t.Run(name+"/deterministic", func(t *testing.T) { checkDeterministic(t, factory) })
+	t.Run(name+"/done-monotone", func(t *testing.T) { checkDoneMonotone(t, factory) })
+	t.Run(name+"/arbitrary-wakeups", func(t *testing.T) { checkArbitraryWakeups(t, factory) })
+	t.Run(name+"/sync-staging", func(t *testing.T) { checkSyncStaging(t, factory) })
+}
+
+func conformanceGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		graph.Line(12),
+		graph.Complete(10),
+		graph.Barbell(12),
+		graph.Grid(3, 4),
+	}
+}
+
+// checkCompletes: the protocol finishes within the engine budget on every
+// topology and time model.
+func checkCompletes(t *testing.T, factory Factory) {
+	t.Helper()
+	for _, g := range conformanceGraphs() {
+		for _, model := range []core.TimeModel{core.Synchronous, core.Asynchronous} {
+			p := factory(g, model, 11)
+			res, err := sim.New(g, model, p, 12, sim.WithMaxRounds(1<<17)).Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", g.Name(), model, err)
+			}
+			if !p.Done() {
+				t.Fatalf("%s/%s: engine reported done but protocol disagrees", g.Name(), model)
+			}
+			if res.Rounds < 0 {
+				t.Fatalf("%s/%s: negative rounds", g.Name(), model)
+			}
+		}
+	}
+}
+
+// checkDeterministic: identical seeds produce identical stopping times.
+func checkDeterministic(t *testing.T, factory Factory) {
+	t.Helper()
+	g := graph.Grid(3, 4)
+	for _, model := range []core.TimeModel{core.Synchronous, core.Asynchronous} {
+		run := func() int {
+			p := factory(g, model, 21)
+			res, err := sim.New(g, model, p, 22, sim.WithMaxRounds(1<<17)).Run()
+			if err != nil {
+				t.Fatalf("%s: %v", model, err)
+			}
+			return res.Rounds
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("%s: same seed gave %d and %d rounds", model, a, b)
+		}
+	}
+}
+
+// checkDoneMonotone: once Done reports true it stays true, even under
+// further wakeups.
+func checkDoneMonotone(t *testing.T, factory Factory) {
+	t.Helper()
+	g := graph.Complete(10)
+	p := factory(g, core.Asynchronous, 31)
+	if _, err := sim.New(g, core.Asynchronous, p, 32, sim.WithMaxRounds(1<<17)).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() {
+		t.Fatal("not done after run")
+	}
+	for i := 0; i < 50; i++ {
+		p.OnWake(core.NodeID(i % g.N()))
+		if !p.Done() {
+			t.Fatal("Done became false after extra wakeups")
+		}
+	}
+}
+
+// checkArbitraryWakeups: protocols must tolerate any wakeup order without
+// panicking, including repeated wakeups of a single node (asynchronous
+// model semantics put no constraints on the schedule).
+func checkArbitraryWakeups(t *testing.T, factory Factory) {
+	t.Helper()
+	g := graph.Barbell(12)
+	p := factory(g, core.Asynchronous, 41)
+	// Hammer one node, then round-robin, then a fixed odd pattern.
+	for i := 0; i < 200; i++ {
+		p.OnWake(0)
+	}
+	for i := 0; i < 200; i++ {
+		p.OnWake(core.NodeID(i % g.N()))
+	}
+	for i := 0; i < 200; i++ {
+		p.OnWake(core.NodeID((i * 7) % g.N()))
+	}
+	_ = p.Done()
+}
+
+// checkSyncStaging: in the synchronous model, wakeups between BeginRound
+// and EndRound must not make Done flip mid-round (information becomes
+// usable only at the end of the round).
+func checkSyncStaging(t *testing.T, factory Factory) {
+	t.Helper()
+	g := graph.Complete(8)
+	p := factory(g, core.Synchronous, 51)
+	for round := 0; round < 1<<15 && !p.Done(); round++ {
+		p.BeginRound(round)
+		doneAtStart := p.Done()
+		for v := 0; v < g.N(); v++ {
+			p.OnWake(core.NodeID(v))
+			if p.Done() != doneAtStart {
+				t.Fatalf("Done flipped mid-round %d: staging discipline violated", round)
+			}
+		}
+		p.EndRound(round)
+	}
+	if !p.Done() {
+		t.Fatal("protocol never completed under manual synchronous driving")
+	}
+}

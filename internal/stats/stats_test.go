@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"algossip/internal/core"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if sd := StdDev(xs); !almost(sd, 2.138089935299395, 1e-9) {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("StdDev of singleton must be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); !almost(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almost(s.Median, 3, 1e-12) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2 := LinearFit(x, y)
+	if !almost(a, 1, 1e-9) || !almost(b, 2, 1e-9) || !almost(r2, 1, 1e-9) {
+		t.Errorf("fit = (%v, %v, %v)", a, b, r2)
+	}
+}
+
+func TestPowerFitRecoversExponent(t *testing.T) {
+	// y = 3 x^2 with mild noise.
+	rng := core.NewRand(5)
+	var x, y []float64
+	for n := 10.0; n <= 200; n += 10 {
+		x = append(x, n)
+		noise := 1 + 0.02*(rng.Float64()-0.5)
+		y = append(y, 3*n*n*noise)
+	}
+	a, b, r2 := PowerFit(x, y)
+	if !almost(b, 2, 0.05) {
+		t.Errorf("exponent = %v, want ~2", b)
+	}
+	if !almost(a, 3, 0.5) {
+		t.Errorf("prefactor = %v, want ~3", a)
+	}
+	if r2 < 0.99 {
+		t.Errorf("r2 = %v", r2)
+	}
+}
+
+func TestPowerFitRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PowerFit([]float64{1, -2}, []float64{1, 2})
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := core.NewRand(7)
+	sample := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return xs
+	}
+	small := CI95(sample(20))
+	large := CI95(sample(2000))
+	if large >= small {
+		t.Errorf("CI did not shrink: n=20 -> %v, n=2000 -> %v", small, large)
+	}
+}
+
+// Property: mean is within [min, max], and quantiles are monotone in q.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := core.NewRand(seed)
+		n := 2 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.P90 && s.P90 <= s.Max
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package trace records per-node protocol progress for post-hoc analysis:
+// which node completed at which round, the completion CDF, and CSV export
+// for plotting the paper's per-node dissemination curves.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"algossip/internal/core"
+	"algossip/internal/sim"
+	"algossip/internal/stats"
+)
+
+// Event is one recorded completion.
+type Event struct {
+	// Node is the completing node.
+	Node core.NodeID
+	// Round is the round (in the protocol's time model) of completion.
+	Round int
+}
+
+// Recorder collects completion events. It implements sim.Observer and is
+// safe for concurrent use (the concurrent runtime may call it from many
+// goroutines).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ sim.Observer = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NodeDone implements sim.Observer.
+func (r *Recorder) NodeDone(v core.NodeID, round int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{Node: v, Round: round})
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// CompletionRounds returns the sorted completion rounds.
+func (r *Recorder) CompletionRounds() []float64 {
+	events := r.Events()
+	out := make([]float64, len(events))
+	for i, e := range events {
+		out[i] = float64(e.Round)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Summary condenses the completion rounds (mean, median, p90, max — the
+// max is the protocol's stopping time).
+func (r *Recorder) Summary() (stats.Summary, error) {
+	rounds := r.CompletionRounds()
+	if len(rounds) == 0 {
+		return stats.Summary{}, fmt.Errorf("trace: no events recorded")
+	}
+	return stats.Summarize(rounds), nil
+}
+
+// CDF returns (round, fraction-complete) pairs: after `round` rounds,
+// `fraction` of the nodes had completed. Useful for plotting dissemination
+// curves.
+func (r *Recorder) CDF() []struct {
+	Round    int
+	Fraction float64
+} {
+	rounds := r.CompletionRounds()
+	type point = struct {
+		Round    int
+		Fraction float64
+	}
+	var out []point
+	n := len(rounds)
+	for i, rd := range rounds {
+		if len(out) > 0 && out[len(out)-1].Round == int(rd) {
+			out[len(out)-1].Fraction = float64(i+1) / float64(n)
+			continue
+		}
+		out = append(out, point{Round: int(rd), Fraction: float64(i+1) / float64(n)})
+	}
+	return out
+}
+
+// WriteCSV writes "node,round" rows in arrival order.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "round"}); err != nil {
+		return err
+	}
+	for _, e := range r.Events() {
+		if err := cw.Write([]string{strconv.Itoa(int(e.Node)), strconv.Itoa(e.Round)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+	"algossip/internal/gossip/algebraic"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.NodeDone(3, 5)
+	r.NodeDone(1, 2)
+	r.NodeDone(2, 5)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	rounds := r.CompletionRounds()
+	want := []float64{2, 5, 5}
+	for i := range want {
+		if rounds[i] != want[i] {
+			t.Fatalf("CompletionRounds = %v", rounds)
+		}
+	}
+	s, err := r.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Max != 5 || s.Min != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	if _, err := NewRecorder().Summary(); err == nil {
+		t.Fatal("empty summary must error")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	r := NewRecorder()
+	r.NodeDone(0, 1)
+	r.NodeDone(1, 1)
+	r.NodeDone(2, 4)
+	cdf := r.CDF()
+	if len(cdf) != 2 {
+		t.Fatalf("CDF = %+v", cdf)
+	}
+	if cdf[0].Round != 1 || cdf[0].Fraction < 0.66 || cdf[0].Fraction > 0.67 {
+		t.Fatalf("CDF[0] = %+v", cdf[0])
+	}
+	if cdf[1].Round != 4 || cdf[1].Fraction != 1 {
+		t.Fatalf("CDF[1] = %+v", cdf[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.NodeDone(7, 3)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "node,round") || !strings.Contains(out, "7,3") {
+		t.Fatalf("CSV output:\n%s", out)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.NodeDone(core.NodeID(i), i)
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", r.Len())
+	}
+}
+
+// TestRecorderWiredIntoProtocol runs a real simulation with the recorder as
+// observer and cross-checks the recorded stopping time with the engine's.
+func TestRecorderWiredIntoProtocol(t *testing.T) {
+	g := graph.Grid(4, 4)
+	rec := NewRecorder()
+	p, err := algebraic.New(g, core.Synchronous, sim.NewUniform(g),
+		algebraic.Config{RLNC: rlnc.Config{Field: gf.MustNew(2), K: 8, RankOnly: true}},
+		core.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetObserver(rec)
+	if err := p.SeedAll(algebraic.RoundRobinAssign(8, 16), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.New(g, core.Synchronous, p, 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != g.N() {
+		t.Fatalf("recorded %d completions, want %d", rec.Len(), g.N())
+	}
+	s, err := rec.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine's reported stopping time is the round after the last
+	// completion lands (Done is checked at round start).
+	if int(s.Max) > res.Rounds {
+		t.Fatalf("last completion at round %v, engine reported %d", s.Max, res.Rounds)
+	}
+	cdf := r0cdf(rec)
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatal("CDF must end at 1")
+	}
+}
+
+func r0cdf(r *Recorder) []struct {
+	Round    int
+	Fraction float64
+} {
+	return r.CDF()
+}
