@@ -2,10 +2,15 @@
 // family and writes a CSV of stopping times, suitable for plotting the
 // paper's scaling curves (rounds vs n, rounds vs k).
 //
+// Trials are independent simulations with independently derived seeds, so
+// the sweep fans them out across a worker pool (-parallel, defaulting to
+// all cores) and still writes rows in deterministic (size, trial) order —
+// the CSV is byte-identical for any worker count.
+//
 // Usage:
 //
 //	sweep -graph barbell -protocol ag -sizes 16,32,64,128 -trials 5 -out barbell_ag.csv
-//	sweep -graph line -protocol tag -kmode n -sizes 32,64,128
+//	sweep -graph line -protocol tag -kmode n -sizes 32,64,128 -parallel 8
 package main
 
 import (
@@ -14,8 +19,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"algossip"
 	"algossip/internal/core"
@@ -30,6 +38,11 @@ func main() {
 	}
 }
 
+// job is one simulation of the sweep grid: size index si, trial index.
+type job struct {
+	si, trial int
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
@@ -41,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 		q         = fs.Int("q", 2, "field order")
 		trials    = fs.Int("trials", 3, "trials per size")
 		seed      = fs.Uint64("seed", 1, "root seed")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (<=1 runs sequentially)")
 		out       = fs.String("out", "", "output CSV path (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -58,7 +72,29 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *trials < 1 {
+		return fmt.Errorf("trials must be positive, got %d", *trials)
+	}
 
+	// Build every (graph, k) cell up front; graph construction draws from
+	// its own seed stream, so doing it here keeps trial workers pure.
+	graphs := make([]*graph.Graph, len(sizes))
+	ks := make([]int, len(sizes))
+	for si, n := range sizes {
+		g, err := graph.FromName(*graphName, n, core.NewRand(core.SplitSeed(*seed, 999)))
+		if err != nil {
+			return err
+		}
+		k, err := pickK(*kmode, g.N())
+		if err != nil {
+			return err
+		}
+		graphs[si] = g
+		ks[si] = k
+	}
+
+	// Open the output before spending any compute, so an unwritable path
+	// fails immediately instead of after the whole grid has run.
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -78,32 +114,74 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	for _, n := range sizes {
-		g, err := graph.FromName(*graphName, n, core.NewRand(core.SplitSeed(*seed, 999)))
-		if err != nil {
-			return err
-		}
-		k, err := pickK(*kmode, g.N())
-		if err != nil {
-			return err
-		}
-		var rounds []float64
+	// Fan the (size, trial) grid out over the worker pool. Every trial's
+	// seed depends only on (n, trial), so results are identical to the
+	// sequential sweep for any worker count.
+	jobs := make([]job, 0, len(sizes)**trials)
+	for si := range sizes {
 		for i := 0; i < *trials; i++ {
-			res, err := algossip.Run(algossip.Spec{
-				Graph: g, K: k, Protocol: proto, Model: model, Q: *q,
-			}, core.SplitSeed(*seed, uint64(n*1000+i)))
-			if err != nil {
-				return err
-			}
-			rounds = append(rounds, float64(res.Rounds))
-			rec := []string{g.Name(), proto.String(), model.String(),
-				strconv.Itoa(g.N()), strconv.Itoa(k), strconv.Itoa(i),
-				strconv.Itoa(res.Rounds)}
-			if err := cw.Write(rec); err != nil {
-				return err
-			}
+			jobs = append(jobs, job{si: si, trial: i})
 		}
-		fmt.Fprintf(os.Stderr, "n=%-5d k=%-5d %s\n", g.N(), k, stats.Summarize(rounds))
+	}
+	rounds := make([]int, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range next {
+				j := jobs[ji]
+				g := graphs[j.si]
+				res, err := algossip.Run(algossip.Spec{
+					Graph: g, K: ks[j.si], Protocol: proto, Model: model, Q: *q,
+				}, core.SplitSeed(*seed, uint64(sizes[j.si]*1000+j.trial)))
+				rounds[ji] = res.Rounds
+				errs[ji] = err
+				if err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for ji := range jobs {
+		if failed.Load() {
+			break // an error is config-shaped; don't burn the rest of the grid
+		}
+		next <- ji
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	for ji, j := range jobs {
+		g := graphs[j.si]
+		rec := []string{g.Name(), proto.String(), model.String(),
+			strconv.Itoa(g.N()), strconv.Itoa(ks[j.si]), strconv.Itoa(j.trial),
+			strconv.Itoa(rounds[ji])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for si, g := range graphs {
+		perSize := make([]float64, *trials)
+		for i := 0; i < *trials; i++ {
+			perSize[i] = float64(rounds[si**trials+i])
+		}
+		fmt.Fprintf(os.Stderr, "n=%-5d k=%-5d %s\n", g.N(), ks[si], stats.Summarize(perSize))
 	}
 	return nil
 }

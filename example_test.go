@@ -28,11 +28,11 @@ func Example() {
 func ExampleDisseminate() {
 	g := algossip.Ring(8)
 	msgs := []algossip.Message{
-		{Index: 0, Payload: []algossip.Elem{'g'}},
-		{Index: 1, Payload: []algossip.Elem{'o'}},
-		{Index: 2, Payload: []algossip.Elem{'s'}},
-		{Index: 3, Payload: []algossip.Elem{'s'}},
-		{Index: 4, Payload: []algossip.Elem{'!'}},
+		{Index: 0, Payload: []byte{'g'}},
+		{Index: 1, Payload: []byte{'o'}},
+		{Index: 2, Payload: []byte{'s'}},
+		{Index: 3, Payload: []byte{'s'}},
+		{Index: 4, Payload: []byte{'!'}},
 	}
 	decoded, _, err := algossip.Disseminate(g, msgs, nil, 3)
 	if err != nil {

@@ -38,7 +38,7 @@ func run() error {
 	msgs := make([]algossip.Message, n)
 	assign := make([]algossip.NodeID, n)
 	for v := 0; v < n; v++ {
-		msgs[v] = algossip.Message{Index: v, Payload: []algossip.Elem{algossip.Elem(readings[v])}}
+		msgs[v] = algossip.Message{Index: v, Payload: []byte{readings[v]}}
 		assign[v] = algossip.NodeID(v)
 	}
 
@@ -64,7 +64,7 @@ func run() error {
 		float64(minT)/10, float64(maxT)/10, float64(sum)/float64(n)/10)
 
 	for v, m := range decoded {
-		if byte(m.Payload[0]) != readings[v] {
+		if m.Payload[0] != readings[v] {
 			return fmt.Errorf("reading %d corrupted in transit", v)
 		}
 	}

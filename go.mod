@@ -1,0 +1,3 @@
+module algossip
+
+go 1.24

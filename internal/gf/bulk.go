@@ -1,0 +1,64 @@
+package gf
+
+// Bulk coding kernels: the byte-slice combine primitives behind every hot
+// RLNC path. A coded packet's payload is a row of byte-encoded field
+// elements; combining packets is dst += c*src over whole rows. Doing that
+// one Elem at a time through interface calls dominates encode/decode cost,
+// so every Field implementation also provides AddMulSlice/MulSlice over
+// []byte rows:
+//
+//   - GF(2^m): one 256-entry lookup row per coefficient (the
+//     klauspost/reedsolomon technique), so the inner loop is a table walk
+//     and XOR with no bounds checks.
+//   - c == 1 in characteristic 2: word-wise XOR via subtle.XORBytes, which
+//     the standard library implements with SIMD where available.
+//   - Prime fields: a scalar modular loop — the generic fallback.
+//
+// The []Elem AXPY/Scale entry points forward to the same kernels through a
+// zero-copy reinterpretation (Elem is a uint8), so the coefficient part of
+// Gaussian elimination gets the fast paths too.
+
+import (
+	"crypto/subtle"
+	"unsafe"
+)
+
+// asBytes reinterprets a []Elem as []byte without copying. Elem's underlying
+// type is uint8, so the layouts are identical.
+func asBytes(v []Elem) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// xorSlice performs dst[i] ^= src[i] for every index of src, word-wise.
+// len(dst) must be at least len(src).
+func xorSlice(dst, src []byte) {
+	subtle.XORBytes(dst[:len(src)], dst[:len(src)], src)
+}
+
+// mulTableSlice applies dst[i] ^= row[src[i]] with the 256-entry lookup row
+// of one coefficient. The array-pointer row lets the compiler drop every
+// bounds check (a byte index cannot exceed 255).
+func mulTableSlice(dst, src []byte, row *[256]byte) {
+	n := len(src)
+	_ = dst[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// scaleTableSlice applies v[i] = row[v[i]] in place.
+func scaleTableSlice(v []byte, row *[256]byte) {
+	for i, s := range v {
+		v[i] = row[s]
+	}
+}

@@ -54,6 +54,14 @@ type Field interface {
 	// DotProduct returns the inner product of a and b, which must have
 	// equal length.
 	DotProduct(a, b []Elem) Elem
+
+	// AddMulSlice performs dst[i] += c * src[i] over byte-encoded field
+	// elements for every index of src — the bulk combine kernel of RLNC
+	// encode and decode. len(dst) must be at least len(src), and every byte
+	// must hold a valid field element (< Order()).
+	AddMulSlice(dst, src []byte, c Elem)
+	// MulSlice performs v[i] *= c in place over byte-encoded field elements.
+	MulSlice(v []byte, c Elem)
 }
 
 // Rand returns an element of f drawn uniformly at random.
@@ -71,6 +79,16 @@ func RandVector(f Field, n int, rng *rand.Rand) []Elem {
 	v := make([]Elem, n)
 	for i := range v {
 		v[i] = Rand(f, rng)
+	}
+	return v
+}
+
+// RandBytes fills a fresh length-n byte row with uniform random elements of
+// f, one element per byte — the payload-side counterpart of RandVector.
+func RandBytes(f Field, n int, rng *rand.Rand) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(Rand(f, rng))
 	}
 	return v
 }

@@ -44,25 +44,30 @@ func (GF2) Inv(a Elem) Elem {
 	return 1
 }
 
-// AXPY performs dst[i] ^= c & src[i].
-func (GF2) AXPY(dst, src []Elem, c Elem) {
-	if c&1 == 0 {
+// AddMulSlice performs dst[i] ^= src[i] over byte rows when c == 1 (and
+// nothing when c == 0): a word-wise XOR, the GF(2) fast path.
+func (GF2) AddMulSlice(dst, src []byte, c Elem) {
+	if c&1 == 0 || len(src) == 0 {
 		return
 	}
-	_ = dst[len(src)-1]
-	for i, s := range src {
-		dst[i] ^= s & 1
+	xorSlice(dst, src)
+}
+
+// MulSlice zeroes v when c == 0 and leaves it unchanged otherwise.
+func (GF2) MulSlice(v []byte, c Elem) {
+	if c&1 == 0 {
+		clear(v)
 	}
 }
 
+// AXPY performs dst[i] ^= c & src[i] through the word-wise XOR kernel.
+func (f GF2) AXPY(dst, src []Elem, c Elem) {
+	f.AddMulSlice(asBytes(dst), asBytes(src), c)
+}
+
 // Scale zeroes v when c == 0 and leaves it unchanged otherwise.
-func (GF2) Scale(v []Elem, c Elem) {
-	if c&1 == 1 {
-		return
-	}
-	for i := range v {
-		v[i] = 0
-	}
+func (f GF2) Scale(v []Elem, c Elem) {
+	f.MulSlice(asBytes(v), c)
 }
 
 // DotProduct returns the parity of the AND of a and b.

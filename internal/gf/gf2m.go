@@ -29,6 +29,11 @@ type GF2m struct {
 	// mulTab is the full q x q multiplication table, flattened; for q <= 256
 	// this is at most 64 KiB and makes AXPY a pure table walk.
 	mulTab []Elem
+	// bulkTab holds one 256-entry lookup row per coefficient (row c maps any
+	// byte s to c*(s & mask)), the unit the byte-slice kernels walk. For
+	// q == 256 it is mulTab itself; smaller fields pad each row to 256
+	// entries so a byte index can never be out of range.
+	bulkTab []byte
 }
 
 var _ Field = (*GF2m)(nil)
@@ -83,6 +88,18 @@ func NewGF2m(m int) (*GF2m, error) {
 				continue
 			}
 			f.mulTab[a*order+b] = f.exp[int(f.log[a])+int(f.log[b])]
+		}
+	}
+
+	// Byte-kernel rows, padded to a 256-entry stride.
+	if order == 256 {
+		f.bulkTab = asBytes(f.mulTab)
+	} else {
+		f.bulkTab = make([]byte, order*256)
+		for a := 0; a < order; a++ {
+			for s := 0; s < 256; s++ {
+				f.bulkTab[a*256+s] = byte(f.mulTab[a*order+(s&int(f.mask))])
+			}
 		}
 	}
 	return f, nil
@@ -172,34 +189,45 @@ func (f *GF2m) Inv(a Elem) Elem {
 	return f.inv[a]
 }
 
-// AXPY performs dst[i] ^= c * src[i] using one row of the multiplication
-// table, which turns the inner loop into a lookup and XOR.
-func (f *GF2m) AXPY(dst, src []Elem, c Elem) {
-	if c == 0 {
-		return
-	}
-	row := f.mulTab[int(c)*f.order : int(c)*f.order+f.order]
-	_ = dst[len(src)-1]
-	for i, s := range src {
-		dst[i] ^= row[s]
-	}
+// bulkRow returns coefficient c's padded 256-entry lookup row.
+func (f *GF2m) bulkRow(c Elem) *[256]byte {
+	return (*[256]byte)(f.bulkTab[int(c)<<8:])
 }
 
-// Scale performs v[i] *= c in place.
-func (f *GF2m) Scale(v []Elem, c Elem) {
+// AddMulSlice performs dst[i] ^= c * src[i] over byte rows: a no-op for
+// c == 0, a word-wise XOR for c == 1, and a single-row table walk otherwise.
+func (f *GF2m) AddMulSlice(dst, src []byte, c Elem) {
+	if c == 0 || len(src) == 0 {
+		return
+	}
+	if c == 1 {
+		xorSlice(dst, src)
+		return
+	}
+	mulTableSlice(dst, src, f.bulkRow(c))
+}
+
+// MulSlice performs v[i] = c * v[i] in place over a byte row.
+func (f *GF2m) MulSlice(v []byte, c Elem) {
 	if c == 1 {
 		return
 	}
 	if c == 0 {
-		for i := range v {
-			v[i] = 0
-		}
+		clear(v)
 		return
 	}
-	row := f.mulTab[int(c)*f.order : int(c)*f.order+f.order]
-	for i, x := range v {
-		v[i] = row[x]
-	}
+	scaleTableSlice(v, f.bulkRow(c))
+}
+
+// AXPY performs dst[i] ^= c * src[i] through the byte kernel (Elem rows and
+// byte rows share a layout).
+func (f *GF2m) AXPY(dst, src []Elem, c Elem) {
+	f.AddMulSlice(asBytes(dst), asBytes(src), c)
+}
+
+// Scale performs v[i] *= c in place through the byte kernel.
+func (f *GF2m) Scale(v []Elem, c Elem) {
+	f.MulSlice(asBytes(v), c)
 }
 
 // DotProduct returns sum_i a[i]*b[i].

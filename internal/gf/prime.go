@@ -82,7 +82,7 @@ func (f *Prime) Inv(a Elem) Elem {
 
 // AXPY performs dst[i] = (dst[i] + c*src[i]) mod p.
 func (f *Prime) AXPY(dst, src []Elem, c Elem) {
-	if c == 0 {
+	if c == 0 || len(src) == 0 {
 		return
 	}
 	_ = dst[len(src)-1]
@@ -95,6 +95,35 @@ func (f *Prime) AXPY(dst, src []Elem, c Elem) {
 func (f *Prime) Scale(v []Elem, c Elem) {
 	for i, x := range v {
 		v[i] = Elem(int(c) * int(x) % f.p)
+	}
+}
+
+// AddMulSlice performs dst[i] = (dst[i] + c*src[i]) mod p over byte rows —
+// the generic scalar fallback for fields of odd characteristic, where
+// addition is not XOR and no table walk applies.
+func (f *Prime) AddMulSlice(dst, src []byte, c Elem) {
+	if c == 0 || len(src) == 0 {
+		return
+	}
+	_ = dst[len(src)-1]
+	ci := int(c)
+	for i, s := range src {
+		dst[i] = byte((int(dst[i]) + ci*int(s)) % f.p)
+	}
+}
+
+// MulSlice performs v[i] = c*v[i] mod p over a byte row.
+func (f *Prime) MulSlice(v []byte, c Elem) {
+	if c == 1 {
+		return
+	}
+	if c == 0 {
+		clear(v)
+		return
+	}
+	ci := int(c)
+	for i, s := range v {
+		v[i] = byte(ci * int(s) % f.p)
 	}
 }
 

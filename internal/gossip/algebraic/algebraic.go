@@ -303,10 +303,6 @@ func RandomMessages(cfg rlnc.Config, rng *rand.Rand) []rlnc.Message {
 	return msgs
 }
 
-func randVector(cfg rlnc.Config, rng *rand.Rand) []gf.Elem {
-	v := make([]gf.Elem, cfg.PayloadLen)
-	for i := range v {
-		v[i] = gf.Rand(cfg.Field, rng)
-	}
-	return v
+func randVector(cfg rlnc.Config, rng *rand.Rand) []byte {
+	return gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)
 }

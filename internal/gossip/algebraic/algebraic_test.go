@@ -317,7 +317,7 @@ func TestGenProtocolCompletes(t *testing.T) {
 		rng := core.NewRand(33)
 		msgs := make([]rlnc.Message, cfg.K)
 		for i := range msgs {
-			msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Inner.Field, 3, rng)}
+			msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Inner.Field, 3, rng)}
 		}
 		p, err := NewGen(g, model, sim.NewUniform(g), cfg, rng)
 		if err != nil {

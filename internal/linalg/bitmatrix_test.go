@@ -105,7 +105,7 @@ func TestBitMatrixAgreesWithRankMatrix(t *testing.T) {
 					ev[j] = 1
 				}
 			}
-			if bm.Add(bv) != rm.Add(ev) {
+			if bm.Add(bv) != rm.Add(ev, nil) {
 				return false
 			}
 			if bm.Rank() != rm.Rank() {
@@ -164,7 +164,7 @@ func BenchmarkRankMatrixAddGF256(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := NewRankMatrix(f, 64, 0)
 		for !m.Full() {
-			m.Add(gf.RandVector(f, 64, rng))
+			m.Add(gf.RandVector(f, 64, rng), nil)
 		}
 	}
 }

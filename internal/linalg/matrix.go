@@ -146,7 +146,7 @@ func (m *Matrix) Transpose() *Matrix {
 func (m *Matrix) Rank() int {
 	rm := NewRankMatrix(m.f, m.cols, 0)
 	for i := 0; i < m.rows; i++ {
-		rm.Add(m.Row(i))
+		rm.Add(m.Row(i), nil)
 	}
 	return rm.Rank()
 }

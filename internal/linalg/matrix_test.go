@@ -142,10 +142,11 @@ func TestDecodeIsInversion(t *testing.T) {
 	// Path 2: the incremental decoder on augmented rows.
 	rm := NewRankMatrix(f, k, r)
 	for i := 0; i < k; i++ {
-		row := make([]gf.Elem, k+r)
-		copy(row, c.Row(i))
-		copy(row[k:], y.Row(i))
-		rm.Add(row)
+		pay := make([]byte, r)
+		for j, s := range y.Row(i) {
+			pay[j] = byte(s)
+		}
+		rm.Add(c.Row(i), pay)
 	}
 	solved, err := rm.Solve()
 	if err != nil {
@@ -153,7 +154,7 @@ func TestDecodeIsInversion(t *testing.T) {
 	}
 	for i := 0; i < k; i++ {
 		for j := 0; j < r; j++ {
-			if solved[i][j] != x.At(i, j) {
+			if solved[i][j] != byte(x.At(i, j)) {
 				t.Fatalf("RankMatrix.Solve disagrees with inversion at (%d,%d)", i, j)
 			}
 		}

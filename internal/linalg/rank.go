@@ -22,21 +22,25 @@ import (
 var ErrNotFullRank = errors.New("linalg: matrix is not full rank")
 
 // RankMatrix maintains a set of rows over a finite field in row-echelon
-// form. Each row has cols coefficient entries followed by extra augmented
-// entries (the RLNC payload); elimination is driven by the coefficient part
-// only, with the augmented part carried along.
+// form. Each row has a cols-length coefficient part ([]gf.Elem, one symbol
+// per unknown) and an extra-length augmented part (a []byte payload row).
+// Elimination is driven by the coefficient part only; the payload part is
+// carried along with the bulk AddMulSlice/MulSlice kernels, so eliminating
+// a whole row costs one table walk (or word-wise XOR) instead of a
+// per-symbol scalar loop.
 //
 // The zero value is not usable; construct with NewRankMatrix.
 type RankMatrix struct {
 	f     gf.Field
 	cols  int
 	extra int
-	rows  [][]gf.Elem // echelon rows, pivot columns strictly increasing
+	rows  [][]gf.Elem // coefficient parts, pivot columns strictly increasing
+	pay   [][]byte    // augmented payload parts, parallel to rows (nil entries when extra == 0)
 	pivot []int       // pivot[i] is the pivot column of rows[i]
 }
 
 // NewRankMatrix returns an empty matrix over field f with cols coefficient
-// columns and extra augmented columns per row.
+// columns and extra augmented payload bytes per row.
 func NewRankMatrix(f gf.Field, cols, extra int) *RankMatrix {
 	if cols <= 0 {
 		panic("linalg: cols must be positive")
@@ -50,7 +54,7 @@ func NewRankMatrix(f gf.Field, cols, extra int) *RankMatrix {
 // Cols returns the number of coefficient columns (the number of unknowns).
 func (m *RankMatrix) Cols() int { return m.cols }
 
-// Extra returns the number of augmented columns per row.
+// Extra returns the number of augmented payload bytes per row.
 func (m *RankMatrix) Extra() int { return m.extra }
 
 // Width returns the total row width, cols + extra.
@@ -63,52 +67,69 @@ func (m *RankMatrix) Rank() int { return len(m.rows) }
 // solvable and the node can decode all k initial messages.
 func (m *RankMatrix) Full() bool { return len(m.rows) == m.cols }
 
-// Row returns the i-th stored echelon row. The returned slice aliases
-// internal storage and must not be modified.
+// Row returns the coefficient part of the i-th stored echelon row. The
+// returned slice aliases internal storage and must not be modified.
 func (m *RankMatrix) Row(i int) []gf.Elem { return m.rows[i] }
 
-// reduce eliminates row against the stored echelon rows in place and returns
-// the pivot column, or -1 if the coefficient part reduced to zero.
-func (m *RankMatrix) reduce(row []gf.Elem) int {
+// Payload returns the augmented payload of the i-th stored echelon row (nil
+// when extra == 0). The returned slice aliases internal storage and must
+// not be modified.
+func (m *RankMatrix) Payload(i int) []byte { return m.pay[i] }
+
+// reduce eliminates the row (coeffs, pay) against the stored echelon rows in
+// place and returns the pivot column, or -1 if the coefficient part reduced
+// to zero. A nil pay skips payload elimination (used by coefficient-only
+// queries).
+func (m *RankMatrix) reduce(coeffs []gf.Elem, pay []byte) int {
 	f := m.f
 	for i, p := range m.pivot {
-		c := row[p]
+		c := coeffs[p]
 		if c == 0 {
 			continue
 		}
 		// row -= (c / rows[i][p]) * rows[i]
-		factor := f.Div(c, m.rows[i][p])
-		f.AXPY(row, m.rows[i], f.Neg(factor))
+		factor := f.Neg(f.Div(c, m.rows[i][p]))
+		f.AXPY(coeffs, m.rows[i], factor)
+		if pay != nil {
+			f.AddMulSlice(pay, m.pay[i], factor)
+		}
 	}
 	for j := 0; j < m.cols; j++ {
-		if row[j] != 0 {
+		if coeffs[j] != 0 {
 			return j
 		}
 	}
 	return -1
 }
 
-// Add inserts the given row (length Width) if it is linearly independent of
-// the stored rows, keeping echelon form. It reports whether the rank
-// increased — i.e. whether the row was a *helpful message*. The input slice
-// is copied; the caller keeps ownership.
-func (m *RankMatrix) Add(row []gf.Elem) bool {
-	if len(row) != m.Width() {
-		panic("linalg: row width mismatch")
+// Add inserts the given row — cols coefficients plus an extra-length payload
+// (nil when extra == 0) — if it is linearly independent of the stored rows,
+// keeping echelon form. It reports whether the rank increased, i.e. whether
+// the row was a *helpful message*. Both input slices are copied; the caller
+// keeps ownership.
+func (m *RankMatrix) Add(coeffs []gf.Elem, payload []byte) bool {
+	if len(coeffs) != m.cols {
+		panic("linalg: coefficient width mismatch")
 	}
-	work := make([]gf.Elem, len(row))
-	copy(work, row)
-	p := m.reduce(work)
+	if len(payload) != m.extra {
+		panic("linalg: payload width mismatch")
+	}
+	workC := append([]gf.Elem(nil), coeffs...)
+	var workP []byte
+	if m.extra > 0 {
+		workP = append([]byte(nil), payload...)
+	}
+	p := m.reduce(workC, workP)
 	if p < 0 {
 		return false
 	}
-	m.insert(work, p)
+	m.insert(workC, workP, p)
 	return true
 }
 
 // insert places an already-reduced row with pivot column p, keeping pivots
 // strictly increasing.
-func (m *RankMatrix) insert(row []gf.Elem, p int) {
+func (m *RankMatrix) insert(coeffs []gf.Elem, pay []byte, p int) {
 	at := len(m.rows)
 	for i, q := range m.pivot {
 		if q > p {
@@ -117,10 +138,13 @@ func (m *RankMatrix) insert(row []gf.Elem, p int) {
 		}
 	}
 	m.rows = append(m.rows, nil)
+	m.pay = append(m.pay, nil)
 	m.pivot = append(m.pivot, 0)
 	copy(m.rows[at+1:], m.rows[at:])
+	copy(m.pay[at+1:], m.pay[at:])
 	copy(m.pivot[at+1:], m.pivot[at:])
-	m.rows[at] = row
+	m.rows[at] = coeffs
+	m.pay[at] = pay
 	m.pivot[at] = p
 }
 
@@ -131,33 +155,40 @@ func (m *RankMatrix) WouldHelp(coeffs []gf.Elem) bool {
 	if len(coeffs) != m.cols {
 		panic("linalg: coefficient width mismatch")
 	}
-	work := make([]gf.Elem, m.Width())
-	copy(work, coeffs)
-	return m.reduce(work) >= 0
+	work := append([]gf.Elem(nil), coeffs...)
+	return m.reduce(work, nil) >= 0
 }
 
-// RandomCombination returns a fresh row that is a uniformly random linear
-// combination of the stored rows — exactly the message an algebraic-gossip
-// node transmits. It returns nil when the matrix is empty (the node knows
-// nothing yet).
-func (m *RankMatrix) RandomCombination(rng *rand.Rand) []gf.Elem {
+// RandomCombination returns a fresh uniformly random linear combination of
+// the stored rows — exactly the message an algebraic-gossip node transmits
+// — as a coefficient vector and payload row (nil payload when extra == 0).
+// It returns (nil, nil) when the matrix is empty (the node knows nothing
+// yet).
+func (m *RankMatrix) RandomCombination(rng *rand.Rand) ([]gf.Elem, []byte) {
 	if len(m.rows) == 0 {
-		return nil
+		return nil, nil
 	}
-	out := make([]gf.Elem, m.Width())
-	for _, row := range m.rows {
+	coeffs := make([]gf.Elem, m.cols)
+	var pay []byte
+	if m.extra > 0 {
+		pay = make([]byte, m.extra)
+	}
+	for i, row := range m.rows {
 		c := gf.Rand(m.f, rng)
-		m.f.AXPY(out, row, c)
+		m.f.AXPY(coeffs, row, c)
+		if pay != nil {
+			m.f.AddMulSlice(pay, m.pay[i], c)
+		}
 	}
-	return out
+	return coeffs, pay
 }
 
 // Solve performs full back-substitution (RREF) and returns the decoded
-// augmented part: a cols x extra matrix whose i-th row is the payload of
+// payloads: a cols x extra byte matrix whose i-th row is the payload of
 // unknown i. It returns ErrNotFullRank when Rank() < Cols. The stored rows
 // are reduced in place (which preserves the row space, so further Adds
 // remain correct).
-func (m *RankMatrix) Solve() ([][]gf.Elem, error) {
+func (m *RankMatrix) Solve() ([][]byte, error) {
 	if !m.Full() {
 		return nil, ErrNotFullRank
 	}
@@ -168,20 +199,22 @@ func (m *RankMatrix) Solve() ([][]gf.Elem, error) {
 		row := m.rows[i]
 		p := m.pivot[i]
 		if c := row[p]; c != 1 {
-			f.Scale(row, f.Inv(c))
+			inv := f.Inv(c)
+			f.Scale(row, inv)
+			f.MulSlice(m.pay[i], inv)
 		}
 		for j := 0; j < i; j++ {
 			above := m.rows[j]
 			if c := above[p]; c != 0 {
-				f.AXPY(above, row, f.Neg(c))
+				nc := f.Neg(c)
+				f.AXPY(above, row, nc)
+				f.AddMulSlice(m.pay[j], m.pay[i], nc)
 			}
 		}
 	}
-	out := make([][]gf.Elem, m.cols)
+	out := make([][]byte, m.cols)
 	for i := range out {
-		payload := make([]gf.Elem, m.extra)
-		copy(payload, m.rows[i][m.cols:])
-		out[i] = payload
+		out[i] = append([]byte(nil), m.pay[i]...)
 	}
 	return out, nil
 }
@@ -193,10 +226,16 @@ func (m *RankMatrix) Clone() *RankMatrix {
 		cols:  m.cols,
 		extra: m.extra,
 		rows:  make([][]gf.Elem, len(m.rows)),
+		pay:   make([][]byte, len(m.pay)),
 		pivot: append([]int(nil), m.pivot...),
 	}
 	for i, r := range m.rows {
 		cp.rows[i] = append([]gf.Elem(nil), r...)
+	}
+	for i, r := range m.pay {
+		if r != nil {
+			cp.pay[i] = append([]byte(nil), r...)
+		}
 	}
 	return cp
 }
@@ -209,7 +248,7 @@ func Rank(f gf.Field, rows [][]gf.Elem, cols int) int {
 		if len(r) < cols {
 			panic("linalg: row shorter than cols")
 		}
-		m.Add(r[:cols])
+		m.Add(r[:cols], nil)
 	}
 	return m.Rank()
 }

@@ -9,41 +9,34 @@ import (
 	"algossip/internal/gf"
 )
 
-func unitRow(f gf.Field, cols, extra, i int, payload []gf.Elem) []gf.Elem {
-	row := make([]gf.Elem, cols+extra)
-	row[i] = 1
-	copy(row[cols:], payload)
-	return row
-}
-
 func TestRankMatrixBasic(t *testing.T) {
 	f := gf.MustNew(256)
 	m := NewRankMatrix(f, 3, 0)
 	if m.Rank() != 0 || m.Full() {
 		t.Fatal("fresh matrix should be empty")
 	}
-	if !m.Add([]gf.Elem{1, 2, 3}) {
+	if !m.Add([]gf.Elem{1, 2, 3}, nil) {
 		t.Fatal("first row must be helpful")
 	}
-	if m.Add([]gf.Elem{1, 2, 3}) {
+	if m.Add([]gf.Elem{1, 2, 3}, nil) {
 		t.Fatal("duplicate row must not be helpful")
 	}
-	if m.Add([]gf.Elem{2, 4, 6}) {
+	if m.Add([]gf.Elem{2, 4, 6}, nil) {
 		t.Fatal("scaled row must not be helpful")
 	}
-	if !m.Add([]gf.Elem{0, 1, 1}) {
+	if !m.Add([]gf.Elem{0, 1, 1}, nil) {
 		t.Fatal("independent row must be helpful")
 	}
 	if m.Rank() != 2 {
 		t.Fatalf("rank = %d, want 2", m.Rank())
 	}
-	if !m.Add([]gf.Elem{0, 0, 5}) {
+	if !m.Add([]gf.Elem{0, 0, 5}, nil) {
 		t.Fatal("third independent row must be helpful")
 	}
 	if !m.Full() {
 		t.Fatal("matrix should be full rank")
 	}
-	if m.Add([]gf.Elem{7, 7, 7}) {
+	if m.Add([]gf.Elem{7, 7, 7}, nil) {
 		t.Fatal("no row can help a full-rank matrix")
 	}
 }
@@ -51,7 +44,7 @@ func TestRankMatrixBasic(t *testing.T) {
 func TestRankMatrixZeroRow(t *testing.T) {
 	f := gf.MustNew(4)
 	m := NewRankMatrix(f, 4, 0)
-	if m.Add(make([]gf.Elem, 4)) {
+	if m.Add(make([]gf.Elem, 4), nil) {
 		t.Fatal("zero row must not increase rank")
 	}
 }
@@ -59,7 +52,7 @@ func TestRankMatrixZeroRow(t *testing.T) {
 func TestRankMatrixWouldHelp(t *testing.T) {
 	f := gf.MustNew(16)
 	m := NewRankMatrix(f, 3, 2)
-	m.Add([]gf.Elem{1, 1, 0, 9, 9})
+	m.Add([]gf.Elem{1, 1, 0}, []byte{9, 9})
 	if !m.WouldHelp([]gf.Elem{0, 1, 1}) {
 		t.Fatal("independent coeffs should help")
 	}
@@ -79,9 +72,9 @@ func TestSolveRoundTrip(t *testing.T) {
 		t.Run(f.Name(), func(t *testing.T) {
 			rng := core.NewRand(99)
 			const k, r = 8, 5
-			msgs := make([][]gf.Elem, k)
+			msgs := make([][]byte, k)
 			for i := range msgs {
-				msgs[i] = gf.RandVector(f, r, rng)
+				msgs[i] = gf.RandBytes(f, r, rng)
 			}
 			m := NewRankMatrix(f, k, r)
 			guard := 0
@@ -91,12 +84,11 @@ func TestSolveRoundTrip(t *testing.T) {
 					t.Fatal("decoder did not reach full rank")
 				}
 				coeffs := gf.RandVector(f, k, rng)
-				row := make([]gf.Elem, k+r)
-				copy(row, coeffs)
+				pay := make([]byte, r)
 				for i, c := range coeffs {
-					f.AXPY(row[k:], msgs[i], c)
+					f.AddMulSlice(pay, msgs[i], c)
 				}
-				m.Add(row)
+				m.Add(coeffs, pay)
 			}
 			got, err := m.Solve()
 			if err != nil {
@@ -117,7 +109,7 @@ func TestSolveRoundTrip(t *testing.T) {
 func TestSolveNotFullRank(t *testing.T) {
 	f := gf.MustNew(2)
 	m := NewRankMatrix(f, 3, 1)
-	m.Add([]gf.Elem{1, 0, 0, 1})
+	m.Add([]gf.Elem{1, 0, 0}, []byte{1})
 	if _, err := m.Solve(); !errors.Is(err, ErrNotFullRank) {
 		t.Fatalf("Solve on deficient matrix: err = %v, want ErrNotFullRank", err)
 	}
@@ -130,15 +122,17 @@ func TestRandomCombinationStaysInRowSpace(t *testing.T) {
 	rng := core.NewRand(5)
 	m := NewRankMatrix(f, 6, 3)
 	for i := 0; i < 4; i++ {
-		row := gf.RandVector(f, 9, rng)
-		m.Add(row)
+		m.Add(gf.RandVector(f, 6, rng), gf.RandBytes(f, 3, rng))
 	}
 	for trial := 0; trial < 200; trial++ {
-		combo := m.RandomCombination(rng)
-		if combo == nil {
+		coeffs, pay := m.RandomCombination(rng)
+		if coeffs == nil {
 			t.Fatal("combination from non-empty matrix is nil")
 		}
-		if m.WouldHelp(combo[:6]) {
+		if len(pay) != 3 {
+			t.Fatalf("combination payload length = %d, want 3", len(pay))
+		}
+		if m.WouldHelp(coeffs) {
 			t.Fatal("a node's own combination can never be helpful to itself")
 		}
 	}
@@ -147,7 +141,7 @@ func TestRandomCombinationStaysInRowSpace(t *testing.T) {
 func TestRandomCombinationEmpty(t *testing.T) {
 	f := gf.MustNew(4)
 	m := NewRankMatrix(f, 3, 0)
-	if m.RandomCombination(core.NewRand(1)) != nil {
+	if coeffs, pay := m.RandomCombination(core.NewRand(1)); coeffs != nil || pay != nil {
 		t.Fatal("empty matrix must emit nil")
 	}
 }
@@ -163,7 +157,7 @@ func TestRankInvariantQuick(t *testing.T) {
 		m := NewRankMatrix(f, cols, 0)
 		added := 0
 		for i := 0; i < 20; i++ {
-			m.Add(gf.RandVector(f, cols, r))
+			m.Add(gf.RandVector(f, cols, r), nil)
 			added++
 			if m.Rank() > added || m.Rank() > cols {
 				return false
@@ -171,8 +165,8 @@ func TestRankInvariantQuick(t *testing.T) {
 		}
 		// Adding a combination of existing rows must never change the rank.
 		before := m.Rank()
-		if combo := m.RandomCombination(rng); combo != nil {
-			m.Add(combo)
+		if coeffs, pay := m.RandomCombination(rng); coeffs != nil {
+			m.Add(coeffs, pay)
 		}
 		return m.Rank() == before
 	}
@@ -196,9 +190,9 @@ func TestRankFunction(t *testing.T) {
 func TestClone(t *testing.T) {
 	f := gf.MustNew(256)
 	m := NewRankMatrix(f, 4, 2)
-	m.Add([]gf.Elem{1, 2, 3, 4, 5, 6})
+	m.Add([]gf.Elem{1, 2, 3, 4}, []byte{5, 6})
 	cp := m.Clone()
-	cp.Add([]gf.Elem{0, 1, 0, 0, 7, 8})
+	cp.Add([]gf.Elem{0, 1, 0, 0}, []byte{7, 8})
 	if m.Rank() != 1 || cp.Rank() != 2 {
 		t.Fatalf("clone not independent: ranks %d, %d", m.Rank(), cp.Rank())
 	}
@@ -212,7 +206,18 @@ func TestAddPanicsOnWidthMismatch(t *testing.T) {
 			t.Error("expected panic on width mismatch")
 		}
 	}()
-	m.Add([]gf.Elem{1, 2})
+	m.Add([]gf.Elem{1, 2}, []byte{0})
+}
+
+func TestAddPanicsOnPayloadMismatch(t *testing.T) {
+	f := gf.MustNew(2)
+	m := NewRankMatrix(f, 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on payload width mismatch")
+		}
+	}()
+	m.Add([]gf.Elem{1, 0, 0}, []byte{0})
 }
 
 // TestSolveAfterPartialThenMore ensures Solve's in-place reduction preserves
@@ -221,18 +226,17 @@ func TestSolveIdempotent(t *testing.T) {
 	f := gf.MustNew(256)
 	rng := core.NewRand(77)
 	const k, r = 5, 3
-	msgs := make([][]gf.Elem, k)
+	msgs := make([][]byte, k)
 	for i := range msgs {
-		msgs[i] = gf.RandVector(f, r, rng)
+		msgs[i] = gf.RandBytes(f, r, rng)
 	}
-	emit := func() []gf.Elem {
+	emit := func() ([]gf.Elem, []byte) {
 		coeffs := gf.RandVector(f, k, rng)
-		row := make([]gf.Elem, k+r)
-		copy(row, coeffs)
+		pay := make([]byte, r)
 		for i, c := range coeffs {
-			f.AXPY(row[k:], msgs[i], c)
+			f.AddMulSlice(pay, msgs[i], c)
 		}
-		return row
+		return coeffs, pay
 	}
 	m := NewRankMatrix(f, k, r)
 	for m.Rank() < k-1 {

@@ -1,0 +1,98 @@
+package rlnc
+
+import (
+	"fmt"
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+)
+
+// Scalar-vs-bulk at the packet level: BenchmarkEncodeScalar combines k
+// payload rows one symbol at a time through Field.Mul/Add (the pre-kernel
+// hot path), BenchmarkEncodeBulk is Node.Emit on the same configuration.
+// BenchmarkDecode measures filling a fresh node to full rank and solving.
+
+func benchNode(b *testing.B, k, r int) (*Node, [][]byte) {
+	b.Helper()
+	cfg := Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
+	rng := core.NewRand(3)
+	src := MustNewNode(cfg)
+	payloads := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		payloads[i] = gf.RandBytes(cfg.Field, r, rng)
+		src.Seed(Message{Index: i, Payload: payloads[i]})
+	}
+	return src, payloads
+}
+
+func BenchmarkEncodeScalar(b *testing.B) {
+	for _, r := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("k=32,r=%d", r), func(b *testing.B) {
+			f := gf.MustNew(256)
+			_, payloads := benchNode(b, 32, r)
+			rng := core.NewRand(5)
+			out := make([]byte, r)
+			b.SetBytes(int64(32 * r))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clear(out)
+				for _, p := range payloads {
+					c := gf.Rand(f, rng)
+					if c == 0 {
+						continue
+					}
+					for j, s := range p {
+						out[j] = byte(f.Add(gf.Elem(out[j]), f.Mul(c, gf.Elem(s))))
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeBulk(b *testing.B) {
+	for _, r := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("k=32,r=%d", r), func(b *testing.B) {
+			src, _ := benchNode(b, 32, r)
+			rng := core.NewRand(5)
+			b.SetBytes(int64(32 * r))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if src.Emit(rng) == nil {
+					b.Fatal("nil packet")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for _, r := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("k=32,r=%d", r), func(b *testing.B) {
+			cfg := Config{Field: gf.MustNew(256), K: 32, PayloadLen: r}
+			src, _ := benchNode(b, 32, r)
+			rng := core.NewRand(7)
+			// Pre-generate more packets than needed so every iteration
+			// decodes from the same stream without re-emitting.
+			pkts := make([]*Packet, 0, 64)
+			for len(pkts) < 64 {
+				pkts = append(pkts, src.Emit(rng))
+			}
+			b.SetBytes(int64(32 * r))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst := MustNewNode(cfg)
+				for _, p := range pkts {
+					if dst.CanDecode() {
+						break
+					}
+					dst.Receive(p)
+				}
+				if _, err := dst.Decode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,8 +3,6 @@ package rlnc
 import (
 	"encoding/binary"
 	"fmt"
-
-	"algossip/internal/gf"
 )
 
 // SplitBytes chunks arbitrary data into k messages of payloadLen GF(256)
@@ -23,11 +21,7 @@ func SplitBytes(data []byte, k, payloadLen int) ([]Message, error) {
 	copy(buf[header:], data)
 	msgs := make([]Message, k)
 	for i := range msgs {
-		payload := make([]gf.Elem, payloadLen)
-		for j := 0; j < payloadLen; j++ {
-			payload[j] = gf.Elem(buf[i*payloadLen+j])
-		}
-		msgs[i] = Message{Index: i, Payload: payload}
+		msgs[i] = Message{Index: i, Payload: buf[i*payloadLen : (i+1)*payloadLen : (i+1)*payloadLen]}
 	}
 	return msgs, nil
 }
@@ -52,9 +46,7 @@ func JoinBytes(msgs []Message) ([]byte, error) {
 		if len(m.Payload) != payloadLen {
 			return nil, fmt.Errorf("rlnc: inconsistent payload length")
 		}
-		for j, s := range m.Payload {
-			buf[m.Index*payloadLen+j] = byte(s)
-		}
+		copy(buf[m.Index*payloadLen:], m.Payload)
 	}
 	for i, ok := range seen {
 		if !ok {

@@ -49,7 +49,7 @@ func FuzzDecoderNeverPanics(f *testing.F) {
 		for i := 0; i+k+r <= len(raw); i += k + r {
 			pkt := &Packet{
 				Coeffs:  bytesToElems(raw[i : i+k]),
-				Payload: bytesToElems(raw[i+k : i+k+r]),
+				Payload: append([]byte(nil), raw[i+k:i+k+r]...),
 			}
 			n.Receive(pkt)
 			if n.Rank() < 0 || n.Rank() > k {
@@ -60,7 +60,7 @@ func FuzzDecoderNeverPanics(f *testing.F) {
 		rng := core.NewRand(seed)
 		src := MustNewNode(cfg)
 		for i := 0; i < k; i++ {
-			src.Seed(Message{Index: i, Payload: gf.RandVector(cfg.Field, r, rng)})
+			src.Seed(Message{Index: i, Payload: gf.RandBytes(cfg.Field, r, rng)})
 		}
 		for guard := 0; !n.CanDecode() && guard < 1000; guard++ {
 			n.Receive(src.Emit(rng))

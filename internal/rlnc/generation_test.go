@@ -51,7 +51,7 @@ func TestGenRoundTrip(t *testing.T) {
 		}
 		msgs := make([]Message, cfg.K)
 		for i := range msgs {
-			msgs[i] = Message{Index: i, Payload: gf.RandVector(cfg.Inner.Field, 4, rng)}
+			msgs[i] = Message{Index: i, Payload: gf.RandBytes(cfg.Inner.Field, 4, rng)}
 			src.Seed(msgs[i])
 		}
 		if !src.CanDecode() {
@@ -115,7 +115,7 @@ func TestGenDecodeBeforeReady(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.Seed(Message{Index: 0, Payload: make([]gf.Elem, 4)})
+	n.Seed(Message{Index: 0, Payload: make([]byte, 4)})
 	if _, err := n.Decode(); err == nil {
 		t.Fatal("decode before full rank must fail")
 	}
@@ -132,7 +132,7 @@ func TestGenCouponCollectorEffect(t *testing.T) {
 			rng := core.NewRand(seed)
 			src, _ := NewGenNode(cfg)
 			for i := 0; i < cfg.K; i++ {
-				src.Seed(Message{Index: i, Payload: gf.RandVector(cfg.Inner.Field, 4, rng)})
+				src.Seed(Message{Index: i, Payload: gf.RandBytes(cfg.Inner.Field, 4, rng)})
 			}
 			dst, _ := NewGenNode(cfg)
 			for !dst.CanDecode() {

@@ -65,8 +65,8 @@ func (c Config) bitMode() bool { return c.RankOnly && c.Field.Order() == 2 }
 type Message struct {
 	// Index identifies the unknown x_{Index+1}.
 	Index int
-	// Payload holds r field symbols.
-	Payload []gf.Elem
+	// Payload holds r field symbols, one byte-encoded symbol per byte.
+	Payload []byte
 }
 
 // Packet is one transmitted coded message.
@@ -75,8 +75,9 @@ type Packet struct {
 	Coeffs []gf.Elem
 	// Bits is the packed k-bit coefficient vector (bit mode). Nil otherwise.
 	Bits linalg.BitVec
-	// Payload is the combined payload (nil in rank-only mode).
-	Payload []gf.Elem
+	// Payload is the combined payload row, combined with the field's bulk
+	// kernels (nil in rank-only mode).
+	Payload []byte
 }
 
 // IsZero reports whether the packet's coefficient vector is all-zero (such
@@ -149,15 +150,16 @@ func (n *Node) Seed(msg Message) {
 		n.bit.Add(v)
 		return
 	}
-	row := make([]gf.Elem, n.mat.Width())
-	row[msg.Index] = 1
+	coeffs := make([]gf.Elem, n.cfg.K)
+	coeffs[msg.Index] = 1
+	var payload []byte
 	if !n.cfg.RankOnly {
 		if len(msg.Payload) != n.cfg.PayloadLen {
 			panic(fmt.Sprintf("rlnc: payload length %d, want %d", len(msg.Payload), n.cfg.PayloadLen))
 		}
-		copy(row[n.cfg.K:], msg.Payload)
+		payload = msg.Payload
 	}
-	n.mat.Add(row)
+	n.mat.Add(coeffs, payload)
 }
 
 // Emit builds the packet an algebraic-gossip node transmits: a uniformly
@@ -171,15 +173,11 @@ func (n *Node) Emit(rng *rand.Rand) *Packet {
 		}
 		return &Packet{Bits: combo}
 	}
-	combo := n.mat.RandomCombination(rng)
-	if combo == nil {
+	coeffs, payload := n.mat.RandomCombination(rng)
+	if coeffs == nil {
 		return nil
 	}
-	p := &Packet{Coeffs: combo[:n.cfg.K:n.cfg.K]}
-	if !n.cfg.RankOnly {
-		p.Payload = combo[n.cfg.K:]
-	}
-	return p
+	return &Packet{Coeffs: coeffs, Payload: payload}
 }
 
 // Receive processes an incoming packet and reports whether it was helpful,
@@ -193,17 +191,27 @@ func (n *Node) Receive(p *Packet) bool {
 		if p.Bits == nil {
 			panic("rlnc: generic packet delivered to bit-mode node")
 		}
+		if !n.validBits(p.Bits) {
+			return false
+		}
 		return n.bit.Add(p.Bits.Clone())
 	}
 	if p.Coeffs == nil {
 		panic("rlnc: bit packet delivered to generic-mode node")
 	}
-	row := make([]gf.Elem, n.mat.Width())
-	copy(row, p.Coeffs)
-	if !n.cfg.RankOnly {
-		copy(row[n.cfg.K:], p.Payload)
+	// Malformed packets (wrong coefficient or payload width) can arrive from
+	// the network; reject them instead of letting the eliminator panic.
+	if len(p.Coeffs) != n.cfg.K {
+		return false
 	}
-	return n.mat.Add(row)
+	var payload []byte
+	if !n.cfg.RankOnly {
+		if len(p.Payload) != n.cfg.PayloadLen {
+			return false
+		}
+		payload = p.Payload
+	}
+	return n.mat.Add(p.Coeffs, payload)
 }
 
 // WouldHelp reports whether the packet would increase this node's rank,
@@ -213,9 +221,29 @@ func (n *Node) WouldHelp(p *Packet) bool {
 		return false
 	}
 	if n.bit != nil {
+		if !n.validBits(p.Bits) {
+			return false
+		}
 		return n.bit.WouldHelp(p.Bits)
 	}
+	if len(p.Coeffs) != n.cfg.K {
+		return false
+	}
 	return n.mat.WouldHelp(p.Coeffs)
+}
+
+// validBits reports whether a bit-mode coefficient vector has exactly the
+// packed width for k unknowns with no stray bits past index k-1 — the same
+// malformed-packet screen the generic path applies to Coeffs/Payload.
+func (n *Node) validBits(v linalg.BitVec) bool {
+	words := (n.cfg.K + 63) / 64
+	if len(v) != words {
+		return false
+	}
+	if rem := n.cfg.K % 64; rem != 0 && v[words-1]>>uint(rem) != 0 {
+		return false
+	}
+	return true
 }
 
 // HelpfulTo reports whether this node is a *helpful node* for other
@@ -233,7 +261,7 @@ func (n *Node) HelpfulTo(other *Node) bool {
 		return false
 	}
 	for i := 0; i < n.mat.Rank(); i++ {
-		if other.mat.WouldHelp(n.mat.Row(i)[:n.cfg.K]) {
+		if other.mat.WouldHelp(n.mat.Row(i)) {
 			return true
 		}
 	}

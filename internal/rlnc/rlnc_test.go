@@ -8,6 +8,7 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/gf"
+	"algossip/internal/linalg"
 )
 
 func genericCfg(q, k, r int) Config {
@@ -41,13 +42,13 @@ func TestSeedAndRank(t *testing.T) {
 	if n.Rank() != 0 || n.CanDecode() {
 		t.Fatal("fresh node must be empty")
 	}
-	n.Seed(Message{Index: 0, Payload: []gf.Elem{1, 2}})
-	n.Seed(Message{Index: 2, Payload: []gf.Elem{3, 4}})
+	n.Seed(Message{Index: 0, Payload: []byte{1, 2}})
+	n.Seed(Message{Index: 2, Payload: []byte{3, 4}})
 	if n.Rank() != 2 {
 		t.Fatalf("rank = %d, want 2", n.Rank())
 	}
 	// Re-seeding the same index is not helpful.
-	n.Seed(Message{Index: 0, Payload: []gf.Elem{1, 2}})
+	n.Seed(Message{Index: 0, Payload: []byte{1, 2}})
 	if n.Rank() != 2 {
 		t.Fatalf("rank after duplicate seed = %d, want 2", n.Rank())
 	}
@@ -88,7 +89,7 @@ func TestGossipPairConvergence(t *testing.T) {
 			for i := range msgs {
 				msgs[i] = Message{Index: i}
 				if !cfg.RankOnly {
-					msgs[i].Payload = gf.RandVector(cfg.Field, cfg.PayloadLen, rng)
+					msgs[i].Payload = gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)
 				}
 				src.Seed(msgs[i])
 			}
@@ -134,7 +135,7 @@ func TestGossipPairConvergence(t *testing.T) {
 
 func TestDecodeBeforeFullRank(t *testing.T) {
 	n := MustNewNode(genericCfg(256, 3, 1))
-	n.Seed(Message{Index: 0, Payload: []gf.Elem{7}})
+	n.Seed(Message{Index: 0, Payload: []byte{7}})
 	if _, err := n.Decode(); !errors.Is(err, ErrCannotDecode) {
 		t.Fatalf("err = %v, want ErrCannotDecode", err)
 	}
@@ -145,9 +146,57 @@ func TestReceiveNilAndZero(t *testing.T) {
 	if n.Receive(nil) {
 		t.Error("nil packet must not help")
 	}
-	zero := &Packet{Coeffs: make([]gf.Elem, 3), Payload: make([]gf.Elem, 1)}
+	zero := &Packet{Coeffs: make([]gf.Elem, 3), Payload: make([]byte, 1)}
 	if n.Receive(zero) {
 		t.Error("zero packet must not help")
+	}
+}
+
+// TestReceiveMalformedLengths: packets can arrive from the network with a
+// peer's mismatched configuration; they must be rejected, not panic.
+func TestReceiveMalformedLengths(t *testing.T) {
+	n := MustNewNode(genericCfg(256, 3, 2))
+	n.Seed(Message{Index: 0, Payload: []byte{1, 2}})
+	cases := []*Packet{
+		{Coeffs: []gf.Elem{1, 2}, Payload: []byte{3, 4}},       // short coeffs
+		{Coeffs: []gf.Elem{1, 2, 3, 4}, Payload: []byte{3, 4}}, // long coeffs
+		{Coeffs: []gf.Elem{0, 1, 0}, Payload: []byte{3}},       // short payload
+		{Coeffs: []gf.Elem{0, 1, 0}, Payload: []byte{3, 4, 5}}, // long payload
+		{Coeffs: []gf.Elem{0, 1, 0}},                           // missing payload
+	}
+	for i, p := range cases {
+		if n.Receive(p) {
+			t.Errorf("malformed packet %d reported helpful", i)
+		}
+		if n.WouldHelp(p) && len(p.Coeffs) != 3 {
+			t.Errorf("malformed packet %d reported WouldHelp", i)
+		}
+	}
+	if n.Rank() != 1 {
+		t.Fatalf("rank changed to %d after malformed packets", n.Rank())
+	}
+}
+
+// TestReceiveMalformedBits: the bit backend applies the same screen — a
+// packed vector with the wrong word count or stray bits past k-1 is
+// rejected, never panics, and never inflates the rank past k.
+func TestReceiveMalformedBits(t *testing.T) {
+	n := MustNewNode(Config{Field: gf.MustNew(2), K: 4, RankOnly: true})
+	n.Seed(Message{Index: 0})
+	stray := linalg.NewBitVec(4)
+	stray[0] = 1 << 10 // bit index 10 >= k
+	cases := []*Packet{
+		{Bits: linalg.BitVec{}},       // zero words
+		{Bits: linalg.NewBitVec(130)}, // too many words
+		{Bits: stray},                 // stray high bit
+	}
+	for i, p := range cases {
+		if n.Receive(p) || n.WouldHelp(p) {
+			t.Errorf("malformed bit packet %d accepted", i)
+		}
+	}
+	if n.Rank() != 1 {
+		t.Fatalf("rank = %d after malformed bit packets, want 1", n.Rank())
 	}
 }
 
@@ -157,18 +206,18 @@ func TestHelpfulNodePredicate(t *testing.T) {
 	cfg := genericCfg(256, 4, 1)
 	x := MustNewNode(cfg)
 	y := MustNewNode(cfg)
-	x.Seed(Message{Index: 0, Payload: []gf.Elem{1}})
+	x.Seed(Message{Index: 0, Payload: []byte{1}})
 	if !x.HelpfulTo(y) {
 		t.Fatal("x with info must be helpful to empty y")
 	}
 	if y.HelpfulTo(x) {
 		t.Fatal("empty y cannot be helpful")
 	}
-	y.Seed(Message{Index: 0, Payload: []gf.Elem{1}})
+	y.Seed(Message{Index: 0, Payload: []byte{1}})
 	if x.HelpfulTo(y) {
 		t.Fatal("equal subspaces are not helpful")
 	}
-	x.Seed(Message{Index: 1, Payload: []gf.Elem{2}})
+	x.Seed(Message{Index: 1, Payload: []byte{2}})
 	if !x.HelpfulTo(y) {
 		t.Fatal("strictly larger subspace must be helpful")
 	}
@@ -196,10 +245,10 @@ func TestHelpfulMessageProbability(t *testing.T) {
 		rng := core.NewRand(uint64(q))
 		src := MustNewNode(cfg)
 		for i := 0; i < cfg.K; i++ {
-			src.Seed(Message{Index: i, Payload: []gf.Elem{gf.Elem(i % q)}})
+			src.Seed(Message{Index: i, Payload: []byte{byte(i % q)}})
 		}
 		dst := MustNewNode(cfg)
-		dst.Seed(Message{Index: 0, Payload: []gf.Elem{0}})
+		dst.Seed(Message{Index: 0, Payload: []byte{0}})
 
 		const trials = 3000
 		helpful := 0
@@ -223,13 +272,13 @@ func TestSeedPanicsOnBadIndex(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	n.Seed(Message{Index: 3, Payload: []gf.Elem{1}})
+	n.Seed(Message{Index: 3, Payload: []byte{1}})
 }
 
 func TestBackendMismatchPanics(t *testing.T) {
 	bitNode := MustNewNode(Config{Field: gf.MustNew(2), K: 3, RankOnly: true})
 	genNode := MustNewNode(genericCfg(256, 3, 1))
-	genNode.Seed(Message{Index: 0, Payload: []gf.Elem{1}})
+	genNode.Seed(Message{Index: 0, Payload: []byte{1}})
 	bitNode.Seed(Message{Index: 0})
 	assertPanics(t, func() { bitNode.Receive(genNode.Emit(core.NewRand(1))) })
 	assertPanics(t, func() { genNode.Receive(bitNode.Emit(core.NewRand(1))) })

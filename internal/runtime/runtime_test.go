@@ -20,7 +20,7 @@ func seedMessages(t *testing.T, c *Cluster, cfg rlnc.Config, n int) []rlnc.Messa
 	rng := core.NewRand(99)
 	msgs := make([]rlnc.Message, cfg.K)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)}
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
 		c.Seed(core.NodeID(i%n), msgs[i])
 	}
 	return msgs
@@ -100,7 +100,7 @@ func TestClusterContextCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Seed only one message so the cluster cannot finish; then cancel.
-	c.Seed(0, rlnc.Message{Index: 0, Payload: make([]gf.Elem, 4)})
+	c.Seed(0, rlnc.Message{Index: 0, Payload: make([]byte, 4)})
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	done, err := c.Run(ctx)
@@ -178,7 +178,7 @@ func TestClusterSingleSourceAllMessagesAtOneNode(t *testing.T) {
 	rng := core.NewRand(5)
 	msgs := make([]rlnc.Message, cfg.K)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)}
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
 		c.Seed(0, msgs[i]) // all at the hub
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -204,7 +204,7 @@ func TestClusterChurn(t *testing.T) {
 	rng := core.NewRand(9)
 	msgs := make([]rlnc.Message, cfg.K)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)}
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
 		c.Seed(core.NodeID(i), msgs[i]) // seeds at nodes 0..3, far from node 8
 	}
 

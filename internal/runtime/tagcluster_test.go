@@ -25,7 +25,7 @@ func TestTAGClusterChanTransport(t *testing.T) {
 	rng := core.NewRand(55)
 	msgs := make([]rlnc.Message, cfg.K)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)}
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
 		c.Seed(core.NodeID(i), msgs[i])
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -79,7 +79,7 @@ func TestTAGClusterTCP(t *testing.T) {
 	}
 	rng := core.NewRand(7)
 	for i := 0; i < cfg.K; i++ {
-		c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)})
+		c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)})
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -137,7 +137,7 @@ func TestClusterUnderPacketLoss(t *testing.T) {
 	}
 	rng := core.NewRand(3)
 	for i := 0; i < cfg.K; i++ {
-		c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandVector(cfg.Field, cfg.PayloadLen, rng)})
+		c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)})
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()

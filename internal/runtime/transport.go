@@ -44,8 +44,9 @@ type Envelope struct {
 	WantReply bool
 	// Coeffs is the k-length coefficient vector.
 	Coeffs []gf.Elem
-	// Payload is the combined payload (may be empty in rank-only runs).
-	Payload []gf.Elem
+	// Payload is the combined payload row, one byte-encoded field symbol
+	// per byte (may be empty in rank-only runs).
+	Payload []byte
 }
 
 // Transport moves envelopes between nodes. Implementations must be safe
