@@ -5,10 +5,10 @@ import (
 	"math/rand/v2"
 
 	"algossip/internal/core"
-	"algossip/internal/experiments"
 	"algossip/internal/gf"
 	"algossip/internal/gossip/algebraic"
 	"algossip/internal/graph"
+	"algossip/internal/harness"
 	"algossip/internal/rlnc"
 	"algossip/internal/runtime"
 	"algossip/internal/sim"
@@ -107,56 +107,27 @@ var (
 	NewCluster = runtime.NewCluster
 )
 
-// Protocol selects a k-dissemination protocol for Run.
-type Protocol int
+// Protocol selects a k-dissemination protocol for Run. It lives in
+// internal/harness (the shared experiment engine); the alias keeps the
+// public API stable.
+type Protocol = harness.Protocol
 
 const (
 	// ProtocolUniformAG is uniform algebraic gossip (Theorem 1).
-	ProtocolUniformAG Protocol = iota + 1
+	ProtocolUniformAG = harness.ProtocolUniformAG
 	// ProtocolTAGRR is TAG with the round-robin broadcast B_RR (Theorem 5).
-	ProtocolTAGRR
+	ProtocolTAGRR = harness.ProtocolTAGRR
 	// ProtocolTAGUniform is TAG with a uniform broadcast as S.
-	ProtocolTAGUniform
+	ProtocolTAGUniform = harness.ProtocolTAGUniform
 	// ProtocolTAGIS is TAG with the IS protocol as S (Theorems 6-8).
-	ProtocolTAGIS
+	ProtocolTAGIS = harness.ProtocolTAGIS
 	// ProtocolUncoded is the store-and-forward baseline.
-	ProtocolUncoded
+	ProtocolUncoded = harness.ProtocolUncoded
 )
-
-// String names the protocol.
-func (p Protocol) String() string {
-	switch p {
-	case ProtocolUniformAG:
-		return "uniform-ag"
-	case ProtocolTAGRR:
-		return "tag-brr"
-	case ProtocolTAGUniform:
-		return "tag-uniform"
-	case ProtocolTAGIS:
-		return "tag-is"
-	case ProtocolUncoded:
-		return "uncoded"
-	default:
-		return fmt.Sprintf("Protocol(%d)", int(p))
-	}
-}
 
 // ParseProtocol converts a name such as "tag-brr" to a Protocol.
 func ParseProtocol(s string) (Protocol, error) {
-	switch s {
-	case "uniform-ag", "ag", "uniform":
-		return ProtocolUniformAG, nil
-	case "tag-brr", "tag":
-		return ProtocolTAGRR, nil
-	case "tag-uniform":
-		return ProtocolTAGUniform, nil
-	case "tag-is":
-		return ProtocolTAGIS, nil
-	case "uncoded":
-		return ProtocolUncoded, nil
-	default:
-		return 0, fmt.Errorf("algossip: unknown protocol %q", s)
-	}
+	return harness.ParseProtocol(s)
 }
 
 // Spec declares one simulated k-dissemination run. Zero fields default to
@@ -190,7 +161,7 @@ func Run(spec Spec, seed uint64) (Result, error) {
 	if spec.K <= 0 {
 		return Result{}, fmt.Errorf("algossip: k must be positive, got %d", spec.K)
 	}
-	gs := experiments.GossipSpec{
+	o, err := harness.Execute(harness.GossipSpec{
 		Graph:        spec.Graph,
 		Model:        spec.Model,
 		K:            spec.K,
@@ -198,24 +169,8 @@ func Run(spec Spec, seed uint64) (Result, error) {
 		Action:       spec.Action,
 		SingleSource: spec.SingleSource,
 		MaxRounds:    spec.MaxRounds,
-	}
-	switch spec.Protocol {
-	case 0, ProtocolUniformAG:
-		return experiments.UniformAG(gs, seed)
-	case ProtocolTAGRR:
-		res, err := experiments.TAG(gs, experiments.TreeBRR, seed)
-		return res.Result, err
-	case ProtocolTAGUniform:
-		res, err := experiments.TAG(gs, experiments.TreeUniformB, seed)
-		return res.Result, err
-	case ProtocolTAGIS:
-		res, err := experiments.TAG(gs, experiments.TreeIS, seed)
-		return res.Result, err
-	case ProtocolUncoded:
-		return experiments.Uncoded(gs, seed)
-	default:
-		return Result{}, fmt.Errorf("algossip: unknown protocol %v", spec.Protocol)
-	}
+	}, spec.Protocol, seed)
+	return o.Result, err
 }
 
 // Disseminate runs payload-mode uniform algebraic gossip over the graph

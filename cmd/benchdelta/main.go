@@ -1,0 +1,217 @@
+// Command benchdelta is CI's performance gate for the coding kernels: it
+// parses `go test -bench` output, compares each benchmark's ns/op
+// against a checked-in baseline (BENCH_BASELINE.json) with a relative
+// tolerance, and exits non-zero on regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 200ms ./internal/gf ./internal/rlnc \
+//	    | go run ./cmd/benchdelta -baseline BENCH_BASELINE.json -out bench_new.json
+//
+//	# refresh the baseline after an intentional perf change:
+//	go test -run '^$' -bench . -benchtime 200ms ./internal/gf ./internal/rlnc \
+//	    | go run ./cmd/benchdelta -baseline BENCH_BASELINE.json -update
+//
+// A benchmark regresses when new_ns > old_ns * (1 + tolerance). New
+// benchmarks (absent from the baseline) and improvements are reported
+// but never fail the gate; the -out file always carries the fresh
+// numbers so CI can upload them as an artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in benchmark reference.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps normalized benchmark name to its reference numbers.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdelta", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_BASELINE.json", "checked-in baseline JSON")
+		inPath       = fs.String("in", "", "bench output file (default stdin)")
+		outPath      = fs.String("out", "", "write the fresh numbers as JSON to this path")
+		tolerance    = fs.Float64("tolerance", 0.20, "relative ns/op regression tolerance")
+		update       = fs.Bool("update", false, "rewrite the baseline with the fresh numbers instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	fresh, err := ParseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	if *outPath != "" {
+		if err := writeBaseline(*outPath, fresh); err != nil {
+			return err
+		}
+	}
+	if *update {
+		if err := writeBaseline(*baselinePath, fresh); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "baseline %s updated with %d benchmarks\n", *baselinePath, len(fresh))
+		return nil
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	report, regressions, missing := Compare(base.Benchmarks, fresh, *tolerance)
+	fmt.Fprint(stdout, report)
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% tolerance", regressions, *tolerance*100)
+	}
+	if missing > 0 {
+		// A baseline entry with no fresh measurement means either the
+		// bench run crashed partway or a benchmark was renamed/deleted;
+		// both must be explicit (-update), never silent.
+		return fmt.Errorf("%d baseline benchmark(s) missing from this run (crashed bench or rename? refresh with -update)", missing)
+	}
+	return nil
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkAddMulSliceGF256-8   123456   987.6 ns/op   259.3 MB/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op(?:\s+([0-9.eE+]+) MB/s)?`)
+
+// ParseBench extracts benchmark entries from `go test -bench` output,
+// normalizing names by stripping the GOMAXPROCS suffix. A benchmark that
+// appears multiple times keeps its best (lowest ns/op) run, which damps
+// scheduler noise.
+func ParseBench(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{NsPerOp: ns}
+		if m[3] != "" {
+			e.MBPerS, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if old, ok := out[m[1]]; !ok || e.NsPerOp < old.NsPerOp {
+			out[m[1]] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+// Compare renders a benchstat-style delta table and counts regressions
+// (fresh entries whose ns/op exceeds the baseline by more than
+// tolerance) and missing entries (baseline benchmarks absent from the
+// fresh run — a crashed bench binary or a rename).
+func Compare(base, fresh map[string]Entry, tolerance float64) (string, int, int) {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	regressions := 0
+	fmt.Fprintf(&sb, "%-40s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	for _, name := range names {
+		f := fresh[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-40s %12s %12.1f %8s  new (no baseline)\n", name, "-", f.NsPerOp, "-")
+			continue
+		}
+		delta := (f.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		switch {
+		case delta > tolerance:
+			verdict = "REGRESSION"
+			regressions++
+		case delta < -tolerance:
+			verdict = "improved"
+		}
+		fmt.Fprintf(&sb, "%-40s %12.1f %12.1f %+7.1f%%  %s\n", name, b.NsPerOp, f.NsPerOp, delta*100, verdict)
+	}
+	missing := 0
+	missingNames := make([]string, 0)
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			missingNames = append(missingNames, name)
+			missing++
+		}
+	}
+	sort.Strings(missingNames)
+	for _, name := range missingNames {
+		fmt.Fprintf(&sb, "%-40s MISSING from this run (crashed bench or rename?)\n", name)
+	}
+	return sb.String(), regressions, missing
+}
+
+func readBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("reading baseline: %w (run with -update to create it)", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, fresh map[string]Entry) error {
+	b := Baseline{
+		Note:       "kernel benchmark reference for CI's bench-delta gate; refresh with: go test -run '^$' -bench . -benchtime 200ms ./internal/gf ./internal/rlnc | go run ./cmd/benchdelta -update",
+		Benchmarks: fresh,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: algossip/internal/gf
+BenchmarkAddMulScalarGF256-8   	  500000	      2100.0 ns/op	 121.9 MB/s
+BenchmarkAddMulSliceGF256-8    	 3000000	       350.5 ns/op	 730.4 MB/s
+BenchmarkAddMulSliceGF2-8      	20000000	        10.2 ns/op
+PASS
+ok  	algossip/internal/gf	2.511s
+BenchmarkDecode-8              	   10000	    105000 ns/op
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %v", len(got), got)
+	}
+	e := got["BenchmarkAddMulSliceGF256"]
+	if e.NsPerOp != 350.5 || e.MBPerS != 730.4 {
+		t.Fatalf("bad entry: %+v", e)
+	}
+	if got["BenchmarkDecode"].NsPerOp != 105000 {
+		t.Fatalf("bad decode entry: %+v", got["BenchmarkDecode"])
+	}
+}
+
+func TestParseBenchKeepsBestRun(t *testing.T) {
+	in := "BenchmarkX-8  10  200.0 ns/op\nBenchmarkX-8  10  150.0 ns/op\nBenchmarkX-8  10  180.0 ns/op\n"
+	got, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"].NsPerOp != 150.0 {
+		t.Fatalf("want best run 150.0, got %+v", got["BenchmarkX"])
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkStable":   {NsPerOp: 100},
+		"BenchmarkSlower":   {NsPerOp: 100},
+		"BenchmarkFaster":   {NsPerOp: 100},
+		"BenchmarkVanished": {NsPerOp: 100},
+	}
+	fresh := map[string]Entry{
+		"BenchmarkStable": {NsPerOp: 110}, // +10% — inside 20% tolerance
+		"BenchmarkSlower": {NsPerOp: 130}, // +30% — regression
+		"BenchmarkFaster": {NsPerOp: 50},  // improved
+		"BenchmarkNew":    {NsPerOp: 42},  // no baseline
+	}
+	report, regressions, missing := Compare(base, fresh, 0.20)
+	if regressions != 1 {
+		t.Fatalf("want 1 regression, got %d:\n%s", regressions, report)
+	}
+	if missing != 1 {
+		t.Fatalf("want 1 missing, got %d:\n%s", missing, report)
+	}
+	for _, want := range []string{"REGRESSION", "improved", "new (no baseline)", "MISSING from this run"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestMissingBenchmarksFailGate: a bench run that crashed partway (so
+// baseline entries have no fresh numbers) must fail the gate, not pass
+// with a shrug.
+func TestMissingBenchmarksFailGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := run([]string{"-baseline", baseline, "-update"},
+		strings.NewReader(sampleBench), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh run lost the rlnc half of the suite.
+	truncated := strings.Split(sampleBench, "BenchmarkDecode")[0]
+	var sb strings.Builder
+	err := run([]string{"-baseline", baseline}, strings.NewReader(truncated), &sb)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("partial bench run passed the gate: %v\n%s", err, sb.String())
+	}
+}
+
+func TestEndToEndGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	outFile := filepath.Join(dir, "new.json")
+
+	// 1. -update creates the baseline from a run.
+	var sb strings.Builder
+	if err := run([]string{"-baseline", baseline, "-update"},
+		strings.NewReader(sampleBench), &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. An identical run passes the gate and writes the artifact.
+	sb.Reset()
+	if err := run([]string{"-baseline", baseline, "-out", outFile},
+		strings.NewReader(sampleBench), &sb); err != nil {
+		t.Fatalf("identical run failed gate: %v\n%s", err, sb.String())
+	}
+	if _, err := os.Stat(outFile); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+
+	// 3. A >20% slowdown fails the gate.
+	slow := strings.ReplaceAll(sampleBench, "350.5 ns/op", "900.0 ns/op")
+	sb.Reset()
+	err := run([]string{"-baseline", baseline}, strings.NewReader(slow), &sb)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression not caught: %v\n%s", err, sb.String())
+	}
+
+	// 4. The same slowdown passes with a huge tolerance.
+	sb.Reset()
+	if err := run([]string{"-baseline", baseline, "-tolerance", "2.0"},
+		strings.NewReader(slow), &sb); err != nil {
+		t.Fatalf("tolerance not honored: %v", err)
+	}
+}
+
+func TestMissingBaselineErrors(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-baseline", filepath.Join(t.TempDir(), "none.json")},
+		strings.NewReader(sampleBench), &sb)
+	if err == nil || !strings.Contains(err.Error(), "-update") {
+		t.Fatalf("missing baseline not explained: %v", err)
+	}
+}
+
+func TestEmptyInputErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, strings.NewReader("no benches here\n"), &sb); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,5 +1,7 @@
 // Command gossipsim runs one gossip simulation and prints its stopping
 // time, the analytic bound it is compared against, and per-trial detail.
+// Trials are independent and fan out over the internal/harness worker
+// pool (-parallel); the printed report is identical for any worker count.
 //
 // Usage:
 //
@@ -15,24 +17,26 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 
-	"algossip"
 	"algossip/internal/core"
 	"algossip/internal/graph"
+	"algossip/internal/harness"
 	"algossip/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gossipsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
 		graphName = fs.String("graph", "grid", "topology family")
@@ -44,6 +48,7 @@ func run(args []string) error {
 		action    = fs.String("action", "exchange", "action: push|pull|exchange")
 		seed      = fs.Uint64("seed", 1, "root seed")
 		trials    = fs.Int("trials", 3, "number of trials")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
 		single    = fs.Bool("single-source", false, "seed all messages at node 0")
 		detail    = fs.Bool("detail", false, "print traffic counters and completion quantiles")
 		traceCSV  = fs.String("tracecsv", "", "write per-node completion rounds to this CSV file")
@@ -58,7 +63,7 @@ func run(args []string) error {
 	if *k == 0 {
 		*k = g.N() / 2
 	}
-	proto, err := algossip.ParseProtocol(*protoName)
+	proto, err := harness.ParseProtocol(*protoName)
 	if err != nil {
 		return err
 	}
@@ -71,47 +76,67 @@ func run(args []string) error {
 		return err
 	}
 
+	// All writes go through the fail-fast writer: a broken pipe or full
+	// disk surfaces as a non-zero exit instead of being dropped.
+	w := harness.NewFailFastWriter(stdout)
+
 	diam := g.Diameter()
 	delta := g.MaxDegree()
-	fmt.Printf("graph=%s n=%d m=%d D=%d Δ=%d | protocol=%v model=%v k=%d q=%d action=%v\n",
+	fmt.Fprintf(w, "graph=%s n=%d m=%d D=%d Δ=%d | protocol=%v model=%v k=%d q=%d action=%v\n",
 		g.Name(), g.N(), g.M(), diam, delta, proto, model, *k, *q, act)
 
+	// One harness Spec: a single (graph, k) cell, -trials trials, with the
+	// historical per-trial seed layout SplitSeed(seed, trial).
+	rootSeed := *seed
+	spec := harness.Spec{
+		Name:         "gossipsim",
+		Graphs:       []*graph.Graph{g},
+		Ks:           []int{*k},
+		Protocol:     proto,
+		Model:        model,
+		Q:            *q,
+		Action:       act,
+		SingleSource: *single,
+		Trials:       *trials,
+		Seed:         rootSeed,
+		TrialSeed: func(size, trial int) uint64 {
+			return core.SplitSeed(rootSeed, uint64(trial))
+		},
+	}
+	rs, err := harness.Runner{Parallel: *parallel}.Run(&spec)
+	if err != nil {
+		return err
+	}
+
 	var rounds []float64
-	for i := 0; i < *trials; i++ {
-		spec := algossip.Spec{
-			Graph: g, K: *k, Protocol: proto, Model: model, Q: *q,
-			Action: act, SingleSource: *single,
-		}
-		res, det, err := algossip.RunDetailed(spec, core.SplitSeed(*seed, uint64(i)))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  trial %d: %d rounds\n", i, res.Rounds)
+	for i, t := range rs.Trials {
+		o := rs.Outcomes[i]
+		fmt.Fprintf(w, "  trial %d: %d rounds\n", t.Num, o.Result.Rounds)
 		if *detail {
-			done := make([]float64, 0, len(det.NodeDoneRounds))
-			for _, r := range det.NodeDoneRounds {
+			done := make([]float64, 0, len(o.NodeDoneRounds))
+			for _, r := range o.NodeDoneRounds {
 				done = append(done, float64(r))
 			}
-			fmt.Printf("    traffic: %s | message size %d bits\n", det.Traffic, det.MessageBits)
-			fmt.Printf("    node completion: %s\n", stats.Summarize(done))
-			if det.TreeRounds >= 0 {
-				fmt.Printf("    spanning tree complete at round %d\n", det.TreeRounds)
+			fmt.Fprintf(w, "    traffic: %s | message size %d bits\n", o.Traffic, o.MessageBits)
+			fmt.Fprintf(w, "    node completion: %s\n", stats.Summarize(done))
+			if o.TreeRounds >= 0 {
+				fmt.Fprintf(w, "    spanning tree complete at round %d\n", o.TreeRounds)
 			}
 		}
-		if *traceCSV != "" && i == 0 {
-			if err := writeTraceCSV(*traceCSV, det.NodeDoneRounds); err != nil {
+		if *traceCSV != "" && t.Num == 0 {
+			if err := writeTraceCSV(*traceCSV, o.NodeDoneRounds); err != nil {
 				return err
 			}
-			fmt.Printf("    wrote per-node completion rounds to %s\n", *traceCSV)
+			fmt.Fprintf(w, "    wrote per-node completion rounds to %s\n", *traceCSV)
 		}
-		rounds = append(rounds, float64(res.Rounds))
+		rounds = append(rounds, float64(o.Result.Rounds))
 	}
 	s := stats.Summarize(rounds)
-	fmt.Printf("stopping time: %s\n", s)
+	fmt.Fprintf(w, "stopping time: %s\n", s)
 	bound := float64(*k+diam+int(math.Log2(float64(g.N())))+1) * float64(delta)
-	fmt.Printf("Theorem 1 reference (k+log n+D)·Δ = %.0f  (measured mean / bound = %.2f)\n",
+	fmt.Fprintf(w, "Theorem 1 reference (k+log n+D)·Δ = %.0f  (measured mean / bound = %.2f)\n",
 		bound, s.Mean/bound)
-	return nil
+	return w.Err()
 }
 
 // writeTraceCSV dumps per-node completion rounds as "node,round" rows.

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -15,8 +18,29 @@ func TestGossipsimEndToEnd(t *testing.T) {
 		{"-graph", "grid", "-n", "9", "-protocol", "tag-is", "-trials", "1", "-q", "256"},
 	}
 	for _, a := range args {
-		if err := run(a); err != nil {
+		if err := run(a, os.Stdout); err != nil {
 			t.Errorf("run(%v): %v", a, err)
+		}
+	}
+}
+
+// TestGossipsimParallelIdentical pins the determinism contract at the CLI
+// level: the full printed report is byte-identical for any worker count.
+func TestGossipsimParallelIdentical(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4, 16} {
+		var buf bytes.Buffer
+		args := []string{"-graph", "barbell", "-n", "12", "-protocol", "tag",
+			"-trials", "4", "-seed", "9", "-detail", "-parallel", strconv.Itoa(workers)}
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = buf.String()
+			continue
+		}
+		if buf.String() != want {
+			t.Errorf("-parallel %d output differs:\ngot:\n%swant:\n%s", workers, buf.String(), want)
 		}
 	}
 }
@@ -26,7 +50,7 @@ func TestGossipsimTraceCSV(t *testing.T) {
 	out := filepath.Join(dir, "trace.csv")
 	if err := run([]string{
 		"-graph", "ring", "-n", "8", "-k", "4", "-trials", "1", "-tracecsv", out,
-	}); err != nil {
+	}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -49,8 +73,22 @@ func TestGossipsimRejectsBadFlags(t *testing.T) {
 		{"-model", "bogus"},
 		{"-action", "sideways"},
 	} {
-		if err := run(a); err == nil {
+		if err := run(a, os.Stdout); err == nil {
 			t.Errorf("run(%v) accepted", a)
 		}
+	}
+}
+
+// failWriter rejects every write.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("broken pipe") }
+
+// TestGossipsimPropagatesWriteErrors pins the fail-fast treatment: a
+// failing stdout makes run return the error instead of dropping output.
+func TestGossipsimPropagatesWriteErrors(t *testing.T) {
+	err := run([]string{"-graph", "line", "-n", "8", "-trials", "1"}, failWriter{})
+	if err == nil || !strings.Contains(err.Error(), "broken pipe") {
+		t.Fatalf("write error not propagated: %v", err)
 	}
 }

@@ -2,32 +2,31 @@
 // family and writes a CSV of stopping times, suitable for plotting the
 // paper's scaling curves (rounds vs n, rounds vs k).
 //
-// Trials are independent simulations with independently derived seeds, so
-// the sweep fans them out across a worker pool (-parallel, defaulting to
-// all cores) and still writes rows in deterministic (size, trial) order —
-// the CSV is byte-identical for any worker count.
+// The sweep is one internal/harness Spec: trials fan out across a worker
+// pool (-parallel, defaulting to all cores) with per-trial derived
+// seeds, and results are collected in deterministic (size, trial) order —
+// the CSV is byte-identical for any worker count. Long sweeps are
+// restartable: -checkpoint records every finished trial and -resume
+// replays the file and runs only what is missing, producing the same
+// output bytes as an uninterrupted run.
 //
 // Usage:
 //
 //	sweep -graph barbell -protocol ag -sizes 16,32,64,128 -trials 5 -out barbell_ag.csv
 //	sweep -graph line -protocol tag -kmode n -sizes 32,64,128 -parallel 8
+//	sweep -graph cliquechain -protocol tag-is -sizes 64,128,256 -trials 20 \
+//	      -checkpoint sweep.ckpt -resume -progress
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
 
-	"algossip"
 	"algossip/internal/core"
-	"algossip/internal/graph"
+	"algossip/internal/harness"
 	"algossip/internal/stats"
 )
 
@@ -38,29 +37,29 @@ func main() {
 	}
 }
 
-// job is one simulation of the sweep grid: size index si, trial index.
-type job struct {
-	si, trial int
-}
-
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		graphName = fs.String("graph", "barbell", "topology family (see gossipsim)")
-		protoName = fs.String("protocol", "ag", "protocol: ag|tag|tag-uniform|tag-is|uncoded")
-		modelName = fs.String("model", "sync", "time model: sync|async")
-		sizesCSV  = fs.String("sizes", "16,32,64", "comma-separated node counts")
-		kmode     = fs.String("kmode", "half", "k per size: half|n|sqrt|const:<v>")
-		q         = fs.Int("q", 2, "field order")
-		trials    = fs.Int("trials", 3, "trials per size")
-		seed      = fs.Uint64("seed", 1, "root seed")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (<=1 runs sequentially)")
-		out       = fs.String("out", "", "output CSV path (default stdout)")
+		graphName  = fs.String("graph", "barbell", "topology family (see gossipsim)")
+		protoName  = fs.String("protocol", "ag", "protocol: ag|tag|tag-uniform|tag-is|uncoded")
+		modelName  = fs.String("model", "sync", "time model: sync|async")
+		sizesCSV   = fs.String("sizes", "16,32,64", "comma-separated node counts")
+		kmode      = fs.String("kmode", "half", "k per size: half|n|sqrt|const:<v>")
+		q          = fs.Int("q", 2, "field order")
+		trials     = fs.Int("trials", 3, "trials per size")
+		seed       = fs.Uint64("seed", 1, "root seed")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
+		timeout    = fs.Duration("timeout", 0, "per-trial timeout (0 = none)")
+		checkpoint = fs.String("checkpoint", "", "record finished trials to this file")
+		resume     = fs.Bool("resume", false, "resume from -checkpoint instead of restarting it")
+		progress   = fs.Bool("progress", false, "report per-trial progress on stderr")
+		jsonOut    = fs.Bool("json", false, "write JSON instead of CSV")
+		out        = fs.String("out", "", "output path (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	proto, err := algossip.ParseProtocol(*protoName)
+	proto, err := harness.ParseProtocol(*protoName)
 	if err != nil {
 		return err
 	}
@@ -68,29 +67,42 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sizes, err := parseSizes(*sizesCSV)
+	sizes, err := harness.ParseSizes(*sizesCSV)
 	if err != nil {
 		return err
 	}
-	if *trials < 1 {
-		return fmt.Errorf("trials must be positive, got %d", *trials)
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 
-	// Build every (graph, k) cell up front; graph construction draws from
-	// its own seed stream, so doing it here keeps trial workers pure.
-	graphs := make([]*graph.Graph, len(sizes))
-	ks := make([]int, len(sizes))
-	for si, n := range sizes {
-		g, err := graph.FromName(*graphName, n, core.NewRand(core.SplitSeed(*seed, 999)))
-		if err != nil {
-			return err
+	spec := harness.Spec{
+		Name:     "sweep",
+		Graph:    *graphName,
+		Sizes:    sizes,
+		KMode:    *kmode,
+		Protocol: proto,
+		Model:    model,
+		Q:        *q,
+		Trials:   *trials,
+		Seed:     *seed,
+		// The CSV only reads Rounds; skip per-node detail so huge sweeps
+		// stay lean in memory and in the checkpoint file.
+		Lean: true,
+	}
+	runner := harness.Runner{
+		Parallel:   *parallel,
+		Timeout:    *timeout,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+	}
+	if *progress {
+		runner.Progress = func(done, total int, t harness.Trial, o harness.Outcome) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d trials (n=%d trial=%d: %d rounds)   ",
+				done, total, t.Graph.N(), t.Num, o.Result.Rounds)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
 		}
-		k, err := pickK(*kmode, g.N())
-		if err != nil {
-			return err
-		}
-		graphs[si] = g
-		ks[si] = k
 	}
 
 	// Open the output before spending any compute, so an unwritable path
@@ -108,116 +120,22 @@ func run(args []string, stdout io.Writer) error {
 		}()
 		w = f
 	}
-	cw := csv.NewWriter(w)
-	defer cw.Flush()
-	if err := cw.Write([]string{"graph", "protocol", "model", "n", "k", "trial", "rounds"}); err != nil {
+
+	rs, err := runner.Run(&spec)
+	if err != nil {
 		return err
 	}
-
-	// Fan the (size, trial) grid out over the worker pool. Every trial's
-	// seed depends only on (n, trial), so results are identical to the
-	// sequential sweep for any worker count.
-	jobs := make([]job, 0, len(sizes)**trials)
-	for si := range sizes {
-		for i := 0; i < *trials; i++ {
-			jobs = append(jobs, job{si: si, trial: i})
-		}
+	if *jsonOut {
+		err = harness.WriteJSON(w, rs)
+	} else {
+		err = harness.WriteCSV(w, rs)
 	}
-	rounds := make([]int, len(jobs))
-	errs := make([]error, len(jobs))
-	workers := *parallel
-	if workers < 1 {
-		workers = 1
+	if err != nil {
+		return err
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var wg sync.WaitGroup
-	var failed atomic.Bool
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ji := range next {
-				j := jobs[ji]
-				g := graphs[j.si]
-				res, err := algossip.Run(algossip.Spec{
-					Graph: g, K: ks[j.si], Protocol: proto, Model: model, Q: *q,
-				}, core.SplitSeed(*seed, uint64(sizes[j.si]*1000+j.trial)))
-				rounds[ji] = res.Rounds
-				errs[ji] = err
-				if err != nil {
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for ji := range jobs {
-		if failed.Load() {
-			break // an error is config-shaped; don't burn the rest of the grid
-		}
-		next <- ji
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-
-	for ji, j := range jobs {
-		g := graphs[j.si]
-		rec := []string{g.Name(), proto.String(), model.String(),
-			strconv.Itoa(g.N()), strconv.Itoa(ks[j.si]), strconv.Itoa(j.trial),
-			strconv.Itoa(rounds[ji])}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	for si, g := range graphs {
-		perSize := make([]float64, *trials)
-		for i := 0; i < *trials; i++ {
-			perSize[i] = float64(rounds[si**trials+i])
-		}
-		fmt.Fprintf(os.Stderr, "n=%-5d k=%-5d %s\n", g.N(), ks[si], stats.Summarize(perSize))
+	for ci, c := range rs.Cells {
+		fmt.Fprintf(os.Stderr, "n=%-5d k=%-5d %s\n",
+			c.Graph.N(), c.K, stats.Summarize(rs.CellRounds(ci)))
 	}
 	return nil
-}
-
-func parseSizes(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v < 2 {
-			return nil, fmt.Errorf("bad size %q", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func pickK(mode string, n int) (int, error) {
-	switch {
-	case mode == "half":
-		return n / 2, nil
-	case mode == "n":
-		return n, nil
-	case mode == "sqrt":
-		k := 1
-		for k*k < n {
-			k++
-		}
-		return k, nil
-	case strings.HasPrefix(mode, "const:"):
-		v, err := strconv.Atoi(strings.TrimPrefix(mode, "const:"))
-		if err != nil || v < 1 {
-			return 0, fmt.Errorf("bad kmode %q", mode)
-		}
-		return v, nil
-	default:
-		return 0, fmt.Errorf("unknown kmode %q", mode)
-	}
 }

@@ -1,51 +1,62 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-func TestParseSizes(t *testing.T) {
-	got, err := parseSizes("16, 32,64")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []int{16, 32, 64}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("parseSizes = %v", got)
-		}
-	}
-	for _, bad := range []string{"", "x", "16,1", "16,,32"} {
-		if _, err := parseSizes(bad); err == nil {
-			t.Errorf("parseSizes(%q) accepted", bad)
-		}
-	}
+// goldenSweeps pins the exact CSV bytes the pre-harness cmd/sweep
+// produced for fixed seeds, across protocols and time models. The
+// harness refactor must keep fixed-seed output byte-identical, at every
+// worker count.
+var goldenSweeps = []struct {
+	args []string
+	want string
+}{
+	{
+		args: []string{"-graph", "line", "-protocol", "ag", "-sizes", "8,12", "-trials", "2", "-seed", "5"},
+		want: "graph,protocol,model,n,k,trial,rounds\n" +
+			"line-8,uniform-ag,synchronous,8,4,0,20\n" +
+			"line-8,uniform-ag,synchronous,8,4,1,20\n" +
+			"line-12,uniform-ag,synchronous,12,6,0,28\n" +
+			"line-12,uniform-ag,synchronous,12,6,1,24\n",
+	},
+	{
+		args: []string{"-graph", "barbell", "-protocol", "tag", "-kmode", "n", "-sizes", "8,10", "-trials", "2", "-seed", "7"},
+		want: "graph,protocol,model,n,k,trial,rounds\n" +
+			"barbell-8,tag-brr,synchronous,8,8,0,38\n" +
+			"barbell-8,tag-brr,synchronous,8,8,1,40\n" +
+			"barbell-10,tag-brr,synchronous,10,10,0,52\n" +
+			"barbell-10,tag-brr,synchronous,10,10,1,56\n",
+	},
+	{
+		args: []string{"-graph", "grid", "-protocol", "uncoded", "-kmode", "sqrt", "-sizes", "9,16", "-trials", "3", "-seed", "11", "-model", "async"},
+		want: "graph,protocol,model,n,k,trial,rounds\n" +
+			"grid-3x3,uncoded,asynchronous,9,3,0,17\n" +
+			"grid-3x3,uncoded,asynchronous,9,3,1,10\n" +
+			"grid-3x3,uncoded,asynchronous,9,3,2,11\n" +
+			"grid-4x4,uncoded,asynchronous,16,4,0,18\n" +
+			"grid-4x4,uncoded,asynchronous,16,4,1,18\n" +
+			"grid-4x4,uncoded,asynchronous,16,4,2,15\n",
+	},
 }
 
-func TestPickK(t *testing.T) {
-	tests := []struct {
-		mode string
-		n    int
-		want int
-	}{
-		{"half", 64, 32},
-		{"n", 64, 64},
-		{"sqrt", 64, 8},
-		{"sqrt", 10, 4},
-		{"const:5", 100, 5},
-	}
-	for _, tt := range tests {
-		got, err := pickK(tt.mode, tt.n)
-		if err != nil || got != tt.want {
-			t.Errorf("pickK(%q, %d) = %d, %v; want %d", tt.mode, tt.n, got, err, tt.want)
-		}
-	}
-	for _, bad := range []string{"", "cube", "const:x", "const:0"} {
-		if _, err := pickK(bad, 10); err == nil {
-			t.Errorf("pickK(%q) accepted", bad)
+func TestSweepGoldenOutput(t *testing.T) {
+	for _, g := range goldenSweeps {
+		for _, workers := range []int{1, 4, 16} {
+			args := append([]string{"-parallel", strconv.Itoa(workers)}, g.args...)
+			var buf bytes.Buffer
+			if err := run(args, &buf); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+			if buf.String() != g.want {
+				t.Errorf("run(%v) output changed:\ngot:\n%swant:\n%s", args, buf.String(), g.want)
+			}
 		}
 	}
 }
@@ -77,17 +88,76 @@ func TestSweepEndToEnd(t *testing.T) {
 	}
 }
 
+func TestSweepJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{
+		"-graph", "line", "-sizes", "8", "-trials", "1", "-json",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"graph": "line-8"`, `"rounds":`, `"trial": 0`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepResumeFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sweep.ckpt")
+	args := []string{"-graph", "line", "-sizes", "8,12", "-trials", "2",
+		"-seed", "5", "-checkpoint", ckpt}
+
+	var full bytes.Buffer
+	if err := run(args, &full); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill: drop the checkpoint's tail, then resume.
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("checkpoint too short: %d lines", len(lines))
+	}
+	if err := os.WriteFile(ckpt, []byte(strings.Join(lines[:3], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed bytes.Buffer
+	if err := run(append(args, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != full.String() {
+		t.Errorf("resumed output differs from uninterrupted run:\ngot:\n%swant:\n%s",
+			resumed.String(), full.String())
+	}
+}
+
 func TestSweepRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-protocol", "bogus"}, os.Stdout); err == nil {
-		t.Error("bogus protocol accepted")
+	for _, args := range [][]string{
+		{"-protocol", "bogus"},
+		{"-graph", "bogus"},
+		{"-sizes", "nope"},
+		{"-kmode", "nope"},
+		{"-trials", "0"},
+		{"-resume"}, // -resume without -checkpoint
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
 	}
-	if err := run([]string{"-graph", "bogus"}, os.Stdout); err == nil {
-		t.Error("bogus graph accepted")
-	}
-	if err := run([]string{"-sizes", "nope"}, os.Stdout); err == nil {
-		t.Error("bogus sizes accepted")
-	}
-	if err := run([]string{"-kmode", "nope"}, os.Stdout); err == nil {
-		t.Error("bogus kmode accepted")
+}
+
+// failWriter rejects every write, for write-error propagation tests.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestSweepPropagatesWriteErrors(t *testing.T) {
+	err := run([]string{"-graph", "line", "-sizes", "8", "-trials", "1"}, failWriter{})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("write error not propagated: %v", err)
 	}
 }

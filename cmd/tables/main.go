@@ -1,7 +1,9 @@
 // Command tables regenerates the paper's evaluation artifacts — every row
 // of Table 1 and Table 2, the Theorem 2 queueing validation, the barbell
 // speedup, and the ablations — printing each as a text table with its
-// expected shape.
+// expected shape. Every experiment's trial loop fans out over the
+// internal/harness worker pool (-parallel), and the printed tables are
+// byte-identical for any worker count.
 //
 // Usage:
 //
@@ -20,28 +22,30 @@ import (
 	"time"
 
 	"algossip/internal/experiments"
+	"algossip/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	var (
-		quick  = fs.Bool("quick", false, "small sizes and trial counts")
-		seed   = fs.Uint64("seed", 42, "root seed")
-		only   = fs.String("only", "", "run a single experiment by ID (e.g. E4)")
-		trials = fs.Int("trials", 0, "override trials per data point")
-		outDir = fs.String("outdir", "", "also write each experiment's output to <outdir>/<ID>.txt")
+		quick    = fs.Bool("quick", false, "small sizes and trial counts")
+		seed     = fs.Uint64("seed", 42, "root seed")
+		only     = fs.String("only", "", "run a single experiment by ID (e.g. E4)")
+		trials   = fs.Int("trials", 0, "override trials per data point")
+		parallel = fs.Int("parallel", 0, "concurrent trials (0 = all cores)")
+		outDir   = fs.String("outdir", "", "also write each experiment's output to <outdir>/<ID>.txt")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials}
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Trials: *trials, Parallel: *parallel}
 
 	exps := experiments.All()
 	if *only != "" {
@@ -56,11 +60,15 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// The fail-fast writer latches the first stdout error so a broken
+	// pipe or full disk exits non-zero instead of silently truncating
+	// the report.
+	w := harness.NewFailFastWriter(stdout)
 	for _, e := range exps {
 		start := time.Now()
-		fmt.Printf("=== %s — %s ===\n", e.ID, e.Artifact)
+		fmt.Fprintf(w, "=== %s — %s ===\n", e.ID, e.Artifact)
 		var buf bytes.Buffer
-		out := io.MultiWriter(os.Stdout, &buf)
+		out := io.MultiWriter(w, &buf)
 		if err := e.Run(out, opt); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -70,7 +78,7 @@ func run(args []string) error {
 				return err
 			}
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprintf(w, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
-	return nil
+	return w.Err()
 }

@@ -3,16 +3,10 @@ package algossip
 import (
 	"fmt"
 
-	"algossip/internal/core"
 	"algossip/internal/gf"
 	"algossip/internal/gossip"
-	"algossip/internal/gossip/algebraic"
-	"algossip/internal/gossip/broadcast"
-	"algossip/internal/gossip/ispread"
-	"algossip/internal/gossip/tag"
-	"algossip/internal/gossip/uncoded"
+	"algossip/internal/harness"
 	"algossip/internal/rlnc"
-	"algossip/internal/sim"
 )
 
 // Traffic is the per-run transmission accounting (packets sent, helpful,
@@ -33,9 +27,9 @@ type Detail struct {
 }
 
 // RunDetailed is Run plus a Detail record: per-node completion rounds,
-// traffic counters, and message sizing. Identical (Spec, seed) pairs
-// produce identical results, and RunDetailed agrees with Run round-for-
-// round at the same seed.
+// traffic counters, and message sizing. It shares harness.Execute with
+// Run, so identical (Spec, seed) pairs produce identical results and
+// RunDetailed agrees with Run round-for-round at the same seed.
 func RunDetailed(spec Spec, seed uint64) (Result, Detail, error) {
 	if spec.Graph == nil {
 		return Result{}, Detail{}, fmt.Errorf("algossip: nil graph")
@@ -43,109 +37,22 @@ func RunDetailed(spec Spec, seed uint64) (Result, Detail, error) {
 	if spec.K <= 0 {
 		return Result{}, Detail{}, fmt.Errorf("algossip: k must be positive, got %d", spec.K)
 	}
-	g := spec.Graph
-	model := spec.Model
-	if model == 0 {
-		model = Synchronous
+	o, err := harness.Execute(harness.GossipSpec{
+		Graph:        spec.Graph,
+		Model:        spec.Model,
+		K:            spec.K,
+		Q:            spec.Q,
+		Action:       spec.Action,
+		SingleSource: spec.SingleSource,
+		MaxRounds:    spec.MaxRounds,
+	}, spec.Protocol, seed)
+	detail := Detail{
+		NodeDoneRounds: o.NodeDoneRounds,
+		Traffic:        o.Traffic,
+		MessageBits:    o.MessageBits,
+		TreeRounds:     o.TreeRounds,
 	}
-	q := spec.Q
-	if q == 0 {
-		q = 2
-	}
-	action := spec.Action
-	if action == 0 {
-		action = Exchange
-	}
-	maxRounds := spec.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 1 << 21
-	}
-	rcfg := RLNCRankOnlyConfig(spec.K, q)
-	assign := algebraic.RoundRobinAssign(spec.K, g.N())
-	if spec.SingleSource {
-		assign = algebraic.SingleAssign(spec.K, 0)
-	}
-	detail := Detail{MessageBits: gossip.MessageBits(rcfg), TreeRounds: -1}
-
-	var proto sim.Protocol
-	var finish func() // gathers detail after the run
-	switch spec.Protocol {
-	case 0, ProtocolUniformAG:
-		p, err := algebraic.New(g, model, sim.NewUniform(g),
-			algebraic.Config{RLNC: rcfg, Action: action},
-			core.NewRand(core.SplitSeed(seed, 1)))
-		if err != nil {
-			return Result{}, Detail{}, err
-		}
-		if err := p.SeedAll(assign, nil); err != nil {
-			return Result{}, Detail{}, err
-		}
-		proto = p
-		finish = func() {
-			detail.NodeDoneRounds = p.DoneRounds()
-			detail.Traffic = p.Traffic()
-		}
-	case ProtocolTAGRR, ProtocolTAGUniform, ProtocolTAGIS:
-		var stp tag.SpanningTree
-		switch spec.Protocol {
-		case ProtocolTAGRR:
-			stp = broadcast.New(g, model, sim.NewRoundRobin(g),
-				broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
-		case ProtocolTAGUniform:
-			stp = broadcast.New(g, model, sim.NewUniform(g),
-				broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
-		default:
-			stp = ispread.New(g, model, ispread.Config{Root: 0},
-				core.NewRand(core.SplitSeed(seed, 3)))
-		}
-		p, err := tag.New(g, model, stp, rcfg, core.NewRand(core.SplitSeed(seed, 4)))
-		if err != nil {
-			return Result{}, Detail{}, err
-		}
-		if err := p.SeedAll(assign, nil); err != nil {
-			return Result{}, Detail{}, err
-		}
-		proto = p
-		finish = func() {
-			detail.NodeDoneRounds = p.DoneRounds()
-			detail.Traffic = p.Traffic()
-			detail.TreeRounds = p.TreeRound()
-		}
-	case ProtocolUncoded:
-		p := uncoded.New(g, model, sim.NewUniform(g),
-			uncoded.Config{K: spec.K, Action: action},
-			core.NewRand(core.SplitSeed(seed, 1)))
-		p.SeedAll(assign)
-		proto = p
-		finish = func() {
-			detail.NodeDoneRounds = p.DoneRounds()
-			detail.Traffic = p.Traffic()
-			detail.MessageBits = gossip.UncodedMessageBits(spec.K, 1, q)
-		}
-	default:
-		return Result{}, Detail{}, fmt.Errorf("algossip: unknown protocol %v", spec.Protocol)
-	}
-
-	res, err := sim.New(g, model, proto,
-		core.SplitSeed(seed, engineSeedStream(spec.Protocol)),
-		sim.WithMaxRounds(maxRounds)).Run()
-	if err != nil {
-		return res, detail, err
-	}
-	finish()
-	return res, detail, nil
-}
-
-// engineSeedStream keeps RunDetailed's scheduling streams aligned with the
-// experiment runners', so RunDetailed replays the exact trajectories of
-// Run at the same seed.
-func engineSeedStream(p Protocol) uint64 {
-	switch p {
-	case ProtocolTAGRR, ProtocolTAGUniform, ProtocolTAGIS:
-		return 5
-	default:
-		return 2
-	}
+	return o.Result, detail, err
 }
 
 // RLNCRankOnlyConfig returns the rank-only codec configuration used by the

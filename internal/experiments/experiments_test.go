@@ -44,7 +44,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestSpecDefaults(t *testing.T) {
-	s := GossipSpec{Graph: graph.Line(4), K: 2}.normalize()
+	s := GossipSpec{Graph: graph.Line(4), K: 2}.Normalize()
 	if s.Model != core.Synchronous || s.Q != 2 || s.Action != core.Exchange ||
 		s.Selector != SelUniform || s.MaxRounds == 0 {
 		t.Fatalf("defaults wrong: %+v", s)

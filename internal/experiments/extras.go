@@ -6,6 +6,7 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/graph"
+	"algossip/internal/harness"
 	"algossip/internal/sim"
 	"algossip/internal/stats"
 )
@@ -23,13 +24,13 @@ func E10BarbellSpeedup(w io.Writer, opt Options) error {
 	var xs, yAG, yTAG []float64
 	for _, n := range sizes {
 		g := graph.Barbell(n)
-		agMean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+		agMean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 			return UniformAG(GossipSpec{Graph: g, K: n}, s)
 		})
 		if err != nil {
 			return fmt.Errorf("E10 AG n=%d: %w", n, err)
 		}
-		tagMean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+		tagMean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 			res, err := TAG(GossipSpec{Graph: g, K: n}, TreeBRR, s)
 			return res.Result, err
 		})
@@ -61,7 +62,7 @@ func E11LowerBoundFloor(w io.Writer, opt Options) error {
 	tbl := NewTable("graph", "k", "rounds", "floor k(n-1)/2n", "rounds/floor")
 	for _, g := range graphs {
 		for _, k := range []int{g.N() / 2, g.N()} {
-			mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+			mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 				return UniformAG(GossipSpec{Graph: g, K: k}, s)
 			})
 			if err != nil {
@@ -93,7 +94,7 @@ func E12CompleteGraph(w io.Writer, opt Options) error {
 	for _, n := range sizes {
 		g := graph.Complete(n)
 		for _, action := range []core.Action{core.Exchange, core.Push, core.Pull} {
-			mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+			mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 				return UniformAG(GossipSpec{Graph: g, K: n, Action: action}, s)
 			})
 			if err != nil {
@@ -118,7 +119,7 @@ func A1FieldSize(w io.Writer, opt Options) error {
 	tbl := NewTable("q", "rounds", "vs q=2")
 	var base float64
 	for _, q := range []int{2, 4, 16, 256} {
-		mean, err := MeanRounds(opt.trials(), opt.Seed, func(sd uint64) (sim.Result, error) {
+		mean, err := MeanRounds(opt, func(sd uint64) (sim.Result, error) {
 			return UniformAG(GossipSpec{Graph: g, K: k, Q: q}, sd)
 		})
 		if err != nil {
@@ -144,7 +145,7 @@ func A2Action(w io.Writer, opt Options) error {
 		k := g.N() / 2
 		row := []any{g.Name()}
 		for _, action := range []core.Action{core.Exchange, core.Push, core.Pull} {
-			mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+			mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 				return UniformAG(GossipSpec{Graph: g, K: k, Action: action}, s)
 			})
 			if err != nil {
@@ -170,13 +171,13 @@ func A3Uncoded(w io.Writer, opt Options) error {
 	tbl := NewTable("n=k", "RLNC", "uncoded", "uncoded/RLNC")
 	for _, n := range sizes {
 		g := graph.Complete(n)
-		coded, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+		coded, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 			return UniformAG(GossipSpec{Graph: g, K: n}, s)
 		})
 		if err != nil {
 			return fmt.Errorf("A3 coded n=%d: %w", n, err)
 		}
-		plain, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+		plain, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 			return Uncoded(GossipSpec{Graph: g, K: n}, s)
 		})
 		if err != nil {
@@ -199,23 +200,30 @@ func A4RankOnly(w io.Writer, opt Options) error {
 	g := graph.Grid(s, s)
 	k := g.N() / 2
 	tbl := NewTable("seed", "rank-only rounds", "payload rounds", "equal")
-	allEqual := true
-	for i := 0; i < opt.trials(); i++ {
+	type pair struct{ ro, pl int }
+	pairs, err := harness.ParallelMap(opt.trials(), opt.parallel(), func(i int) (pair, error) {
 		seed := core.SplitSeed(opt.Seed, uint64(900+i))
 		ro, err := UniformAG(GossipSpec{Graph: g, K: k, Q: 256}, seed)
 		if err != nil {
-			return fmt.Errorf("A4 rank-only: %w", err)
+			return pair{}, fmt.Errorf("A4 rank-only: %w", err)
 		}
 		pl, err := uniformAGPayload(g, k, seed)
 		if err != nil {
-			return fmt.Errorf("A4 payload: %w", err)
+			return pair{}, fmt.Errorf("A4 payload: %w", err)
 		}
+		return pair{ro.Rounds, pl.Rounds}, nil
+	})
+	if err != nil {
+		return err
+	}
+	allEqual := true
+	for i, p := range pairs {
 		eq := "yes"
-		if ro.Rounds != pl.Rounds {
+		if p.ro != p.pl {
 			eq = "NO"
 			allEqual = false
 		}
-		tbl.AddRow(i, ro.Rounds, pl.Rounds, eq)
+		tbl.AddRow(i, p.ro, p.pl, eq)
 	}
 	fmt.Fprintln(w, "A4 — ablation: rank-only fast path vs full payload decode (q=256, same seeds)")
 	if allEqual {

@@ -24,13 +24,13 @@ func A5SyncVsAsync(w io.Writer, opt Options) error {
 	tbl := NewTable("graph", "k", "sync rounds", "async rounds", "async/sync")
 	for _, g := range graphs {
 		k := g.N() / 2
-		syncMean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+		syncMean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 			return UniformAG(GossipSpec{Graph: g, K: k, Model: core.Synchronous}, s)
 		})
 		if err != nil {
 			return fmt.Errorf("A5 sync %s: %w", g.Name(), err)
 		}
-		asyncMean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+		asyncMean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 			return UniformAG(GossipSpec{Graph: g, K: k, Model: core.Asynchronous}, s)
 		})
 		if err != nil {
@@ -56,7 +56,7 @@ func A6LossRobustness(w io.Writer, opt Options) error {
 	tbl := NewTable("loss p", "rounds", "slowdown", "1/(1-p) ref")
 	var base float64
 	for _, p := range []float64{0, 0.1, 0.3, 0.5} {
-		mean, err := MeanRounds(opt.trials(), opt.Seed, func(sd uint64) (sim.Result, error) {
+		mean, err := MeanRounds(opt, func(sd uint64) (sim.Result, error) {
 			return UniformAG(GossipSpec{Graph: g, K: k, LossRate: p}, sd)
 		})
 		if err != nil {

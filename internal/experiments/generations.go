@@ -8,6 +8,7 @@ import (
 	"algossip/internal/gf"
 	"algossip/internal/gossip/algebraic"
 	"algossip/internal/graph"
+	"algossip/internal/harness"
 	"algossip/internal/rlnc"
 	"algossip/internal/sim"
 )
@@ -32,24 +33,32 @@ func A7Generations(w io.Writer, opt Options) error {
 			K:       k,
 			GenSize: genSize,
 		}
+		type sample struct{ rounds, packets float64 }
+		samples, err := harness.ParallelMap(opt.trials(), opt.parallel(),
+			func(i int) (sample, error) {
+				seed := core.SplitSeed(opt.Seed, uint64(950+i))
+				p, err := algebraic.NewGen(g, core.Synchronous, sim.NewUniform(g), cfg,
+					core.NewRand(core.SplitSeed(seed, 1)))
+				if err != nil {
+					return sample{}, fmt.Errorf("A7 g=%d: %w", genSize, err)
+				}
+				if err := p.SeedAll(algebraic.RoundRobinAssign(k, g.N()), nil); err != nil {
+					return sample{}, err
+				}
+				res, err := sim.New(g, core.Synchronous, p, core.SplitSeed(seed, 2),
+					sim.WithMaxRounds(1<<20)).Run()
+				if err != nil {
+					return sample{}, fmt.Errorf("A7 g=%d: %w", genSize, err)
+				}
+				return sample{float64(res.Rounds), float64(p.Traffic().Sent)}, nil
+			})
+		if err != nil {
+			return err
+		}
 		var rounds, packets float64
-		for i := 0; i < opt.trials(); i++ {
-			seed := core.SplitSeed(opt.Seed, uint64(950+i))
-			p, err := algebraic.NewGen(g, core.Synchronous, sim.NewUniform(g), cfg,
-				core.NewRand(core.SplitSeed(seed, 1)))
-			if err != nil {
-				return fmt.Errorf("A7 g=%d: %w", genSize, err)
-			}
-			if err := p.SeedAll(algebraic.RoundRobinAssign(k, g.N()), nil); err != nil {
-				return err
-			}
-			res, err := sim.New(g, core.Synchronous, p, core.SplitSeed(seed, 2),
-				sim.WithMaxRounds(1<<20)).Run()
-			if err != nil {
-				return fmt.Errorf("A7 g=%d: %w", genSize, err)
-			}
-			rounds += float64(res.Rounds)
-			packets += float64(p.Traffic().Sent)
+		for _, s := range samples {
+			rounds += s.rounds
+			packets += s.packets
 		}
 		trials := float64(opt.trials())
 		bits := cfg.MessageBits()

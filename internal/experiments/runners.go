@@ -1,247 +1,89 @@
-// Package experiments is the harness that regenerates every table and
+// Package experiments is the registry that regenerates every table and
 // figure of the paper's evaluation (see DESIGN.md, "Experiment index"):
-// it wraps the protocol packages in declarative specs, repeats trials over
-// split seeds, fits scaling exponents, and renders the comparison tables.
-// Both the CLI (cmd/tables) and the benchmark suite (bench_test.go) drive
-// this package, so the printed rows and the benchmark metrics come from the
-// same code paths.
+// it layers the paper's table renderers on top of internal/harness,
+// which owns the single-trial runners, the declarative Spec, and the
+// parallel trial scheduler. Both the CLI (cmd/tables) and the benchmark
+// suite (bench_test.go) drive this package, so the printed rows and the
+// benchmark metrics come from the same code paths — and every trial loop
+// fans out over the harness worker pool while remaining byte-identical
+// for any worker count.
 package experiments
 
 import (
-	"fmt"
-
 	"algossip/internal/core"
 	"algossip/internal/gf"
-	"algossip/internal/gossip/algebraic"
-	"algossip/internal/gossip/broadcast"
 	"algossip/internal/gossip/ispread"
-	"algossip/internal/gossip/tag"
-	"algossip/internal/gossip/uncoded"
 	"algossip/internal/graph"
-	"algossip/internal/rlnc"
+	"algossip/internal/harness"
 	"algossip/internal/sim"
 )
 
-// SelectorKind names a communication model.
-type SelectorKind int
+// Re-exported harness vocabulary: the single-trial runners moved down
+// into internal/harness so the binaries can share them without import
+// cycles; the experiment runners keep their historical names.
+type (
+	// SelectorKind names a communication model.
+	SelectorKind = harness.SelectorKind
+	// TreeKind names a spanning-tree protocol for TAG's Phase 1.
+	TreeKind = harness.TreeKind
+	// GossipSpec declares one algebraic-gossip measurement.
+	GossipSpec = harness.GossipSpec
+	// TAGResult extends a sim.Result with Phase 1 observables.
+	TAGResult = harness.TAGResult
+)
 
 const (
 	// SelUniform is uniform gossip (Definition 1).
-	SelUniform SelectorKind = iota + 1
+	SelUniform = harness.SelUniform
 	// SelRoundRobin is round-robin / quasirandom gossip (Definition 2).
-	SelRoundRobin
-)
-
-// String returns the selector name.
-func (s SelectorKind) String() string {
-	if s == SelRoundRobin {
-		return "round-robin"
-	}
-	return "uniform"
-}
-
-func (s SelectorKind) build(g *graph.Graph) sim.PartnerSelector {
-	if s == SelRoundRobin {
-		return sim.NewRoundRobin(g)
-	}
-	return sim.NewUniform(g)
-}
-
-// TreeKind names a spanning-tree protocol for TAG's Phase 1.
-type TreeKind int
-
-const (
+	SelRoundRobin = harness.SelRoundRobin
 	// TreeBRR is the round-robin broadcast B_RR of Theorem 5.
-	TreeBRR TreeKind = iota + 1
+	TreeBRR = harness.TreeBRR
 	// TreeUniformB is the uniform push broadcast.
-	TreeUniformB
+	TreeUniformB = harness.TreeUniformB
 	// TreeIS is the information-spreading protocol of Section 6.
-	TreeIS
+	TreeIS = harness.TreeIS
 )
-
-// String returns the tree-protocol name.
-func (t TreeKind) String() string {
-	switch t {
-	case TreeBRR:
-		return "BRR"
-	case TreeUniformB:
-		return "uniform-B"
-	case TreeIS:
-		return "IS"
-	default:
-		return fmt.Sprintf("TreeKind(%d)", int(t))
-	}
-}
-
-// GossipSpec declares one algebraic-gossip measurement.
-type GossipSpec struct {
-	// Graph is the topology.
-	Graph *graph.Graph
-	// Model is the time model (default Synchronous).
-	Model core.TimeModel
-	// K is the number of messages.
-	K int
-	// Q is the field order (default 2, which selects the fast bitset
-	// backend; stopping-time behaviour only improves with larger q).
-	Q int
-	// Action is the contact direction (default Exchange).
-	Action core.Action
-	// Selector is the communication model (default uniform).
-	Selector SelectorKind
-	// SingleSource, when true, seeds all k messages at node 0 instead of
-	// round-robin across nodes.
-	SingleSource bool
-	// LossRate drops each transmitted packet with this probability
-	// (failure injection; uniform AG only).
-	LossRate float64
-	// MaxRounds overrides the engine's round budget (default generous).
-	MaxRounds int
-}
-
-func (s GossipSpec) normalize() GossipSpec {
-	if s.Model == 0 {
-		s.Model = core.Synchronous
-	}
-	if s.Q == 0 {
-		s.Q = 2
-	}
-	if s.Action == 0 {
-		s.Action = core.Exchange
-	}
-	if s.Selector == 0 {
-		s.Selector = SelUniform
-	}
-	if s.MaxRounds == 0 {
-		s.MaxRounds = 1 << 21
-	}
-	return s
-}
-
-func (s GossipSpec) rlncConfig() rlnc.Config {
-	return rlnc.Config{Field: gf.MustNew(s.Q), K: s.K, RankOnly: true}
-}
-
-func (s GossipSpec) assign() []core.NodeID {
-	if s.SingleSource {
-		return algebraic.SingleAssign(s.K, 0)
-	}
-	return algebraic.RoundRobinAssign(s.K, s.Graph.N())
-}
 
 // UniformAG runs one algebraic-gossip trial and returns the stopping time.
 func UniformAG(spec GossipSpec, seed uint64) (sim.Result, error) {
-	spec = spec.normalize()
-	p, err := algebraic.New(spec.Graph, spec.Model, spec.Selector.build(spec.Graph),
-		algebraic.Config{RLNC: spec.rlncConfig(), Action: spec.Action, LossRate: spec.LossRate},
-		core.NewRand(core.SplitSeed(seed, 1)))
-	if err != nil {
-		return sim.Result{}, err
-	}
-	if err := p.SeedAll(spec.assign(), nil); err != nil {
-		return sim.Result{}, err
-	}
-	return sim.New(spec.Graph, spec.Model, p, core.SplitSeed(seed, 2),
-		sim.WithMaxRounds(spec.MaxRounds)).Run()
-}
-
-// TAGResult extends a sim.Result with Phase 1 observables.
-type TAGResult struct {
-	sim.Result
-	// TreeRounds is t(S): the synchronous round at which the spanning tree
-	// completed (-1 if untracked, asynchronous model).
-	TreeRounds int
-	// TreeDepth and TreeDiameter describe the tree S built.
-	TreeDepth, TreeDiameter int
+	return harness.UniformAG(spec, seed)
 }
 
 // TAG runs one TAG trial with the given Phase 1 protocol.
 func TAG(spec GossipSpec, kind TreeKind, seed uint64) (TAGResult, error) {
-	spec = spec.normalize()
-	var stp tag.SpanningTree
-	switch kind {
-	case TreeBRR:
-		stp = broadcast.New(spec.Graph, spec.Model, sim.NewRoundRobin(spec.Graph),
-			broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
-	case TreeUniformB:
-		stp = broadcast.New(spec.Graph, spec.Model, sim.NewUniform(spec.Graph),
-			broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
-	case TreeIS:
-		stp = ispread.New(spec.Graph, spec.Model, ispread.Config{Root: 0},
-			core.NewRand(core.SplitSeed(seed, 3)))
-	default:
-		return TAGResult{}, fmt.Errorf("experiments: unknown tree kind %d", kind)
-	}
-	p, err := tag.New(spec.Graph, spec.Model, stp, spec.rlncConfig(),
-		core.NewRand(core.SplitSeed(seed, 4)))
-	if err != nil {
-		return TAGResult{}, err
-	}
-	if err := p.SeedAll(spec.assign(), nil); err != nil {
-		return TAGResult{}, err
-	}
-	res, err := sim.New(spec.Graph, spec.Model, p, core.SplitSeed(seed, 5),
-		sim.WithMaxRounds(spec.MaxRounds)).Run()
-	out := TAGResult{Result: res, TreeRounds: p.TreeRound(), TreeDepth: -1, TreeDiameter: -1}
-	if tree, ok := stp.Tree(); ok {
-		out.TreeDepth = tree.Depth()
-		out.TreeDiameter = tree.Diameter()
-	}
-	return out, err
+	return harness.TAG(spec, kind, seed)
+}
+
+// Uncoded runs one store-and-forward baseline trial.
+func Uncoded(spec GossipSpec, seed uint64) (sim.Result, error) {
+	return harness.Uncoded(spec, seed)
 }
 
 // Broadcast runs one broadcast trial and returns the stopping time and the
 // induced spanning tree.
 func Broadcast(g *graph.Graph, model core.TimeModel, sel SelectorKind, seed uint64) (sim.Result, *graph.Tree, error) {
-	p := broadcast.New(g, model, sel.build(g), broadcast.Config{Origin: 0},
-		core.NewRand(core.SplitSeed(seed, 6)))
-	res, err := sim.New(g, model, p, core.SplitSeed(seed, 7)).Run()
-	if err != nil {
-		return res, nil, err
-	}
-	tree, _ := p.Tree()
-	return res, tree, nil
+	return harness.Broadcast(g, model, sel, seed)
 }
 
 // ISpread runs one IS trial in the given mode and returns stopping time and
 // the induced tree (TreeMode).
 func ISpread(g *graph.Graph, model core.TimeModel, mode ispread.Mode, seed uint64) (sim.Result, *graph.Tree, error) {
-	p := ispread.New(g, model, ispread.Config{Root: 0, Mode: mode},
-		core.NewRand(core.SplitSeed(seed, 8)))
-	res, err := sim.New(g, model, p, core.SplitSeed(seed, 9)).Run()
-	if err != nil {
-		return res, nil, err
-	}
-	tree, _ := p.Tree()
-	return res, tree, nil
+	return harness.ISpread(g, model, mode, seed)
 }
 
-// Uncoded runs one store-and-forward baseline trial.
-func Uncoded(spec GossipSpec, seed uint64) (sim.Result, error) {
-	spec = spec.normalize()
-	p := uncoded.New(spec.Graph, spec.Model, spec.Selector.build(spec.Graph),
-		uncoded.Config{K: spec.K, Action: spec.Action},
-		core.NewRand(core.SplitSeed(seed, 1)))
-	p.SeedAll(spec.assign())
-	return sim.New(spec.Graph, spec.Model, p, core.SplitSeed(seed, 2),
-		sim.WithMaxRounds(spec.MaxRounds)).Run()
+// Repeat runs fn for opt.trials() split seeds across the harness worker
+// pool and collects the samples in trial order — deterministic for any
+// parallelism because each trial's seed depends only on its index.
+func Repeat(opt Options, fn func(seed uint64) (float64, error)) ([]float64, error) {
+	return harness.ParallelFloats(opt.trials(), opt.parallel(), func(i int) (float64, error) {
+		return fn(core.SplitSeed(opt.Seed, uint64(100+i)))
+	})
 }
 
-// Repeat runs fn for `trials` split seeds and collects the results.
-func Repeat(trials int, seed uint64, fn func(seed uint64) (float64, error)) ([]float64, error) {
-	out := make([]float64, 0, trials)
-	for i := 0; i < trials; i++ {
-		v, err := fn(core.SplitSeed(seed, uint64(100+i)))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-// MeanRounds averages the stopping time of fn over trials.
-func MeanRounds(trials int, seed uint64, fn func(seed uint64) (sim.Result, error)) (float64, error) {
-	xs, err := Repeat(trials, seed, func(s uint64) (float64, error) {
+// MeanRounds averages the stopping time of fn over opt.trials() trials.
+func MeanRounds(opt Options, fn func(seed uint64) (sim.Result, error)) (float64, error) {
+	xs, err := Repeat(opt, func(s uint64) (float64, error) {
 		res, err := fn(s)
 		return float64(res.Rounds), err
 	})

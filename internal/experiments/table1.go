@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"algossip/internal/core"
 	"algossip/internal/gossip/ispread"
 	"algossip/internal/graph"
+	"algossip/internal/harness"
 	"algossip/internal/sim"
 	"algossip/internal/stats"
 )
@@ -20,6 +22,16 @@ type Options struct {
 	Seed uint64
 	// Trials overrides the per-point repetition count (0 = default).
 	Trials int
+	// Parallel bounds concurrent trials in the harness pool (0 = all
+	// cores). Results are byte-identical for any value.
+	Parallel int
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) trials() int {
@@ -65,7 +77,7 @@ func E1UniformAGAnyGraph(w io.Writer, opt Options) error {
 	for _, g := range graphs {
 		k := g.N() / 2
 		for _, model := range []core.TimeModel{core.Synchronous, core.Asynchronous} {
-			mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+			mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 				return UniformAG(GossipSpec{Graph: g, Model: model, K: k}, s)
 			})
 			if err != nil {
@@ -105,7 +117,7 @@ func E2ConstDegreeOptimal(w io.Writer, opt Options) error {
 			g := fam.make(n)
 			k := g.N() / 2
 			d := g.Diameter()
-			mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+			mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 				return UniformAG(GossipSpec{Graph: g, K: k}, s)
 			})
 			if err != nil {
@@ -141,13 +153,16 @@ func E3TAGGeneral(w io.Writer, opt Options) error {
 	for _, g := range graphs {
 		k := g.N()
 		for _, kind := range kinds {
+			results, err := harness.ParallelMap(opt.trials(), opt.parallel(),
+				func(i int) (TAGResult, error) {
+					return TAG(GossipSpec{Graph: g, K: k}, kind, core.SplitSeed(opt.Seed, uint64(300+i)))
+				})
+			if err != nil {
+				return fmt.Errorf("E3 %s/%s: %w", g.Name(), kind, err)
+			}
 			var sumRounds, sumBound float64
 			var lastT, lastD int
-			for i := 0; i < opt.trials(); i++ {
-				res, err := TAG(GossipSpec{Graph: g, K: k}, kind, core.SplitSeed(opt.Seed, uint64(300+i)))
-				if err != nil {
-					return fmt.Errorf("E3 %s/%s: %w", g.Name(), kind, err)
-				}
+			for _, res := range results {
 				tS := res.TreeRounds
 				if tS < 0 {
 					tS = res.Rounds
@@ -198,7 +213,7 @@ func E4TAGRoundRobin(w io.Writer, opt Options) error {
 			if bres.Rounds > 3*g.N() {
 				ok = "NO"
 			}
-			mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+			mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 				res, err := TAG(GossipSpec{Graph: g, K: g.N()}, TreeBRR, s)
 				return res.Result, err
 			})
@@ -242,7 +257,7 @@ func E5TAGIS(w io.Writer, opt Options) error {
 		}
 		ref := log2(g.N()) * log2(g.N())
 		for _, k := range []int{g.N() / 2, g.N(), 2 * g.N()} {
-			mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+			mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 				res, err := TAG(GossipSpec{Graph: g, K: k}, TreeIS, s)
 				return res.Result, err
 			})
@@ -261,7 +276,7 @@ func E5TAGIS(w io.Writer, opt Options) error {
 	async := NewTable("graph", "k", "async rounds", "rounds/k")
 	for _, g := range graphs {
 		k := 2 * g.N()
-		mean, err := MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
+		mean, err := MeanRounds(opt, func(s uint64) (sim.Result, error) {
 			res, err := TAG(GossipSpec{Graph: g, K: k, Model: core.Asynchronous}, TreeIS, s)
 			return res.Result, err
 		})

@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"algossip/internal/core"
 	"algossip/internal/graph"
-	"algossip/internal/sim"
+	"algossip/internal/harness"
 	"algossip/internal/stats"
 )
 
@@ -49,12 +50,28 @@ func table2Families() []table2Family {
 	}
 }
 
-// table2Row runs the measurement for one family at one size.
+// table2Row runs the measurement for one family at one size. It is the
+// Spec-literal pattern new scenarios should follow: declare the cell,
+// hand it to the harness pool, read the aggregate back. TrialSeed pins
+// the historical MeanRounds stream layout so regenerated rows match the
+// pre-harness output bit for bit.
 func table2Row(fam table2Family, n, k int, opt Options) (mean float64, err error) {
-	g := fam.make(n)
-	return MeanRounds(opt.trials(), opt.Seed, func(s uint64) (sim.Result, error) {
-		return UniformAG(GossipSpec{Graph: g, K: k}, s)
-	})
+	spec := harness.Spec{
+		Name:     "table2-" + fam.name,
+		Graphs:   []*graph.Graph{fam.make(n)},
+		Ks:       []int{k},
+		Protocol: harness.ProtocolUniformAG,
+		Trials:   opt.trials(),
+		Seed:     opt.Seed,
+		TrialSeed: func(size, trial int) uint64 {
+			return core.SplitSeed(opt.Seed, uint64(100+trial))
+		},
+	}
+	rs, err := harness.Runner{Parallel: opt.parallel()}.Run(&spec)
+	if err != nil {
+		return 0, err
+	}
+	return rs.MeanRounds(0), nil
 }
 
 // runTable2 regenerates one row family of Table 2: measured uniform-AG

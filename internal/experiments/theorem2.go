@@ -7,6 +7,7 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/graph"
+	"algossip/internal/harness"
 	"algossip/internal/queueing"
 	"algossip/internal/stats"
 )
@@ -40,15 +41,28 @@ func E9QueueChain(w io.Writer, opt Options) error {
 		byLevel[depths[v]] += c
 	}
 
-	meanTree := queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, 1), func(rng *rand.Rand) float64 {
-		return queueing.SimulateTree(tree, customers, queueing.Exponential(mu), rng)
+	// The three systems of the dominance chain are independent simulations
+	// with their own seed streams, so they fan out over the harness pool.
+	chain, err := harness.ParallelFloats(3, opt.parallel(), func(i int) (float64, error) {
+		switch i {
+		case 0:
+			return queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, 1), func(rng *rand.Rand) float64 {
+				return queueing.SimulateTree(tree, customers, queueing.Exponential(mu), rng)
+			}), nil
+		case 1:
+			return queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, 2), func(rng *rand.Rand) float64 {
+				return queueing.SimulateLine(byLevel, queueing.Exponential(mu), rng)
+			}), nil
+		default:
+			return queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, 3), func(rng *rand.Rand) float64 {
+				return queueing.SimulateLineAllAtEnd(lmax, total, queueing.Exponential(mu), rng)
+			}), nil
+		}
 	})
-	meanLine := queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, 2), func(rng *rand.Rand) float64 {
-		return queueing.SimulateLine(byLevel, queueing.Exponential(mu), rng)
-	})
-	meanEnd := queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, 3), func(rng *rand.Rand) float64 {
-		return queueing.SimulateLineAllAtEnd(lmax, total, queueing.Exponential(mu), rng)
-	})
+	if err != nil {
+		return err
+	}
+	meanTree, meanLine, meanEnd := chain[0], chain[1], chain[2]
 
 	fmt.Fprintln(w, "E9 — Figure 1 / Theorem 2: gossip-to-queueing reduction")
 	fmt.Fprintf(w, "    dominance chain (means, µ=1, %s, k=%d, lmax=%d):\n", g.Name(), total, lmax)
@@ -57,20 +71,33 @@ func E9QueueChain(w io.Writer, opt Options) error {
 		fmt.Fprintln(w, "    WARNING: dominance ordering violated beyond tolerance")
 	}
 
-	// Part 2: Theorem 2 scaling — drain of Q̂^line vs k and lmax.
+	// Part 2: Theorem 2 scaling — drain of Q̂^line vs k and lmax. Each
+	// (lmax, k) cell draws from its own seed stream, so the grid runs in
+	// parallel and renders in declaration order.
 	tbl := NewTable("lmax", "k", "drain(mean)", "(k+lmax)/µ", "ratio")
-	var xs, ys []float64
+	type cell struct{ lm, k int }
+	var cells []cell
 	for _, lm := range []int{5, 10, 20} {
 		for _, k := range []int{20, 50, 100} {
-			mean := queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, uint64(lm*1000+k)),
-				func(rng *rand.Rand) float64 {
-					return queueing.SimulateLineAllAtEnd(lm, k, queueing.Exponential(mu), rng)
-				})
-			pred := float64(k+lm) / mu
-			tbl.AddRow(lm, k, mean, pred, mean/pred)
-			xs = append(xs, pred)
-			ys = append(ys, mean)
+			cells = append(cells, cell{lm, k})
 		}
+	}
+	means, err := harness.ParallelFloats(len(cells), opt.parallel(), func(i int) (float64, error) {
+		c := cells[i]
+		return queueing.MeanDrainTime(trials, core.SplitSeed(opt.Seed, uint64(c.lm*1000+c.k)),
+			func(rng *rand.Rand) float64 {
+				return queueing.SimulateLineAllAtEnd(c.lm, c.k, queueing.Exponential(mu), rng)
+			}), nil
+	})
+	if err != nil {
+		return err
+	}
+	var xs, ys []float64
+	for i, c := range cells {
+		pred := float64(c.k+c.lm) / mu
+		tbl.AddRow(c.lm, c.k, means[i], pred, means[i]/pred)
+		xs = append(xs, pred)
+		ys = append(ys, means[i])
 	}
 	_, slope, r2 := stats.LinearFit(xs, ys)
 	fmt.Fprintf(w, "    drain vs (k+lmax)/µ: slope=%.2f R²=%.3f (Theorem 2: O((k+lmax+log n)/µ))\n", slope, r2)

@@ -6,12 +6,8 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/gossip"
-	"algossip/internal/gossip/algebraic"
-	"algossip/internal/gossip/broadcast"
-	"algossip/internal/gossip/tag"
-	"algossip/internal/gossip/uncoded"
 	"algossip/internal/graph"
-	"algossip/internal/sim"
+	"algossip/internal/harness"
 	"algossip/internal/stats"
 	"algossip/internal/trace"
 )
@@ -26,64 +22,31 @@ func E13Traffic(w io.Writer, opt Options) error {
 	n := opt.pick(24, 64)
 	g := graph.Barbell(n)
 	k := g.N()
-	bits := gossip.MessageBits(GossipSpec{Graph: g, K: k}.normalize().rlncConfig())
+	spec := GossipSpec{Graph: g, K: k}.Normalize()
+	bits := gossip.MessageBits(spec.RLNCConfig())
 	tbl := NewTable("protocol", "rounds", "packets sent", "helpful", "efficiency", "~Mbit total")
 
-	type run struct {
-		name string
-		do   func(seed uint64) (int, gossip.Traffic, error)
-	}
-	runs := []run{
-		{"uniform AG", func(seed uint64) (int, gossip.Traffic, error) {
-			spec := GossipSpec{Graph: g, K: k}.normalize()
-			p, err := algebraic.New(g, spec.Model, sim.NewUniform(g),
-				algebraic.Config{RLNC: spec.rlncConfig()}, core.NewRand(core.SplitSeed(seed, 1)))
-			if err != nil {
-				return 0, gossip.Traffic{}, err
-			}
-			if err := p.SeedAll(spec.assign(), nil); err != nil {
-				return 0, gossip.Traffic{}, err
-			}
-			res, err := sim.New(g, spec.Model, p, core.SplitSeed(seed, 2),
-				sim.WithMaxRounds(spec.MaxRounds)).Run()
-			return res.Rounds, p.Traffic(), err
-		}},
-		{"TAG+BRR", func(seed uint64) (int, gossip.Traffic, error) {
-			spec := GossipSpec{Graph: g, K: k}.normalize()
-			stp := broadcast.New(g, spec.Model, sim.NewRoundRobin(g),
-				broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
-			p, err := tag.New(g, spec.Model, stp, spec.rlncConfig(),
-				core.NewRand(core.SplitSeed(seed, 4)))
-			if err != nil {
-				return 0, gossip.Traffic{}, err
-			}
-			if err := p.SeedAll(spec.assign(), nil); err != nil {
-				return 0, gossip.Traffic{}, err
-			}
-			res, err := sim.New(g, spec.Model, p, core.SplitSeed(seed, 5),
-				sim.WithMaxRounds(spec.MaxRounds)).Run()
-			return res.Rounds, p.Traffic(), err
-		}},
-		{"uncoded", func(seed uint64) (int, gossip.Traffic, error) {
-			spec := GossipSpec{Graph: g, K: k}.normalize()
-			p := uncoded.New(g, spec.Model, sim.NewUniform(g),
-				uncoded.Config{K: k}, core.NewRand(core.SplitSeed(seed, 1)))
-			p.SeedAll(spec.assign())
-			res, err := sim.New(g, spec.Model, p, core.SplitSeed(seed, 2),
-				sim.WithMaxRounds(spec.MaxRounds)).Run()
-			return res.Rounds, p.Traffic(), err
-		}},
+	runs := []struct {
+		name  string
+		proto harness.Protocol
+	}{
+		{"uniform AG", harness.ProtocolUniformAG},
+		{"TAG+BRR", harness.ProtocolTAGRR},
+		{"uncoded", harness.ProtocolUncoded},
 	}
 	for _, r := range runs {
+		outcomes, err := harness.ParallelMap(opt.trials(), opt.parallel(),
+			func(i int) (harness.Outcome, error) {
+				return harness.Execute(spec, r.proto, core.SplitSeed(opt.Seed, uint64(700+i)))
+			})
+		if err != nil {
+			return fmt.Errorf("E13 %s: %w", r.name, err)
+		}
 		var rounds float64
 		var tr gossip.Traffic
-		for i := 0; i < opt.trials(); i++ {
-			rd, t, err := r.do(core.SplitSeed(opt.Seed, uint64(700+i)))
-			if err != nil {
-				return fmt.Errorf("E13 %s: %w", r.name, err)
-			}
-			rounds += float64(rd)
-			tr.Add(t)
+		for _, o := range outcomes {
+			rounds += float64(o.Result.Rounds)
+			tr.Add(o.Traffic)
 		}
 		trials := float64(opt.trials())
 		mbits := float64(tr.Sent) / trials * float64(bits) / 1e6
@@ -97,65 +60,35 @@ func E13Traffic(w io.Writer, opt Options) error {
 }
 
 // E14DisseminationCurve records per-node completion rounds (the trace
-// subsystem) and prints the dissemination CDF quantiles on the barbell.
-// The distributional story behind E10: under uniform AG *every* node's
-// completion is gated by the trickle of rank across the bridge, so the
-// whole CDF — median included — sits at Θ(n²); TAG shifts the entire curve
-// down to Θ(n).
+// subsystem, wired in through GossipSpec.Observer) and prints the
+// dissemination CDF quantiles on the barbell. The distributional story
+// behind E10: under uniform AG *every* node's completion is gated by the
+// trickle of rank across the bridge, so the whole CDF — median included —
+// sits at Θ(n²); TAG shifts the entire curve down to Θ(n).
 func E14DisseminationCurve(w io.Writer, opt Options) error {
 	n := opt.pick(24, 64)
 	g := graph.Barbell(n)
 	k := g.N()
-	spec := GossipSpec{Graph: g, K: k}.normalize()
-
-	runAG := func(seed uint64) (*trace.Recorder, error) {
-		rec := trace.NewRecorder()
-		p, err := algebraic.New(g, spec.Model, sim.NewUniform(g),
-			algebraic.Config{RLNC: spec.rlncConfig()}, core.NewRand(core.SplitSeed(seed, 1)))
-		if err != nil {
-			return nil, err
-		}
-		p.SetObserver(rec)
-		if err := p.SeedAll(spec.assign(), nil); err != nil {
-			return nil, err
-		}
-		_, err = sim.New(g, spec.Model, p, core.SplitSeed(seed, 2),
-			sim.WithMaxRounds(spec.MaxRounds)).Run()
-		return rec, err
-	}
-	runTAG := func(seed uint64) (*trace.Recorder, error) {
-		rec := trace.NewRecorder()
-		stp := broadcast.New(g, spec.Model, sim.NewRoundRobin(g),
-			broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
-		p, err := tag.New(g, spec.Model, stp, spec.rlncConfig(),
-			core.NewRand(core.SplitSeed(seed, 4)))
-		if err != nil {
-			return nil, err
-		}
-		p.SetObserver(rec)
-		if err := p.SeedAll(spec.assign(), nil); err != nil {
-			return nil, err
-		}
-		_, err = sim.New(g, spec.Model, p, core.SplitSeed(seed, 5),
-			sim.WithMaxRounds(spec.MaxRounds)).Run()
-		return rec, err
-	}
 
 	tbl := NewTable("protocol", "median node done", "p90", "last node done", "tail spread (max/med)")
 	for _, r := range []struct {
-		name string
-		do   func(seed uint64) (*trace.Recorder, error)
-	}{{"uniform AG", runAG}, {"TAG+BRR", runTAG}} {
+		name  string
+		proto harness.Protocol
+	}{{"uniform AG", harness.ProtocolUniformAG}, {"TAG+BRR", harness.ProtocolTAGRR}} {
+		summaries, err := harness.ParallelMap(opt.trials(), opt.parallel(),
+			func(i int) (stats.Summary, error) {
+				rec := trace.NewRecorder()
+				spec := GossipSpec{Graph: g, K: k, Observer: rec}
+				if _, err := harness.Execute(spec, r.proto, core.SplitSeed(opt.Seed, uint64(800+i))); err != nil {
+					return stats.Summary{}, err
+				}
+				return rec.Summary()
+			})
+		if err != nil {
+			return fmt.Errorf("E14 %s: %w", r.name, err)
+		}
 		var meds, p90s, maxs []float64
-		for i := 0; i < opt.trials(); i++ {
-			rec, err := r.do(core.SplitSeed(opt.Seed, uint64(800+i)))
-			if err != nil {
-				return fmt.Errorf("E14 %s: %w", r.name, err)
-			}
-			s, err := rec.Summary()
-			if err != nil {
-				return err
-			}
+		for _, s := range summaries {
 			meds = append(meds, s.Median)
 			p90s = append(p90s, s.P90)
 			maxs = append(maxs, s.Max)

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// ckHeader is the checkpoint file's first line: enough to refuse
+// resuming a different spec.
+type ckHeader struct {
+	V           int    `json:"v"`
+	Name        string `json:"name,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Total       int    `json:"total"`
+}
+
+// ckEntry is one completed trial, appended as it finishes.
+type ckEntry struct {
+	I int     `json:"i"`
+	O Outcome `json:"o"`
+}
+
+// Fingerprint returns a stable digest of every field of the spec that
+// influences the work-list (a custom TrialSeed is the caller's
+// responsibility to keep stable). Two specs with equal fingerprints
+// expand to the same trials, which is what makes a checkpoint safely
+// resumable.
+func (s *Spec) Fingerprint() string {
+	s.normalize()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d|name=%s|graph=%s|sizes=%v|", checkpointVersion, s.Name, s.Graph, s.Sizes)
+	for _, g := range s.Graphs {
+		fmt.Fprintf(&sb, "g=%s/%d|", g.Name(), g.N())
+	}
+	fmt.Fprintf(&sb, "kmode=%s|ks=%v|proto=%d|model=%d|q=%d|action=%d|sel=%d|single=%t|loss=%g|maxrounds=%d|trials=%d|seed=%d",
+		s.KMode, s.Ks, s.Protocol, s.Model, s.Q, s.Action, s.Selector,
+		s.SingleSource, s.LossRate, s.MaxRounds, s.Trials, s.Seed)
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// checkpoint is an open checkpoint file: previously completed outcomes
+// plus an append handle for new ones. Appends from concurrent workers
+// serialize on the checkpoint's own lock, keeping per-line fsync latency
+// off the pool's result path.
+type checkpoint struct {
+	mu     sync.Mutex
+	f      *os.File
+	loaded map[int]Outcome
+}
+
+// openCheckpoint opens (and, when resuming, replays) the checkpoint at
+// path. Without resume an existing file is truncated and restarted; with
+// resume a partial trailing line from a kill mid-append is discarded so
+// new entries stay line-aligned.
+func openCheckpoint(path string, spec *Spec, total int, resume bool) (*checkpoint, error) {
+	loaded := map[int]Outcome{}
+	valid := int64(0)
+	if resume {
+		var err error
+		loaded, valid, err = readCheckpoint(path, spec, total)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	ck := &checkpoint{f: f, loaded: loaded}
+	if valid == 0 {
+		if err := ck.writeLine(ckHeader{V: checkpointVersion, Name: spec.Name,
+			Fingerprint: spec.Fingerprint(), Total: total}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// writeLine marshals v and appends it with a trailing newline, syncing so
+// a kill loses at most the trial in flight.
+func (ck *checkpoint) writeLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := ck.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return ck.f.Sync()
+}
+
+func (ck *checkpoint) append(i int, o Outcome) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.writeLine(ckEntry{I: i, O: o})
+}
+
+func (ck *checkpoint) close() error { return ck.f.Close() }
+
+// readCheckpoint replays a checkpoint file, validating the header against
+// the spec. It returns the completed outcomes and the byte offset of the
+// last fully written line. A missing file is an empty checkpoint; a
+// truncated final line (kill mid-append) is ignored and everything
+// before it counts.
+func readCheckpoint(path string, spec *Spec, total int) (map[int]Outcome, int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[int]Outcome{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+
+	loaded := map[int]Outcome{}
+	var offset, valid int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		offset += int64(len(line)) + 1
+		if first {
+			first = false
+			var h ckHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, 0, fmt.Errorf("harness: corrupt checkpoint header in %s: %w", path, err)
+			}
+			if h.V != checkpointVersion {
+				return nil, 0, fmt.Errorf("harness: checkpoint %s has version %d, want %d", path, h.V, checkpointVersion)
+			}
+			if h.Fingerprint != spec.Fingerprint() {
+				return nil, 0, fmt.Errorf("harness: checkpoint %s was written by a different spec (fingerprint mismatch)", path)
+			}
+			if h.Total != total {
+				return nil, 0, fmt.Errorf("harness: checkpoint %s expects %d trials, spec expands to %d", path, h.Total, total)
+			}
+			valid = offset
+			continue
+		}
+		var e ckEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A partial trailing line from an interrupted append: stop
+			// replaying here and redo the rest of the work-list.
+			break
+		}
+		if e.I < 0 || e.I >= total {
+			return nil, 0, fmt.Errorf("harness: checkpoint %s entry index %d out of range [0,%d)", path, e.I, total)
+		}
+		loaded[e.I] = e.O
+		valid = offset
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if valid > size {
+		// The final accepted line had no trailing newline; rewrite it on
+		// resume rather than appending onto it.
+		valid = 0
+		loaded = map[int]Outcome{}
+	}
+	return loaded, valid, nil
+}

@@ -1,0 +1,340 @@
+package harness
+
+import (
+	"fmt"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+	"algossip/internal/gossip"
+	"algossip/internal/gossip/algebraic"
+	"algossip/internal/gossip/broadcast"
+	"algossip/internal/gossip/ispread"
+	"algossip/internal/gossip/tag"
+	"algossip/internal/gossip/uncoded"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+// SelectorKind names a communication model.
+type SelectorKind int
+
+const (
+	// SelUniform is uniform gossip (Definition 1).
+	SelUniform SelectorKind = iota + 1
+	// SelRoundRobin is round-robin / quasirandom gossip (Definition 2).
+	SelRoundRobin
+)
+
+// String returns the selector name.
+func (s SelectorKind) String() string {
+	if s == SelRoundRobin {
+		return "round-robin"
+	}
+	return "uniform"
+}
+
+func (s SelectorKind) build(g *graph.Graph) sim.PartnerSelector {
+	if s == SelRoundRobin {
+		return sim.NewRoundRobin(g)
+	}
+	return sim.NewUniform(g)
+}
+
+// TreeKind names a spanning-tree protocol for TAG's Phase 1.
+type TreeKind int
+
+const (
+	// TreeBRR is the round-robin broadcast B_RR of Theorem 5.
+	TreeBRR TreeKind = iota + 1
+	// TreeUniformB is the uniform push broadcast.
+	TreeUniformB
+	// TreeIS is the information-spreading protocol of Section 6.
+	TreeIS
+)
+
+// String returns the tree-protocol name.
+func (t TreeKind) String() string {
+	switch t {
+	case TreeBRR:
+		return "BRR"
+	case TreeUniformB:
+		return "uniform-B"
+	case TreeIS:
+		return "IS"
+	default:
+		return fmt.Sprintf("TreeKind(%d)", int(t))
+	}
+}
+
+// protocol maps a Phase 1 tree protocol to the TAG Protocol that uses it.
+func (t TreeKind) protocol() (Protocol, error) {
+	switch t {
+	case TreeBRR:
+		return ProtocolTAGRR, nil
+	case TreeUniformB:
+		return ProtocolTAGUniform, nil
+	case TreeIS:
+		return ProtocolTAGIS, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown tree kind %d", int(t))
+	}
+}
+
+// GossipSpec declares one gossip measurement: the topology plus every
+// protocol knob. Zero fields default to the paper's canonical
+// configuration (synchronous time, EXCHANGE, GF(2), uniform selector).
+type GossipSpec struct {
+	// Graph is the topology.
+	Graph *graph.Graph
+	// Model is the time model (default Synchronous).
+	Model core.TimeModel
+	// K is the number of messages.
+	K int
+	// Q is the field order (default 2, which selects the fast bitset
+	// backend; stopping-time behaviour only improves with larger q).
+	Q int
+	// Action is the contact direction (default Exchange).
+	Action core.Action
+	// Selector is the communication model (default uniform).
+	Selector SelectorKind
+	// SingleSource, when true, seeds all k messages at node 0 instead of
+	// round-robin across nodes.
+	SingleSource bool
+	// LossRate drops each transmitted packet with this probability
+	// (failure injection; uniform AG only).
+	LossRate float64
+	// MaxRounds overrides the engine's round budget (default generous).
+	MaxRounds int
+	// Observer, when set, receives per-node completion events during the
+	// run (algebraic and TAG protocols only). Observers must be safe for
+	// the single simulation goroutine that invokes them; a fresh observer
+	// per trial keeps parallel pools race-free.
+	Observer sim.Observer
+	// Lean skips the O(n) per-node completion detail in the Outcome —
+	// for big sweeps that only read Rounds, it keeps ResultSets and
+	// checkpoint lines a few dozen bytes per trial. Trajectories are
+	// unaffected.
+	Lean bool
+}
+
+// Normalize fills zero fields with the canonical defaults.
+func (s GossipSpec) Normalize() GossipSpec {
+	if s.Model == 0 {
+		s.Model = core.Synchronous
+	}
+	if s.Q == 0 {
+		s.Q = 2
+	}
+	if s.Action == 0 {
+		s.Action = core.Exchange
+	}
+	if s.Selector == 0 {
+		s.Selector = SelUniform
+	}
+	if s.MaxRounds == 0 {
+		s.MaxRounds = 1 << 21
+	}
+	return s
+}
+
+// RLNCConfig returns the rank-only codec configuration for the spec.
+func (s GossipSpec) RLNCConfig() rlnc.Config {
+	return rlnc.Config{Field: gf.MustNew(s.Q), K: s.K, RankOnly: true}
+}
+
+// Assign returns the initial message placement.
+func (s GossipSpec) Assign() []core.NodeID {
+	if s.SingleSource {
+		return algebraic.SingleAssign(s.K, 0)
+	}
+	return algebraic.RoundRobinAssign(s.K, s.Graph.N())
+}
+
+// Outcome is everything one trial measures: the stopping time plus the
+// per-node and per-packet observability the protocols expose.
+type Outcome struct {
+	// Result is the engine's run summary (rounds, timeslots, completion).
+	Result sim.Result `json:"result"`
+	// NodeDoneRounds holds, per node, the round at which it completed.
+	NodeDoneRounds []int `json:"node_done_rounds,omitempty"`
+	// Traffic is the aggregated transmission accounting (for TAG it
+	// includes the spanning-tree protocol's messages).
+	Traffic gossip.Traffic `json:"traffic"`
+	// MessageBits is the wire size of one message on the wire.
+	MessageBits int `json:"message_bits"`
+	// TreeRounds is t(S) for TAG runs (-1 otherwise or when untracked).
+	TreeRounds int `json:"tree_rounds"`
+	// TreeDepth and TreeDiameter describe the tree S built (-1 if none).
+	TreeDepth    int `json:"tree_depth"`
+	TreeDiameter int `json:"tree_diameter"`
+}
+
+// Execute runs one trial of the given protocol and collects its Outcome.
+// It is THE single dispatch point: the root package's Run/RunDetailed,
+// the experiment runners, and the worker pool all funnel through it, so
+// a (GossipSpec, Protocol, seed) triple replays one fixed trajectory
+// everywhere. The seed-stream layout (protocol RNG, tree RNG, engine
+// RNG) is pinned by the conformance suite — do not renumber.
+func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
+	if spec.Graph == nil {
+		return Outcome{}, fmt.Errorf("harness: nil graph")
+	}
+	if spec.K <= 0 {
+		return Outcome{}, fmt.Errorf("harness: k must be positive, got %d", spec.K)
+	}
+	spec = spec.Normalize()
+	g := spec.Graph
+	out := Outcome{
+		MessageBits: gossip.MessageBits(spec.RLNCConfig()),
+		TreeRounds:  -1, TreeDepth: -1, TreeDiameter: -1,
+	}
+
+	var proto2 sim.Protocol
+	var engineStream uint64
+	var finish func() // gathers detail after the run
+	switch proto {
+	case 0, ProtocolUniformAG:
+		p, err := algebraic.New(g, spec.Model, spec.Selector.build(g),
+			algebraic.Config{RLNC: spec.RLNCConfig(), Action: spec.Action, LossRate: spec.LossRate},
+			core.NewRand(core.SplitSeed(seed, 1)))
+		if err != nil {
+			return out, err
+		}
+		if spec.Observer != nil {
+			p.SetObserver(spec.Observer)
+		}
+		if err := p.SeedAll(spec.Assign(), nil); err != nil {
+			return out, err
+		}
+		proto2, engineStream = p, 2
+		finish = func() {
+			if !spec.Lean {
+				out.NodeDoneRounds = p.DoneRounds()
+			}
+			out.Traffic = p.Traffic()
+		}
+	case ProtocolTAGRR, ProtocolTAGUniform, ProtocolTAGIS:
+		var stp tag.SpanningTree
+		switch proto {
+		case ProtocolTAGRR:
+			stp = broadcast.New(g, spec.Model, sim.NewRoundRobin(g),
+				broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
+		case ProtocolTAGUniform:
+			stp = broadcast.New(g, spec.Model, sim.NewUniform(g),
+				broadcast.Config{Origin: 0}, core.NewRand(core.SplitSeed(seed, 3)))
+		default:
+			stp = ispread.New(g, spec.Model, ispread.Config{Root: 0},
+				core.NewRand(core.SplitSeed(seed, 3)))
+		}
+		p, err := tag.New(g, spec.Model, stp, spec.RLNCConfig(),
+			core.NewRand(core.SplitSeed(seed, 4)))
+		if err != nil {
+			return out, err
+		}
+		if spec.Observer != nil {
+			p.SetObserver(spec.Observer)
+		}
+		if err := p.SeedAll(spec.Assign(), nil); err != nil {
+			return out, err
+		}
+		proto2, engineStream = p, 5
+		finish = func() {
+			if !spec.Lean {
+				out.NodeDoneRounds = p.DoneRounds()
+			}
+			out.Traffic = p.Traffic()
+			out.TreeRounds = p.TreeRound()
+			if tree, ok := stp.Tree(); ok {
+				out.TreeDepth = tree.Depth()
+				out.TreeDiameter = tree.Diameter()
+			}
+		}
+	case ProtocolUncoded:
+		p := uncoded.New(g, spec.Model, spec.Selector.build(g),
+			uncoded.Config{K: spec.K, Action: spec.Action},
+			core.NewRand(core.SplitSeed(seed, 1)))
+		p.SeedAll(spec.Assign())
+		proto2, engineStream = p, 2
+		finish = func() {
+			if !spec.Lean {
+				out.NodeDoneRounds = p.DoneRounds()
+			}
+			out.Traffic = p.Traffic()
+			out.MessageBits = gossip.UncodedMessageBits(spec.K, 1, spec.Q)
+		}
+	default:
+		return out, fmt.Errorf("harness: unknown protocol %v", proto)
+	}
+
+	res, err := sim.New(g, spec.Model, proto2,
+		core.SplitSeed(seed, engineStream),
+		sim.WithMaxRounds(spec.MaxRounds)).Run()
+	out.Result = res
+	if err != nil {
+		return out, err
+	}
+	finish()
+	return out, nil
+}
+
+// UniformAG runs one algebraic-gossip trial and returns the stopping time.
+func UniformAG(spec GossipSpec, seed uint64) (sim.Result, error) {
+	o, err := Execute(spec, ProtocolUniformAG, seed)
+	return o.Result, err
+}
+
+// TAGResult extends a sim.Result with Phase 1 observables.
+type TAGResult struct {
+	sim.Result
+	// TreeRounds is t(S): the synchronous round at which the spanning tree
+	// completed (-1 if untracked, asynchronous model).
+	TreeRounds int
+	// TreeDepth and TreeDiameter describe the tree S built.
+	TreeDepth, TreeDiameter int
+}
+
+// TAG runs one TAG trial with the given Phase 1 protocol.
+func TAG(spec GossipSpec, kind TreeKind, seed uint64) (TAGResult, error) {
+	proto, err := kind.protocol()
+	if err != nil {
+		return TAGResult{}, err
+	}
+	o, err := Execute(spec, proto, seed)
+	return TAGResult{
+		Result:     o.Result,
+		TreeRounds: o.TreeRounds, TreeDepth: o.TreeDepth, TreeDiameter: o.TreeDiameter,
+	}, err
+}
+
+// Uncoded runs one store-and-forward baseline trial.
+func Uncoded(spec GossipSpec, seed uint64) (sim.Result, error) {
+	o, err := Execute(spec, ProtocolUncoded, seed)
+	return o.Result, err
+}
+
+// Broadcast runs one broadcast trial and returns the stopping time and the
+// induced spanning tree.
+func Broadcast(g *graph.Graph, model core.TimeModel, sel SelectorKind, seed uint64) (sim.Result, *graph.Tree, error) {
+	p := broadcast.New(g, model, sel.build(g), broadcast.Config{Origin: 0},
+		core.NewRand(core.SplitSeed(seed, 6)))
+	res, err := sim.New(g, model, p, core.SplitSeed(seed, 7)).Run()
+	if err != nil {
+		return res, nil, err
+	}
+	tree, _ := p.Tree()
+	return res, tree, nil
+}
+
+// ISpread runs one IS trial in the given mode and returns stopping time and
+// the induced tree (TreeMode).
+func ISpread(g *graph.Graph, model core.TimeModel, mode ispread.Mode, seed uint64) (sim.Result, *graph.Tree, error) {
+	p := ispread.New(g, model, ispread.Config{Root: 0, Mode: mode},
+		core.NewRand(core.SplitSeed(seed, 8)))
+	res, err := sim.New(g, model, p, core.SplitSeed(seed, 9)).Run()
+	if err != nil {
+		return res, nil, err
+	}
+	tree, _ := p.Tree()
+	return res, tree, nil
+}

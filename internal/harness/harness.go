@@ -1,0 +1,20 @@
+// Package harness is the unified experiment engine shared by every
+// binary and by the internal/experiments registry: a declarative Spec
+// (protocol, graph family, sizes, k-mode, field, trials, seed) expands
+// into a deterministic work-list of Trials, and a worker pool runs the
+// trials across cores with byte-identical output for any -parallel
+// value.
+//
+// Determinism contract: every Trial carries a seed derived only from the
+// Spec's root seed and the trial's (size, index) coordinates, never from
+// scheduling order. Results are collected into the expanded work-list
+// order before anything is rendered, so CSV/JSON output is a pure
+// function of (Spec, seed) — the worker count, per-trial timing, and
+// checkpoint/resume history are all invisible in the output bytes.
+//
+// The package sits below internal/experiments (which re-exports the
+// single-trial runners and layers the paper's table renderers on top)
+// and below the root algossip package (whose Run/RunDetailed delegate to
+// Execute), so all entry points replay the exact same fixed-seed
+// trajectories.
+package harness

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
+
+func lineSpec() Spec {
+	return Spec{
+		Name:  "test",
+		Graph: "line", Sizes: []int{8, 12},
+		Protocol: ProtocolUniformAG,
+		Trials:   2, Seed: 5,
+	}
+}
+
+func TestSpecExpandDeterministic(t *testing.T) {
+	a, b := lineSpec(), lineSpec()
+	_, ta, err := a.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tb, err := b.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta) != 4 {
+		t.Fatalf("expanded to %d trials, want 4", len(ta))
+	}
+	for i := range ta {
+		if ta[i].Seed != tb[i].Seed || ta[i].Cell != tb[i].Cell || ta[i].Num != tb[i].Num {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, ta[i], tb[i])
+		}
+		// The default layout is the historical sweep derivation.
+		want := core.SplitSeed(5, uint64(ta[i].Size*1000+ta[i].Num))
+		if ta[i].Seed != want {
+			t.Fatalf("trial %d seed %d, want sweep layout %d", i, ta[i].Seed, want)
+		}
+	}
+}
+
+func TestSpecExpandValidation(t *testing.T) {
+	bad := []Spec{
+		{Graph: "line", Sizes: []int{8}},                                    // no trials
+		{Trials: 1},                                                         // no graphs or sizes
+		{Graph: "bogus", Sizes: []int{8}, Trials: 1},                        // unknown family
+		{Graph: "line", Sizes: []int{8}, KMode: "cube", Trials: 1},          // bad kmode
+		{Graph: "line", Sizes: []int{8, 12}, Ks: []int{1}, Trials: 1},       // Ks/cells mismatch
+		{Graphs: []*graph.Graph{graph.Line(4)}, Ks: []int{0, 1}, Trials: 1}, // Ks/cells mismatch
+	}
+	for i, s := range bad {
+		if _, _, err := s.Expand(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestPickK(t *testing.T) {
+	tests := []struct {
+		mode string
+		n    int
+		want int
+	}{
+		{"half", 64, 32},
+		{"n", 64, 64},
+		{"sqrt", 64, 8},
+		{"sqrt", 10, 4},
+		{"const:5", 100, 5},
+	}
+	for _, tt := range tests {
+		got, err := PickK(tt.mode, tt.n)
+		if err != nil || got != tt.want {
+			t.Errorf("PickK(%q, %d) = %d, %v; want %d", tt.mode, tt.n, got, err, tt.want)
+		}
+	}
+	for _, bad := range []string{"", "cube", "const:x", "const:0"} {
+		if _, err := PickK(bad, 10); err == nil {
+			t.Errorf("PickK(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes("16, 32,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{16, 32, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseSizes = %v", got)
+		}
+	}
+	for _, bad := range []string{"", "x", "16,1", "16,,32"} {
+		if _, err := ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+// TestByteIdenticalAcrossWorkers is the core determinism guarantee: the
+// same Spec renders byte-identical CSV and JSON at -parallel 1, 4, 16.
+func TestByteIdenticalAcrossWorkers(t *testing.T) {
+	specs := []Spec{
+		lineSpec(),
+		{Graph: "barbell", Sizes: []int{8, 10}, KMode: "n",
+			Protocol: ProtocolTAGRR, Trials: 3, Seed: 7},
+		{Graph: "complete", Sizes: []int{8}, Protocol: ProtocolUncoded,
+			Model: core.Asynchronous, Trials: 4, Seed: 11},
+	}
+	for _, spec := range specs {
+		var wantCSV, wantJSON string
+		for _, workers := range []int{1, 4, 16} {
+			s := spec
+			rs, err := Runner{Parallel: workers}.Run(&s)
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", spec.Graph, workers, err)
+			}
+			var csvB, jsonB strings.Builder
+			if err := WriteCSV(&csvB, rs); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteJSON(&jsonB, rs); err != nil {
+				t.Fatal(err)
+			}
+			if wantCSV == "" {
+				wantCSV, wantJSON = csvB.String(), jsonB.String()
+				continue
+			}
+			if csvB.String() != wantCSV {
+				t.Errorf("%s: CSV differs at parallel=%d:\ngot:\n%swant:\n%s",
+					spec.Graph, workers, csvB.String(), wantCSV)
+			}
+			if jsonB.String() != wantJSON {
+				t.Errorf("%s: JSON differs at parallel=%d", spec.Graph, workers)
+			}
+		}
+	}
+}
+
+// TestExecuteMatchesRunners pins Execute as the single dispatch point:
+// the convenience runners replay the same trajectories.
+func TestExecuteMatchesRunners(t *testing.T) {
+	g := graph.Barbell(10)
+	spec := GossipSpec{Graph: g, K: 10}
+	for seed := uint64(1); seed <= 3; seed++ {
+		o, err := Execute(spec, ProtocolTAGRR, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := TAG(spec, TreeBRR, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Result.Rounds != res.Rounds || o.TreeRounds != res.TreeRounds {
+			t.Fatalf("seed %d: Execute %d/%d vs TAG %d/%d",
+				seed, o.Result.Rounds, o.TreeRounds, res.Rounds, res.TreeRounds)
+		}
+		if o.TreeRounds < 0 || o.TreeDepth < 0 {
+			t.Fatalf("seed %d: TAG outcome missing tree detail: %+v", seed, o)
+		}
+	}
+	o, err := Execute(spec, ProtocolUniformAG, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.NodeDoneRounds) != g.N() || o.Traffic.Sent == 0 {
+		t.Fatalf("AG outcome missing detail: %+v", o)
+	}
+}
+
+// TestLeanSkipsNodeDetailOnly: Lean drops the O(n) per-node slice but
+// changes nothing about the measured trajectory.
+func TestLeanSkipsNodeDetailOnly(t *testing.T) {
+	g := graph.Barbell(10)
+	full, err := Execute(GossipSpec{Graph: g, K: 10}, ProtocolTAGRR, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean, err := Execute(GossipSpec{Graph: g, K: 10, Lean: true}, ProtocolTAGRR, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lean.NodeDoneRounds) != 0 {
+		t.Fatalf("lean outcome kept node detail: %v", lean.NodeDoneRounds)
+	}
+	if len(full.NodeDoneRounds) == 0 {
+		t.Fatal("full outcome missing node detail")
+	}
+	if lean.Result.Rounds != full.Result.Rounds || lean.Traffic != full.Traffic ||
+		lean.TreeRounds != full.TreeRounds {
+		t.Fatalf("lean changed measurements: %+v vs %+v", lean, full)
+	}
+}
+
+func TestProtocolParseRoundTrip(t *testing.T) {
+	for _, p := range []Protocol{ProtocolUniformAG, ProtocolTAGRR,
+		ProtocolTAGUniform, ProtocolTAGIS, ProtocolUncoded} {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseProtocol("bogus"); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+}
+
+func TestParallelMapOrderAndErrors(t *testing.T) {
+	got, err := ParallelMap(20, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+	_, err = ParallelMap(20, 8, func(i int) (int, error) {
+		if i%7 == 3 {
+			return 0, errFor(i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != errFor(3).Error() {
+		t.Fatalf("want lowest-index error %v, got %v", errFor(3), err)
+	}
+}
+
+func errFor(i int) error { return &indexErr{i} }
+
+type indexErr struct{ i int }
+
+func (e *indexErr) Error() string { return "fail at " + string(rune('0'+e.i)) }

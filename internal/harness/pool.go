@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner executes a Spec's work-list over a worker pool.
+type Runner struct {
+	// Parallel bounds concurrent trials (<=0: all cores). The output is
+	// byte-identical for any value.
+	Parallel int
+	// Timeout aborts any single trial that runs longer (0: none). A
+	// timed-out trial fails the run; its goroutine is abandoned and
+	// terminates on its own when the simulation's round budget runs out.
+	Timeout time.Duration
+	// Checkpoint, when non-empty, appends every completed trial to this
+	// file so a killed sweep can be resumed.
+	Checkpoint string
+	// Resume loads an existing checkpoint before running and skips the
+	// trials it already holds. A missing checkpoint file starts fresh.
+	Resume bool
+	// Progress, when set, is called serially after every completed trial.
+	Progress func(done, total int, t Trial, o Outcome)
+
+	// execute overrides trial execution (tests only; nil = Execute).
+	execute func(s *Spec, t Trial) (Outcome, error)
+}
+
+// ResultSet is a Spec's work-list with every Outcome filled in, in
+// deterministic work-list order.
+type ResultSet struct {
+	Spec     *Spec
+	Cells    []Cell
+	Trials   []Trial
+	Outcomes []Outcome
+}
+
+// CellRounds returns the per-trial stopping times of one grid cell.
+func (rs *ResultSet) CellRounds(ci int) []float64 {
+	out := make([]float64, 0, rs.Spec.Trials)
+	for i, t := range rs.Trials {
+		if t.Cell == ci {
+			out = append(out, float64(rs.Outcomes[i].Result.Rounds))
+		}
+	}
+	return out
+}
+
+// MeanRounds averages the stopping time over one grid cell's trials.
+func (rs *ResultSet) MeanRounds(ci int) float64 {
+	xs := rs.CellRounds(ci)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Run expands the spec, consults the checkpoint, fans the remaining
+// trials out over the pool, and returns the ordered results. The
+// returned ResultSet is identical for any Parallel value and for any
+// interrupt/resume history.
+func (r Runner) Run(spec *Spec) (*ResultSet, error) {
+	cells, trials, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	outcomes := make([]Outcome, len(trials))
+	done := make([]bool, len(trials))
+
+	var ck *checkpoint
+	if r.Checkpoint != "" {
+		ck, err = openCheckpoint(r.Checkpoint, spec, len(trials), r.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.close()
+		for i, o := range ck.loaded {
+			outcomes[i] = o
+			done[i] = true
+		}
+	}
+	pending := make([]int, 0, len(trials))
+	for i := range trials {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	exec := r.execute
+	if exec == nil {
+		exec = func(s *Spec, t Trial) (Outcome, error) {
+			return Execute(s.gossipSpec(t), s.Protocol, t.Seed)
+		}
+	}
+	completed := len(trials) - len(pending)
+	var mu sync.Mutex
+	err = forEachIndex(pending, r.Parallel, func(i int) error {
+		o, err := r.runOne(exec, spec, trials[i])
+		if err != nil {
+			return err
+		}
+		// Each index is owned by exactly one worker, so the slice write
+		// needs no lock; the checkpoint serializes (and fsyncs) under its
+		// own lock so slow disks never stall the result mutex.
+		outcomes[i] = o
+		if ck != nil {
+			if err := ck.append(i, o); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		completed++
+		if r.Progress != nil {
+			r.Progress(completed, len(trials), trials[i], o)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{Spec: spec, Cells: cells, Trials: trials, Outcomes: outcomes}, nil
+}
+
+// runOne executes one trial, enforcing the per-trial timeout.
+func (r Runner) runOne(exec func(*Spec, Trial) (Outcome, error), spec *Spec, t Trial) (Outcome, error) {
+	if r.Timeout <= 0 {
+		return exec(spec, t)
+	}
+	type reply struct {
+		o   Outcome
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		o, err := exec(spec, t)
+		ch <- reply{o, err}
+	}()
+	timer := time.NewTimer(r.Timeout)
+	defer timer.Stop()
+	select {
+	case rep := <-ch:
+		return rep.o, rep.err
+	case <-timer.C:
+		return Outcome{}, fmt.Errorf("harness: trial %d (graph=%s k=%d trial=%d) timed out after %v",
+			t.Index, t.Graph.Name(), t.K, t.Num, r.Timeout)
+	}
+}
+
+// forEachIndex fans fn out over the given indices with a bounded worker
+// pool, failing fast: after the first error no new work is dispatched,
+// and the error for the lowest index wins (deterministic error
+// reporting). fn may be called concurrently.
+func forEachIndex(idxs []int, parallel int, fn func(i int) error) error {
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	if workers <= 1 {
+		for _, i := range idxs {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(idxs))
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range next {
+				if err := fn(idxs[ji]); err != nil {
+					errs[ji] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for ji := range idxs {
+		if failed.Load() {
+			break // an error is config-shaped; don't burn the rest of the grid
+		}
+		next <- ji
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelMap runs fn(0..n-1) across the pool and returns the results in
+// index order. fn must derive any randomness from its index alone, which
+// makes the output independent of the worker count. On error, the lowest
+// failing index's error is returned.
+func ParallelMap[T any](n, parallel int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	err := forEachIndex(idxs, parallel, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParallelFloats is ParallelMap specialized to the scalar samples the
+// experiment runners aggregate.
+func ParallelFloats(n, parallel int, fn func(i int) (float64, error)) ([]float64, error) {
+	return ParallelMap(n, parallel, fn)
+}

@@ -1,0 +1,55 @@
+package harness
+
+import "fmt"
+
+// Protocol selects a k-dissemination protocol for Execute.
+type Protocol int
+
+const (
+	// ProtocolUniformAG is uniform algebraic gossip (Theorem 1).
+	ProtocolUniformAG Protocol = iota + 1
+	// ProtocolTAGRR is TAG with the round-robin broadcast B_RR (Theorem 5).
+	ProtocolTAGRR
+	// ProtocolTAGUniform is TAG with a uniform broadcast as S.
+	ProtocolTAGUniform
+	// ProtocolTAGIS is TAG with the IS protocol as S (Theorems 6-8).
+	ProtocolTAGIS
+	// ProtocolUncoded is the store-and-forward baseline.
+	ProtocolUncoded
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolUniformAG:
+		return "uniform-ag"
+	case ProtocolTAGRR:
+		return "tag-brr"
+	case ProtocolTAGUniform:
+		return "tag-uniform"
+	case ProtocolTAGIS:
+		return "tag-is"
+	case ProtocolUncoded:
+		return "uncoded"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol converts a name such as "tag-brr" to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "uniform-ag", "ag", "uniform":
+		return ProtocolUniformAG, nil
+	case "tag-brr", "tag":
+		return ProtocolTAGRR, nil
+	case "tag-uniform":
+		return ProtocolTAGUniform, nil
+	case "tag-is":
+		return ProtocolTAGIS, nil
+	case "uncoded":
+		return ProtocolUncoded, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown protocol %q", s)
+	}
+}
