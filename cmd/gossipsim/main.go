@@ -46,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		modelName = fs.String("model", "sync", "time model: sync|async")
 		q         = fs.Int("q", 2, "field order")
 		action    = fs.String("action", "exchange", "action: push|pull|exchange")
+		dynamics  = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16")
 		seed      = fs.Uint64("seed", 1, "root seed")
 		trials    = fs.Int("trials", 3, "number of trials")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
@@ -75,6 +76,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	dyn, err := harness.ParseDynamics(*dynamics)
+	if err != nil {
+		return err
+	}
 
 	// All writes go through the fail-fast writer: a broken pipe or full
 	// disk surfaces as a non-zero exit instead of being dropped.
@@ -82,8 +87,12 @@ func run(args []string, stdout io.Writer) error {
 
 	diam := g.Diameter()
 	delta := g.MaxDegree()
-	fmt.Fprintf(w, "graph=%s n=%d m=%d D=%d Δ=%d | protocol=%v model=%v k=%d q=%d action=%v\n",
+	fmt.Fprintf(w, "graph=%s n=%d m=%d D=%d Δ=%d | protocol=%v model=%v k=%d q=%d action=%v",
 		g.Name(), g.N(), g.M(), diam, delta, proto, model, *k, *q, act)
+	if !dyn.IsStatic() {
+		fmt.Fprintf(w, " dynamics=%s", dyn)
+	}
+	fmt.Fprintln(w)
 
 	// One harness Spec: a single (graph, k) cell, -trials trials, with the
 	// historical per-trial seed layout SplitSeed(seed, trial).
@@ -96,6 +105,7 @@ func run(args []string, stdout io.Writer) error {
 		Model:        model,
 		Q:            *q,
 		Action:       act,
+		Dynamics:     dyn,
 		SingleSource: *single,
 		Trials:       *trials,
 		Seed:         rootSeed,

@@ -16,6 +16,8 @@ func TestGossipsimEndToEnd(t *testing.T) {
 		{"-graph", "barbell", "-n", "12", "-protocol", "tag", "-trials", "1", "-detail"},
 		{"-graph", "complete", "-n", "8", "-protocol", "uncoded", "-trials", "1", "-model", "async"},
 		{"-graph", "grid", "-n", "9", "-protocol", "tag-is", "-trials", "1", "-q", "256"},
+		{"-graph", "torus", "-n", "16", "-protocol", "ag", "-trials", "1", "-dynamics", "edge:rate=0.2"},
+		{"-graph", "ring", "-n", "12", "-protocol", "uncoded", "-trials", "1", "-dynamics", "churn:rate=0.1,period=8", "-model", "async"},
 	}
 	for _, a := range args {
 		if err := run(a, os.Stdout); err != nil {
@@ -24,23 +26,45 @@ func TestGossipsimEndToEnd(t *testing.T) {
 	}
 }
 
+// TestGossipsimDynamicsRejected: bad dynamics flags and unsupported
+// protocol combinations fail fast.
+func TestGossipsimDynamicsRejected(t *testing.T) {
+	for _, a := range [][]string{
+		{"-dynamics", "bogus"},
+		{"-dynamics", "edge:rate=2"},
+		{"-graph", "ring", "-n", "12", "-protocol", "tag", "-trials", "1", "-dynamics", "edge:rate=0.2"},
+	} {
+		if err := run(a, os.Stdout); err == nil {
+			t.Errorf("run(%v) accepted", a)
+		}
+	}
+}
+
 // TestGossipsimParallelIdentical pins the determinism contract at the CLI
-// level: the full printed report is byte-identical for any worker count.
+// level: the full printed report is byte-identical for any worker count,
+// for static and dynamic topologies alike.
 func TestGossipsimParallelIdentical(t *testing.T) {
-	var want string
-	for _, workers := range []int{1, 4, 16} {
-		var buf bytes.Buffer
-		args := []string{"-graph", "barbell", "-n", "12", "-protocol", "tag",
-			"-trials", "4", "-seed", "9", "-detail", "-parallel", strconv.Itoa(workers)}
-		if err := run(args, &buf); err != nil {
-			t.Fatal(err)
-		}
-		if want == "" {
-			want = buf.String()
-			continue
-		}
-		if buf.String() != want {
-			t.Errorf("-parallel %d output differs:\ngot:\n%swant:\n%s", workers, buf.String(), want)
+	cases := [][]string{
+		{"-graph", "barbell", "-n", "12", "-protocol", "tag",
+			"-trials", "4", "-seed", "9", "-detail"},
+		{"-graph", "torus", "-n", "16", "-protocol", "ag",
+			"-trials", "4", "-seed", "9", "-detail", "-dynamics", "churn:rate=0.2,period=8"},
+	}
+	for _, base := range cases {
+		var want string
+		for _, workers := range []int{1, 4, 16} {
+			var buf bytes.Buffer
+			args := append(append([]string{}, base...), "-parallel", strconv.Itoa(workers))
+			if err := run(args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if want == "" {
+				want = buf.String()
+				continue
+			}
+			if buf.String() != want {
+				t.Errorf("%v -parallel %d output differs:\ngot:\n%swant:\n%s", base, workers, buf.String(), want)
+			}
 		}
 	}
 }

@@ -16,6 +16,8 @@
 //	sweep -graph line -protocol tag -kmode n -sizes 32,64,128 -parallel 8
 //	sweep -graph cliquechain -protocol tag-is -sizes 64,128,256 -trials 20 \
 //	      -checkpoint sweep.ckpt -resume -progress
+//	sweep -graph torus -protocol ag -sizes 36,64 -trials 10 \
+//	      -dynamics edge:rate=0.25
 package main
 
 import (
@@ -46,6 +48,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		sizesCSV   = fs.String("sizes", "16,32,64", "comma-separated node counts")
 		kmode      = fs.String("kmode", "half", "k per size: half|n|sqrt|const:<v>")
 		q          = fs.Int("q", 2, "field order")
+		dynamics   = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16 | rewire:rate=0.3,period=32 | burst:rate=0.5,period=64,burst=8 | grow:period=4")
 		trials     = fs.Int("trials", 3, "trials per size")
 		seed       = fs.Uint64("seed", 1, "root seed")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
@@ -74,6 +77,10 @@ func run(args []string, stdout io.Writer) (err error) {
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	dyn, err := harness.ParseDynamics(*dynamics)
+	if err != nil {
+		return err
+	}
 
 	spec := harness.Spec{
 		Name:     "sweep",
@@ -83,6 +90,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		Protocol: proto,
 		Model:    model,
 		Q:        *q,
+		Dynamics: dyn,
 		Trials:   *trials,
 		Seed:     *seed,
 		// The CSV only reads Rounds; skip per-node detail so huge sweeps

@@ -34,6 +34,22 @@ var goldenSweeps = []struct {
 			"barbell-10,tag-brr,synchronous,10,10,0,52\n" +
 			"barbell-10,tag-brr,synchronous,10,10,1,56\n",
 	},
+	// Dynamic-topology sweeps share the determinism contract: the CSV is
+	// pinned byte-identical across worker counts and resume histories.
+	{
+		args: []string{"-graph", "torus", "-protocol", "ag", "-sizes", "9,16", "-trials", "2", "-seed", "5", "-dynamics", "edge:rate=0.2"},
+		want: "graph,protocol,model,n,k,trial,rounds\n" +
+			"torus-3x3,uniform-ag,synchronous,9,4,0,8\n" +
+			"torus-3x3,uniform-ag,synchronous,9,4,1,7\n" +
+			"torus-4x4,uniform-ag,synchronous,16,8,0,11\n" +
+			"torus-4x4,uniform-ag,synchronous,16,8,1,12\n",
+	},
+	{
+		args: []string{"-graph", "ring", "-protocol", "uncoded", "-sizes", "10", "-trials", "2", "-seed", "3", "-dynamics", "churn:rate=0.2,period=8"},
+		want: "graph,protocol,model,n,k,trial,rounds\n" +
+			"ring-10,uncoded,synchronous,10,5,0,61\n" +
+			"ring-10,uncoded,synchronous,10,5,1,104\n",
+	},
 	{
 		args: []string{"-graph", "grid", "-protocol", "uncoded", "-kmode", "sqrt", "-sizes", "9,16", "-trials", "3", "-seed", "11", "-model", "async"},
 		want: "graph,protocol,model,n,k,trial,rounds\n" +
@@ -135,6 +151,46 @@ func TestSweepResumeFromCheckpoint(t *testing.T) {
 	}
 }
 
+// TestSweepDynamicsResume: a dynamics sweep killed mid-run resumes to
+// the identical output bytes.
+func TestSweepDynamicsResume(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "dyn.ckpt")
+	args := []string{"-graph", "torus", "-protocol", "ag", "-sizes", "9,16",
+		"-trials", "2", "-seed", "5", "-dynamics", "edge:rate=0.2", "-checkpoint", ckpt}
+
+	var full bytes.Buffer
+	if err := run(args, &full); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("checkpoint too short: %d lines", len(lines))
+	}
+	if err := os.WriteFile(ckpt, []byte(strings.Join(lines[:3], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed bytes.Buffer
+	if err := run(append(args, "-resume"), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != full.String() {
+		t.Errorf("resumed dynamics output differs:\ngot:\n%swant:\n%s",
+			resumed.String(), full.String())
+	}
+	// A checkpoint written with different dynamics must be rejected.
+	other := []string{"-graph", "torus", "-protocol", "ag", "-sizes", "9,16",
+		"-trials", "2", "-seed", "5", "-dynamics", "edge:rate=0.4",
+		"-checkpoint", ckpt, "-resume"}
+	if err := run(other, os.Stdout); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("foreign dynamics checkpoint accepted: %v", err)
+	}
+}
+
 func TestSweepRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-protocol", "bogus"},
@@ -142,7 +198,10 @@ func TestSweepRejectsBadFlags(t *testing.T) {
 		{"-sizes", "nope"},
 		{"-kmode", "nope"},
 		{"-trials", "0"},
-		{"-resume"}, // -resume without -checkpoint
+		{"-resume"},                      // -resume without -checkpoint
+		{"-dynamics", "bogus"},           // unknown schedule kind
+		{"-dynamics", "edge:rate=1.5"},   // rate out of range
+		{"-dynamics", "churn:period=-1"}, // bad cadence
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("run(%v) accepted", args)

@@ -1,0 +1,87 @@
+package gf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzFields covers every supported field class: GF(2), all binary
+// extension fields (table kernels), and prime fields (scalar fallback).
+var fuzzFields = []int{2, 4, 8, 16, 32, 64, 128, 256, 3, 5, 7, 11, 13, 251}
+
+// pickField maps a fuzz byte to a supported field.
+func pickField(sel byte) Field {
+	return MustNew(fuzzFields[int(sel)%len(fuzzFields)])
+}
+
+// reduceRow folds arbitrary fuzz bytes into valid field elements.
+func reduceRow(f Field, raw []byte) []byte {
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = byte(int(b) % f.Order())
+	}
+	return out
+}
+
+// FuzzAddMulSlice cross-checks the bulk dst += c*src kernel against the
+// scalar Mul/Add path for every supported field, including the c==0,
+// c==1 and dst-longer-than-src edge cases the fast paths special-case.
+func FuzzAddMulSlice(f *testing.F) {
+	f.Add([]byte("hello world"), []byte("abcdefghijk"), byte(3), byte(0), uint8(0))
+	f.Add([]byte{0, 1, 2, 3}, []byte{255, 254, 253, 252}, byte(1), byte(7), uint8(2))
+	f.Add([]byte{}, []byte{}, byte(0), byte(13), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xAA}, 300), bytes.Repeat([]byte{0x55}, 300), byte(200), byte(5), uint8(3))
+	f.Fuzz(func(t *testing.T, dstRaw, srcRaw []byte, cRaw, sel byte, extra uint8) {
+		fld := pickField(sel)
+		// Trim to a common length, then give dst extra tail bytes that the
+		// kernel must leave untouched.
+		n := len(srcRaw)
+		if len(dstRaw) < n {
+			n = len(dstRaw)
+		}
+		src := reduceRow(fld, srcRaw[:n])
+		dst := reduceRow(fld, dstRaw[:n])
+		tail := reduceRow(fld, bytes.Repeat([]byte{extra}, int(extra)%8))
+		dst = append(dst, tail...)
+		c := Elem(int(cRaw) % fld.Order())
+
+		want := make([]byte, len(dst))
+		copy(want, dst)
+		for i := 0; i < n; i++ {
+			want[i] = byte(fld.Add(Elem(dst[i]), fld.Mul(c, Elem(src[i]))))
+		}
+
+		got := append([]byte(nil), dst...)
+		fld.AddMulSlice(got, src, c)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s AddMulSlice(c=%d, n=%d) diverges from scalar path:\ngot  %v\nwant %v",
+				fld.Name(), c, n, got, want)
+		}
+	})
+}
+
+// FuzzMulSlice cross-checks the in-place v *= c kernel against the
+// scalar Mul path for every supported field.
+func FuzzMulSlice(f *testing.F) {
+	f.Add([]byte("some payload row"), byte(9), uint8(0))
+	f.Add([]byte{0, 0, 0, 0}, byte(0), uint8(4))
+	f.Add([]byte{1}, byte(1), uint8(9))
+	f.Add(bytes.Repeat([]byte{0xFF}, 257), byte(254), uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, cRaw, sel byte) {
+		fld := pickField(sel)
+		v := reduceRow(fld, raw)
+		c := Elem(int(cRaw) % fld.Order())
+
+		want := make([]byte, len(v))
+		for i, x := range v {
+			want[i] = byte(fld.Mul(c, Elem(x)))
+		}
+
+		got := append([]byte(nil), v...)
+		fld.MulSlice(got, c)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s MulSlice(c=%d, n=%d) diverges from scalar path:\ngot  %v\nwant %v",
+				fld.Name(), c, len(v), got, want)
+		}
+	})
+}

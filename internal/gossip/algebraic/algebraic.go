@@ -57,8 +57,9 @@ type Protocol struct {
 	rng   *rand.Rand
 	cfg   Config
 
-	nodes  []*rlnc.Node
-	seeded int // number of distinct message indices seeded
+	nodes   []*rlnc.Node
+	initial [][]rlnc.Message // per-node initial seeds, replayed on churn reset
+	seeded  int              // number of distinct message indices seeded
 
 	staged    []delivery
 	traffic   gossip.Traffic
@@ -69,7 +70,10 @@ type Protocol struct {
 	obs       sim.Observer
 }
 
-var _ sim.Protocol = (*Protocol)(nil)
+var (
+	_ sim.Protocol      = (*Protocol)(nil)
+	_ sim.TopologyAware = (*Protocol)(nil)
+)
 
 // New constructs an algebraic gossip protocol over g. The caller seeds the
 // k initial messages with Seed before running.
@@ -88,6 +92,7 @@ func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Conf
 		rng:       rng,
 		cfg:       cfg,
 		nodes:     make([]*rlnc.Node, n),
+		initial:   make([][]rlnc.Message, n),
 		doneRound: make([]int, n),
 		obs:       sim.NopObserver{},
 	}
@@ -111,6 +116,7 @@ func (p *Protocol) SetObserver(obs sim.Observer) { p.obs = obs }
 // message). In rank-only mode the payload may be nil.
 func (p *Protocol) Seed(v core.NodeID, msg rlnc.Message) {
 	p.nodes[v].Seed(msg)
+	p.initial[v] = append(p.initial[v], msg)
 	p.seeded++
 	p.refreshDone(v)
 }
@@ -160,6 +166,48 @@ func (p *Protocol) OnWake(v core.NodeID) {
 		p.send(v, u)
 		p.send(u, v)
 	}
+}
+
+// OnTopologyChange implements sim.TopologyAware: partner selection
+// re-targets to the new graph, staged deliveries the new topology can no
+// longer carry are dropped, and churned-out nodes restart from their
+// initial seeds. Surviving nodes keep their subspace — received
+// equations stay valid on any topology — which is what makes network
+// coding robust under churn. A reset node's completion round is cleared
+// (and re-reported to the observer when it re-completes), so Done can
+// transiently regress on dynamic runs.
+func (p *Protocol) OnTopologyChange(ev sim.TopologyEvent) {
+	p.g = ev.Graph
+	// The event fires at the boundary before BeginRound(ev.Round), so the
+	// clock is still on the previous round; advance it first so resets
+	// that immediately re-complete are stamped with the rejoin round in
+	// both time models.
+	p.round = ev.Round
+	ev.Retarget(p.sel)
+	kept := p.staged[:0]
+	for _, d := range p.staged {
+		if ev.Deliverable(d.from, d.to) {
+			kept = append(kept, d)
+		}
+	}
+	p.staged = kept
+	for _, v := range ev.Reset {
+		p.resetNode(v)
+	}
+}
+
+// resetNode reinstalls node v as a fresh machine holding only its
+// initial seeds.
+func (p *Protocol) resetNode(v core.NodeID) {
+	p.nodes[v] = rlnc.MustNewNode(p.cfg.RLNC)
+	if p.doneRound[v] >= 0 {
+		p.doneRound[v] = -1
+		p.doneCount--
+	}
+	for _, msg := range p.initial[v] {
+		p.nodes[v].Seed(msg)
+	}
+	p.refreshDone(v)
 }
 
 // Tick advances the protocol's internal asynchronous clock without any

@@ -57,7 +57,10 @@ type Protocol struct {
 	obs           sim.Observer
 }
 
-var _ sim.Protocol = (*Protocol)(nil)
+var (
+	_ sim.Protocol      = (*Protocol)(nil)
+	_ sim.TopologyAware = (*Protocol)(nil)
+)
 
 // New constructs a broadcast protocol over g with the message at
 // cfg.Origin.
@@ -113,6 +116,36 @@ func (p *Protocol) OnWake(v core.NodeID) {
 	case core.Exchange:
 		p.transfer(v, u)
 		p.transfer(u, v)
+	}
+}
+
+// OnTopologyChange implements sim.TopologyAware: partner selection
+// re-targets to the new graph, staged informs the new topology cannot
+// deliver are dropped, and churned-out nodes become uninformed again
+// (their spanning-tree parent pointer is void). The origin survives a
+// reset still informed — it is the source of the rumor — so the
+// broadcast can always re-complete.
+func (p *Protocol) OnTopologyChange(ev sim.TopologyEvent) {
+	p.g = ev.Graph
+	// Advance the clock first (the event precedes BeginRound(ev.Round)),
+	// so re-informs after a reset are stamped with the rejoin round.
+	p.round = ev.Round
+	ev.Retarget(p.sel)
+	kept := p.staged[:0]
+	for _, in := range p.staged {
+		if ev.Deliverable(in.from, in.to) {
+			kept = append(kept, in)
+		}
+	}
+	p.staged = kept
+	for _, v := range ev.Reset {
+		if v == p.cfg.Origin || !p.informed[v] {
+			continue
+		}
+		p.informed[v] = false
+		p.parent[v] = core.NilNode
+		p.informedRound[v] = -1
+		p.informedCount--
 	}
 }
 

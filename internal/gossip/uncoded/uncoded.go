@@ -31,8 +31,8 @@ type Config struct {
 
 // delivery is one staged message transfer (synchronous model).
 type delivery struct {
-	to  core.NodeID
-	msg int
+	to, from core.NodeID
+	msg      int
 }
 
 // Protocol is the store-and-forward gossip state machine.
@@ -45,6 +45,7 @@ type Protocol struct {
 
 	known     []linalg.BitVec // per node, bitset of known message indices
 	knownCnt  []int
+	initial   [][]int // per-node initial message indices, replayed on churn reset
 	staged    []delivery
 	traffic   gossip.Traffic
 	doneCount int
@@ -53,7 +54,10 @@ type Protocol struct {
 	slots     int
 }
 
-var _ sim.Protocol = (*Protocol)(nil)
+var (
+	_ sim.Protocol      = (*Protocol)(nil)
+	_ sim.TopologyAware = (*Protocol)(nil)
+)
 
 // New constructs the uncoded protocol; seed initial messages with Seed.
 func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Config, rng *rand.Rand) *Protocol {
@@ -69,6 +73,7 @@ func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Conf
 		cfg:       cfg,
 		known:     make([]linalg.BitVec, n),
 		knownCnt:  make([]int, n),
+		initial:   make([][]int, n),
 		doneRound: make([]int, n),
 	}
 	for v := 0; v < n; v++ {
@@ -83,6 +88,7 @@ func (p *Protocol) Seed(v core.NodeID, msg int) {
 	if msg < 0 || msg >= p.cfg.K {
 		panic(fmt.Sprintf("uncoded: message %d out of range [0,%d)", msg, p.cfg.K))
 	}
+	p.initial[v] = append(p.initial[v], msg)
 	p.set(v, msg)
 }
 
@@ -127,10 +133,41 @@ func (p *Protocol) send(from, to core.NodeID) {
 	msg := p.randomKnown(from)
 	p.traffic.Sent++
 	if p.model == core.Synchronous {
-		p.staged = append(p.staged, delivery{to: to, msg: msg})
+		p.staged = append(p.staged, delivery{to: to, from: from, msg: msg})
 		return
 	}
 	p.learn(to, msg)
+}
+
+// OnTopologyChange implements sim.TopologyAware: partner selection
+// re-targets to the new graph, staged sends the new topology cannot
+// deliver are dropped, and churned-out nodes forget everything except
+// their initial seeds — store-and-forward has no subspace to keep, which
+// is exactly the fragility the dynamic experiments measure against RLNC.
+func (p *Protocol) OnTopologyChange(ev sim.TopologyEvent) {
+	p.g = ev.Graph
+	// Advance the clock first (the event precedes BeginRound(ev.Round)),
+	// so reset bookkeeping stamps the rejoin round in both time models.
+	p.round = ev.Round
+	ev.Retarget(p.sel)
+	kept := p.staged[:0]
+	for _, d := range p.staged {
+		if ev.Deliverable(d.from, d.to) {
+			kept = append(kept, d)
+		}
+	}
+	p.staged = kept
+	for _, v := range ev.Reset {
+		p.known[v] = linalg.NewBitVec(p.cfg.K)
+		p.knownCnt[v] = 0
+		if p.doneRound[v] >= 0 {
+			p.doneRound[v] = -1
+			p.doneCount--
+		}
+		for _, msg := range p.initial[v] {
+			p.set(v, msg)
+		}
+	}
 }
 
 // randomKnown samples a uniformly random set bit of from's known set.

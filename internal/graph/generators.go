@@ -195,12 +195,14 @@ func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
 			}
 		}
 	}
-	g := b.Build()
-	if g.IsConnected() {
-		return g
-	}
-	// Stitch components: run BFS from 0, connect any unreached node to a
-	// random reached one, repeat.
+	return stitchConnected(b.Build(), rng)
+}
+
+// stitchConnected repairs a possibly disconnected sample by repeatedly
+// adding an edge between a random unreached and a random reached node
+// (BFS from 0) until the graph is connected. Already connected graphs are
+// returned unchanged, with no randomness drawn.
+func stitchConnected(g *Graph, rng *rand.Rand) *Graph {
 	for {
 		dist, _ := g.BFS(0)
 		var reached, unreached []core.NodeID
@@ -214,10 +216,7 @@ func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
 		if len(unreached) == 0 {
 			return g
 		}
-		b2 := NewBuilder(g.Name(), n)
-		for _, e := range g.Edges() {
-			b2.AddEdge(e[0], e[1])
-		}
+		b2 := NewBuilderFrom(g.Name(), g)
 		b2.AddEdge(unreached[rng.IntN(len(unreached))], reached[rng.IntN(len(reached))])
 		g = b2.Build()
 	}
@@ -345,6 +344,112 @@ func Grid3D(x, y, z int) *Graph {
 		}
 	}
 	return b.Build()
+}
+
+// RandomGeometric returns a connected random geometric graph: n points
+// drawn uniformly in the unit square, with an edge between every pair at
+// Euclidean distance at most radius — the standard model for wireless /
+// sensor deployments. As with ErdosRenyi, a disconnected sample is
+// stitched with random edges (documented deviation so the theorems'
+// connectivity assumption always holds).
+func RandomGeometric(n int, radius float64, rng *rand.Rand) *Graph {
+	if radius <= 0 {
+		panic("graph: geometric radius must be positive")
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	b := NewBuilder(fmt.Sprintf("geo-%d-r%.2f", n, radius), n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			if dx*dx+dy*dy <= r2 {
+				b.AddEdge(core.NodeID(i), core.NodeID(j))
+			}
+		}
+	}
+	return stitchConnected(b.Build(), rng)
+}
+
+// PreferentialAttachment returns a Barabási–Albert scale-free graph: the
+// first m+1 nodes form a clique, and every later node attaches m edges
+// to distinct existing nodes drawn proportionally to degree. The result
+// is connected by construction with exactly m(m+1)/2 + (n-m-1)·m edges.
+// It is also the stabilized topology of the grow-then-stabilize dynamic
+// schedule (NewGrow).
+func PreferentialAttachment(n, m int, rng *rand.Rand) *Graph {
+	if m < 1 {
+		panic("graph: attachment degree must be positive")
+	}
+	if n <= m+1 {
+		g := Complete(n)
+		return NewBuilderFrom(fmt.Sprintf("pa-%d-m%d", n, m), g).Build()
+	}
+	b := NewBuilder(fmt.Sprintf("pa-%d-m%d", n, m), n)
+	m0 := m + 1
+	for i := 0; i < m0; i++ {
+		for j := i + 1; j < m0; j++ {
+			b.AddEdge(core.NodeID(i), core.NodeID(j))
+		}
+	}
+	for j, targets := range paTargets(n, m, rng) {
+		for _, t := range targets {
+			b.AddEdge(core.NodeID(j), t)
+		}
+	}
+	return b.Build()
+}
+
+// paTargets returns, for each joining node j in m+1..n-1, the m distinct
+// existing nodes it attaches to under preferential attachment (sampling
+// proportional to degree+1 via the repeated-nodes list). Entries below
+// m+1 are nil — those nodes belong to the initial clique.
+func paTargets(n, m int, rng *rand.Rand) [][]core.NodeID {
+	m0 := m + 1
+	out := make([][]core.NodeID, n)
+	// pool holds each joined node once per unit of (degree+1), so a
+	// uniform draw from it is the preferential-attachment distribution.
+	pool := make([]core.NodeID, 0, 2*m*n)
+	for v := 0; v < m0; v++ {
+		for i := 0; i < m0; i++ { // clique degree m plus the +1 smoothing
+			pool = append(pool, core.NodeID(v))
+		}
+	}
+	for j := m0; j < n; j++ {
+		chosen := make(map[core.NodeID]bool, m)
+		targets := make([]core.NodeID, 0, m)
+		for len(targets) < m {
+			t := pool[rng.IntN(len(pool))]
+			if chosen[t] {
+				continue // resample until the m targets are distinct
+			}
+			chosen[t] = true
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			pool = append(pool, t)
+		}
+		for i := 0; i < m+1; i++ {
+			pool = append(pool, core.NodeID(j))
+		}
+		out[j] = targets
+	}
+	return out
+}
+
+// NewBuilderFrom returns a Builder pre-loaded with g's edges under a new
+// name — the copy-and-modify entry point the dynamic schedules and
+// renaming generators share.
+func NewBuilderFrom(name string, g *Graph) *Builder {
+	b := NewBuilder(name, g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	return b
 }
 
 // Caterpillar returns a spine path of spine nodes with legs leaf nodes

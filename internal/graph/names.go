@@ -11,6 +11,7 @@ func FamilyNames() []string {
 	return []string{
 		"line", "ring", "grid", "torus", "complete", "star", "bintree",
 		"barbell", "lollipop", "cliquechain", "hypercube", "er", "randreg",
+		"geometric", "pa",
 	}
 }
 
@@ -53,7 +54,18 @@ func FromName(name string, n int, rng *rand.Rand) (*Graph, error) {
 	case "er":
 		return ErdosRenyi(n, 4/float64(n), rng), nil
 	case "randreg":
-		return RandomRegular(n, 4, rng), nil
+		d := 4
+		if d >= n {
+			d = n - 1 // tiny graphs: the densest regular graph is K_n
+		}
+		return RandomRegular(n, d, rng), nil
+	case "geometric":
+		// Radius a constant factor above the sqrt(ln n / n) connectivity
+		// threshold; the stitcher covers the tail.
+		r := 1.5 * math.Sqrt(math.Log(float64(n))/float64(n))
+		return RandomGeometric(n, r, rng), nil
+	case "pa":
+		return PreferentialAttachment(n, 2, rng), nil
 	default:
 		return nil, fmt.Errorf("graph: unknown family %q (known: %v)", name, FamilyNames())
 	}

@@ -1,0 +1,164 @@
+package graph
+
+// Property-based invariants for every generator family reachable through
+// FromName, parameterized over a size sweep. These pin the structural
+// contract the whole repository builds on — simple undirected connected
+// graphs with sorted adjacency — including for the random families and
+// the two new ones (geometric, preferential attachment).
+
+import (
+	"sort"
+	"testing"
+
+	"algossip/internal/core"
+)
+
+// propertySizes is the size sweep: boundary sizes, odd/even, non-squares
+// and non-powers-of-two to exercise every family's rounding rule.
+var propertySizes = []int{2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 25, 33, 48, 64}
+
+// checkGraphInvariants verifies the structural contract of one graph.
+func checkGraphInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.N()
+	if n <= 0 {
+		t.Fatalf("%s: empty graph", g.Name())
+	}
+	// Handshake lemma: the degree sum is exactly twice the edge count.
+	degSum := 0
+	for v := 0; v < n; v++ {
+		degSum += g.Degree(core.NodeID(v))
+	}
+	if degSum != 2*g.M() {
+		t.Errorf("%s: degree sum %d != 2m = %d", g.Name(), degSum, 2*g.M())
+	}
+	// Adjacency structure: sorted, duplicate-free, loop-free, symmetric,
+	// in range.
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(core.NodeID(v))
+		if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+			t.Errorf("%s: neighbors of %d not sorted: %v", g.Name(), v, nb)
+		}
+		for i, u := range nb {
+			if int(u) < 0 || int(u) >= n {
+				t.Fatalf("%s: neighbor %d of %d out of range", g.Name(), u, v)
+			}
+			if u == core.NodeID(v) {
+				t.Errorf("%s: self loop at %d", g.Name(), v)
+			}
+			if i > 0 && nb[i-1] == u {
+				t.Errorf("%s: duplicate neighbor %d at %d", g.Name(), u, v)
+			}
+			if !g.HasEdge(u, core.NodeID(v)) {
+				t.Errorf("%s: asymmetric edge (%d,%d)", g.Name(), v, u)
+			}
+		}
+	}
+	// Derived quantities agree with each other.
+	if got := len(g.Edges()); got != g.M() {
+		t.Errorf("%s: Edges() lists %d edges, M() says %d", g.Name(), got, g.M())
+	}
+	if g.MaxDegree() < g.MinDegree() {
+		t.Errorf("%s: max degree %d below min degree %d", g.Name(), g.MaxDegree(), g.MinDegree())
+	}
+}
+
+// TestFamilyProperties sweeps every FromName family over the size sweep:
+// structural invariants, connectivity (every family's documented
+// contract) and the per-family node-count rule.
+func TestFamilyProperties(t *testing.T) {
+	for _, fam := range FamilyNames() {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			for _, n := range propertySizes {
+				rng := core.NewRand(uint64(1000 + n))
+				g, err := FromName(fam, n, rng)
+				if err != nil {
+					t.Fatalf("FromName(%s, %d): %v", fam, n, err)
+				}
+				checkGraphInvariants(t, g)
+				if !g.IsConnected() {
+					t.Errorf("%s n=%d: disconnected", fam, n)
+				}
+				// Node-count rule: exact for most families; grid/torus
+				// round down to a square, hypercube up to a power of two.
+				switch fam {
+				case "grid", "torus":
+					s := 1
+					for (s+1)*(s+1) <= n {
+						s++
+					}
+					if g.N() != s*s {
+						t.Errorf("%s n=%d: got %d nodes, want %d", fam, n, g.N(), s*s)
+					}
+				case "cliquechain":
+					if want := 4 * ((n + 3) / 4); g.N() != want {
+						t.Errorf("%s n=%d: got %d nodes, want %d (4 cliques of ceil(n/4))", fam, n, g.N(), want)
+					}
+				case "hypercube":
+					if g.N() < n || g.N() >= 2*n {
+						t.Errorf("%s n=%d: got %d nodes, want next power of two", fam, n, g.N())
+					}
+					if g.N()&(g.N()-1) != 0 {
+						t.Errorf("%s n=%d: %d not a power of two", fam, n, g.N())
+					}
+				default:
+					if g.N() != n {
+						t.Errorf("%s n=%d: got %d nodes", fam, n, g.N())
+					}
+				}
+				// Determinism: the same seed rebuilds the same graph.
+				g2, err := FromName(fam, n, core.NewRand(uint64(1000+n)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameEdges(g, g2) {
+					t.Errorf("%s n=%d: same seed produced different graphs", fam, n)
+				}
+			}
+		})
+	}
+}
+
+// TestPreferentialAttachmentProperties pins the closed-form edge count
+// and the scale-free skew of the new PA family.
+func TestPreferentialAttachmentProperties(t *testing.T) {
+	rng := core.NewRand(9)
+	for _, m := range []int{1, 2, 3} {
+		for _, n := range []int{m + 2, 16, 50} {
+			g := PreferentialAttachment(n, m, rng)
+			want := m*(m+1)/2 + (n-m-1)*m
+			if g.M() != want {
+				t.Errorf("pa n=%d m=%d: M = %d, want %d", n, m, g.M(), want)
+			}
+			if g.MinDegree() < m {
+				t.Errorf("pa n=%d m=%d: min degree %d below m", n, m, g.MinDegree())
+			}
+			if !g.IsConnected() {
+				t.Errorf("pa n=%d m=%d: disconnected", n, m)
+			}
+		}
+	}
+	// Degree skew: with n >> m the max degree should clearly exceed the
+	// attachment degree (hubs emerge).
+	g := PreferentialAttachment(200, 2, rng)
+	if g.MaxDegree() < 8 {
+		t.Errorf("pa 200: max degree %d shows no hub formation", g.MaxDegree())
+	}
+}
+
+// TestRandomGeometricProperties: radius monotonicity and the unit-square
+// geometry bound (no edge count beyond the complete graph, connectivity
+// after stitching even for tiny radii).
+func TestRandomGeometricProperties(t *testing.T) {
+	rng := core.NewRand(17)
+	small := RandomGeometric(40, 0.05, rng)
+	if !small.IsConnected() {
+		t.Error("stitching must connect a sparse geometric sample")
+	}
+	big := RandomGeometric(40, 1.5, core.NewRand(17))
+	// Radius sqrt(2) covers the whole unit square: the graph is complete.
+	if big.M() != 40*39/2 {
+		t.Errorf("radius 1.5 sample has %d edges, want complete %d", big.M(), 40*39/2)
+	}
+}

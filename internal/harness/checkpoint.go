@@ -44,6 +44,11 @@ func (s *Spec) Fingerprint() string {
 	fmt.Fprintf(&sb, "kmode=%s|ks=%v|proto=%d|model=%d|q=%d|action=%d|sel=%d|single=%t|loss=%g|maxrounds=%d|trials=%d|seed=%d",
 		s.KMode, s.Ks, s.Protocol, s.Model, s.Q, s.Action, s.Selector,
 		s.SingleSource, s.LossRate, s.MaxRounds, s.Trials, s.Seed)
+	// Appended only for dynamic specs, so every pre-dynamics checkpoint
+	// fingerprint is unchanged.
+	if !s.Dynamics.IsStatic() {
+		fmt.Fprintf(&sb, "|dyn=%s", s.Dynamics.String())
+	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"algossip/internal/graph"
+)
+
+// Dynamics declares a time-varying topology schedule applied over a
+// trial's base graph. It is the flag-parseable, fingerprintable face of
+// graph.Dynamic: the Spec carries the parameters, and Execute builds the
+// concrete schedule per trial with a seed derived from the trial seed,
+// so identical (Spec, Seed) pairs replay identical topology trajectories
+// on any worker count.
+type Dynamics struct {
+	// Kind selects the schedule: "static" (or empty — no dynamics),
+	// "edge" (i.i.d. per-round edge failures), "burst" (periodic
+	// correlated failure bursts), "rewire" (periodic partial rewiring),
+	// "churn" (node leave/rejoin with state reset), or "grow"
+	// (grow-then-stabilize preferential attachment; replaces the base
+	// graph's structure, keeping only its node count).
+	Kind string `json:"kind"`
+	// Rate is the per-kind probability: edge/burst failure rate, rewire
+	// fraction, or churn down-probability. Unused by "grow".
+	Rate float64 `json:"rate,omitempty"`
+	// Period is the schedule cadence in rounds: burst period, rewire
+	// period, churn block length, or rounds per join for "grow".
+	// 0 selects a per-kind default.
+	Period int `json:"period,omitempty"`
+	// Burst is the burst length in rounds (kind "burst" only; 0 selects
+	// the default).
+	Burst int `json:"burst,omitempty"`
+}
+
+// dynamicsDefaults fills zero cadence fields with per-kind defaults.
+func (d Dynamics) withDefaults() Dynamics {
+	if d.Period == 0 {
+		switch d.Kind {
+		case "edge":
+			d.Period = 1 // i.i.d. failures resample every round
+		case "burst":
+			d.Period = 64
+		case "rewire":
+			d.Period = 32
+		case "churn":
+			d.Period = 16
+		case "grow":
+			d.Period = 4
+		}
+	}
+	if d.Kind == "burst" && d.Burst == 0 {
+		d.Burst = 8
+	}
+	return d
+}
+
+// IsStatic reports whether the declaration is the trivial constant
+// schedule (including a nil receiver), i.e. whether a static engine run
+// reproduces it exactly.
+func (d *Dynamics) IsStatic() bool {
+	return d == nil || d.Kind == "" || d.Kind == "static"
+}
+
+// String renders the canonical normalized form, e.g.
+// "churn:rate=0.1,period=16" — stable input for fingerprints and labels.
+func (d *Dynamics) String() string {
+	if d.IsStatic() {
+		return "static"
+	}
+	n := d.withDefaults()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:rate=%g,period=%d", n.Kind, n.Rate, n.Period)
+	if n.Kind == "burst" {
+		fmt.Fprintf(&sb, ",burst=%d", n.Burst)
+	}
+	return sb.String()
+}
+
+// Build materializes the schedule over a trial's base graph. The seed
+// must derive from the trial seed so each trial sees an independent,
+// reproducible topology trajectory.
+func (d *Dynamics) Build(g *graph.Graph, seed uint64) (graph.Dynamic, error) {
+	if d.IsStatic() {
+		return graph.Static(g), nil
+	}
+	switch d.Kind {
+	case "edge", "burst", "rewire", "churn", "grow":
+	default:
+		return nil, fmt.Errorf("harness: unknown dynamics kind %q (known: static, edge, burst, rewire, churn, grow)", d.Kind)
+	}
+	// Reject options the kind ignores: they would silently change the
+	// fingerprint (breaking -resume against an equivalent run) while
+	// changing nothing about the trajectory.
+	if d.Kind == "edge" && d.Period > 1 {
+		return nil, fmt.Errorf("harness: edge failures resample every round; period=%d has no effect", d.Period)
+	}
+	if d.Kind == "grow" && d.Rate != 0 {
+		return nil, fmt.Errorf("harness: grow dynamics take no rate (got %v)", d.Rate)
+	}
+	if d.Kind != "burst" && d.Burst != 0 {
+		return nil, fmt.Errorf("harness: burst length only applies to kind \"burst\"")
+	}
+	n := d.withDefaults()
+	if n.Rate < 0 || n.Rate >= 1 {
+		return nil, fmt.Errorf("harness: dynamics rate %v outside [0, 1)", n.Rate)
+	}
+	if n.Period < 1 {
+		return nil, fmt.Errorf("harness: dynamics period %d must be positive", n.Period)
+	}
+	switch n.Kind {
+	case "edge":
+		return graph.NewEdgeFailures(g, n.Rate, seed), nil
+	case "burst":
+		if n.Burst < 1 || n.Burst >= n.Period {
+			return nil, fmt.Errorf("harness: burst length %d must be in [1, period=%d)", n.Burst, n.Period)
+		}
+		return graph.NewBurstFailures(g, n.Rate, n.Period, n.Burst, seed), nil
+	case "rewire":
+		return graph.NewRewire(g, n.Rate, n.Period, seed), nil
+	case "churn":
+		return graph.NewChurn(g, n.Rate, n.Period, seed), nil
+	default: // "grow"
+		const attach = 2
+		if g.N() < attach+2 {
+			return nil, fmt.Errorf("harness: grow dynamics need at least %d nodes, got %d", attach+2, g.N())
+		}
+		return graph.NewGrow(g.N(), attach, n.Period, seed), nil
+	}
+}
+
+// ParseDynamics parses the -dynamics flag syntax "kind[:key=value,...]"
+// with keys rate, period and burst, e.g. "edge:rate=0.2" or
+// "churn:rate=0.1,period=16". An empty string means static.
+func ParseDynamics(s string) (*Dynamics, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	kind, rest, _ := strings.Cut(s, ":")
+	d := &Dynamics{Kind: kind}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("harness: dynamics option %q is not key=value", kv)
+			}
+			switch key {
+			case "rate":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("harness: bad dynamics rate %q", val)
+				}
+				d.Rate = f
+			case "period":
+				v, err := strconv.Atoi(val)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("harness: bad dynamics period %q", val)
+				}
+				d.Period = v
+			case "burst":
+				v, err := strconv.Atoi(val)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("harness: bad dynamics burst %q", val)
+				}
+				d.Burst = v
+			default:
+				return nil, fmt.Errorf("harness: unknown dynamics option %q (known: rate, period, burst)", key)
+			}
+		}
+	}
+	// Validate the kind (and cross-field constraints) eagerly so flag
+	// errors surface before any compute is spent.
+	if _, err := d.Build(graph.Complete(4), 0); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -104,6 +104,10 @@ type GossipSpec struct {
 	// LossRate drops each transmitted packet with this probability
 	// (failure injection; uniform AG only).
 	LossRate float64
+	// Dynamics applies a time-varying topology schedule over Graph
+	// (nil = static). Supported for uniform AG and the uncoded baseline;
+	// tree-based protocols need a static topology.
+	Dynamics *Dynamics
 	// MaxRounds overrides the engine's round budget (default generous).
 	MaxRounds int
 	// Observer, when set, receives per-node completion events during the
@@ -175,13 +179,22 @@ type Outcome struct {
 // the experiment runners, and the worker pool all funnel through it, so
 // a (GossipSpec, Protocol, seed) triple replays one fixed trajectory
 // everywhere. The seed-stream layout (protocol RNG, tree RNG, engine
-// RNG) is pinned by the conformance suite — do not renumber.
+// RNG; stream 10 feeds the dynamic-topology schedule) is pinned by the
+// conformance suite — do not renumber.
 func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 	if spec.Graph == nil {
 		return Outcome{}, fmt.Errorf("harness: nil graph")
 	}
 	if spec.K <= 0 {
 		return Outcome{}, fmt.Errorf("harness: k must be positive, got %d", spec.K)
+	}
+	if !spec.Dynamics.IsStatic() {
+		switch proto {
+		case 0, ProtocolUniformAG, ProtocolUncoded:
+		default:
+			return Outcome{}, fmt.Errorf("harness: dynamics %q unsupported for protocol %v (tree-based protocols need a static topology)",
+				spec.Dynamics.Kind, proto)
+		}
 	}
 	spec = spec.Normalize()
 	g := spec.Graph
@@ -267,9 +280,19 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 		return out, fmt.Errorf("harness: unknown protocol %v", proto)
 	}
 
-	res, err := sim.New(g, spec.Model, proto2,
-		core.SplitSeed(seed, engineStream),
-		sim.WithMaxRounds(spec.MaxRounds)).Run()
+	var eng *sim.Engine
+	if spec.Dynamics.IsStatic() {
+		eng = sim.New(g, spec.Model, proto2,
+			core.SplitSeed(seed, engineStream), sim.WithMaxRounds(spec.MaxRounds))
+	} else {
+		dyn, err := spec.Dynamics.Build(g, core.SplitSeed(seed, 10))
+		if err != nil {
+			return out, err
+		}
+		eng = sim.NewDynamic(dyn, spec.Model, proto2,
+			core.SplitSeed(seed, engineStream), sim.WithMaxRounds(spec.MaxRounds))
+	}
+	res, err := eng.Run()
 	out.Result = res
 	if err != nil {
 		return out, err

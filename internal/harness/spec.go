@@ -46,6 +46,11 @@ type Spec struct {
 	SingleSource bool
 	// LossRate drops each packet with this probability (uniform AG only).
 	LossRate float64
+	// Dynamics applies a time-varying topology schedule over each cell's
+	// graph (nil = static). Only uniform AG and the uncoded baseline
+	// support dynamic topologies; the schedule randomness derives from
+	// the per-trial seed, so the work-list stays deterministic.
+	Dynamics *Dynamics
 	// MaxRounds caps each simulation (default generous).
 	MaxRounds int
 	// Lean skips the O(n) per-node completion detail in every Outcome —
@@ -186,6 +191,7 @@ func (s *Spec) gossipSpec(t Trial) GossipSpec {
 		Graph: t.Graph, Model: s.Model, K: t.K, Q: s.Q,
 		Action: s.Action, Selector: s.Selector,
 		SingleSource: s.SingleSource, LossRate: s.LossRate,
+		Dynamics:  s.Dynamics,
 		MaxRounds: s.MaxRounds, Lean: s.Lean,
 	}
 }

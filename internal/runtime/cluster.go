@@ -37,7 +37,7 @@ type Cluster struct {
 // clusterNode is the per-goroutine state.
 type clusterNode struct {
 	id        core.NodeID
-	neighbors []core.NodeID
+	neighbors []core.NodeID // guarded by mu: ApplyTopology swaps it mid-run
 	inbox     <-chan Envelope
 	transport Transport
 	interval  time.Duration
@@ -116,6 +116,26 @@ func (c *Cluster) Decode(v core.NodeID) ([]rlnc.Message, error) {
 	node.mu.Lock()
 	defer node.mu.Unlock()
 	return node.codec.Decode()
+}
+
+// ApplyTopology swaps the cluster's communication topology for g, which
+// must have the same node count. It is safe to call while Run is active,
+// which is how a graph.Dynamic schedule drives a live deployment: a
+// controller goroutine materializes dyn.At(round) on its own cadence and
+// applies it here. Nodes pick up the new neighbor lists on their next
+// tick; packets already in flight still deliver (the transport is not
+// re-wired), mirroring the simulator's drop-undeliverable-sends rule
+// only approximately — real networks drain in-flight traffic too.
+func (c *Cluster) ApplyTopology(g *graph.Graph) error {
+	if g.N() != len(c.nodes) {
+		return fmt.Errorf("runtime: topology has %d nodes, cluster has %d", g.N(), len(c.nodes))
+	}
+	for v, node := range c.nodes {
+		node.mu.Lock()
+		node.neighbors = g.Neighbors(core.NodeID(v))
+		node.mu.Unlock()
+	}
+	return nil
 }
 
 // Kill crashes node v: its goroutine stops gossiping and the cluster no
@@ -198,10 +218,13 @@ func (n *clusterNode) run(ctx context.Context) {
 			}
 			n.handle(env)
 		case <-ticker.C:
-			if len(n.neighbors) == 0 {
+			n.mu.Lock()
+			nbrs := n.neighbors
+			n.mu.Unlock()
+			if len(nbrs) == 0 {
 				continue
 			}
-			peer := n.neighbors[rng.IntN(len(n.neighbors))]
+			peer := nbrs[rng.IntN(len(nbrs))]
 			n.sendPacket(peer, true)
 		}
 	}

@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"algossip/internal/graph"
+)
+
+// TestClusterApplyTopology drives a live cluster through a graph.Dynamic
+// edge-failure schedule while it gossips: a controller goroutine applies
+// a new topology every few milliseconds (exercising the neighbor-swap
+// locking under -race) and the cluster still completes and decodes.
+func TestClusterApplyTopology(t *testing.T) {
+	base := graph.Torus(3, 3)
+	cfg := testRLNC(4, 6)
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: base, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 7}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := seedMessages(t, c, cfg, base.N())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Controller: materialize the schedule on a wall-clock cadence. The
+	// runtime substrate is intentionally non-deterministic; the schedule
+	// itself stays a pure function of its epoch.
+	sched := graph.NewEdgeFailures(base, 0.3, 11)
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for epoch := 0; ; epoch++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if err := c.ApplyTopology(sched.At(epoch)); err != nil {
+					t.Errorf("ApplyTopology: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	done, err := c.Run(ctx)
+	cancel()
+	<-stop
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != base.N() {
+		t.Fatalf("completed %d/%d nodes", done, base.N())
+	}
+	verifyDecode(t, c, msgs, base.N())
+}
+
+// TestApplyTopologyRejectsSizeMismatch: a schedule over a different node
+// count is a caller bug and must be refused.
+func TestApplyTopologyRejectsSizeMismatch(t *testing.T) {
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: graph.Ring(6), RLNC: testRLNC(2, 4), Seed: 1}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyTopology(graph.Ring(8)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

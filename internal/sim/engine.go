@@ -50,6 +50,7 @@ func (r Result) String() string {
 // discard.
 type Engine struct {
 	g         *graph.Graph
+	dyn       graph.Dynamic // nil for static runs
 	model     core.TimeModel
 	proto     Protocol
 	rng       *rand.Rand
@@ -81,6 +82,19 @@ func New(g *graph.Graph, model core.TimeModel, proto Protocol, schedSeed uint64,
 	return e
 }
 
+// NewDynamic returns an Engine that drives proto over the time-varying
+// topology d: at every round boundary the engine queries the schedule
+// and, when the graph changed or churned nodes rejoined, delivers a
+// TopologyEvent to the protocol (which must implement TopologyAware
+// unless d is the trivial static schedule). Running over graph.Static(g)
+// is bit-identical to New(g, ...): the scheduling RNG stream and wakeup
+// order are untouched by the topology checks.
+func NewDynamic(d graph.Dynamic, model core.TimeModel, proto Protocol, schedSeed uint64, opts ...Option) *Engine {
+	e := New(d.At(0), model, proto, schedSeed, opts...)
+	e.dyn = d
+	return e
+}
+
 // Run executes the simulation until the protocol reports Done or the round
 // budget is exhausted, returning the stopping time. The error wraps
 // ErrRoundLimit on timeout; the Result is valid either way.
@@ -89,6 +103,26 @@ func (e *Engine) Run() (Result, error) {
 		Protocol: e.proto.Name(),
 		Graph:    e.g.Name(),
 		Model:    e.model,
+	}
+	if e.dyn != nil {
+		res.Graph = e.dyn.Name()
+		if _, static := e.dyn.(*graph.StaticSchedule); !static {
+			ta, ok := e.proto.(TopologyAware)
+			if !ok {
+				return res, fmt.Errorf("sim: protocol %s cannot run on dynamic topology %s (does not implement TopologyAware)",
+					res.Protocol, res.Graph)
+			}
+			// Align the protocol with the round-0 topology before any
+			// communication: callers construct protocols over the
+			// schedule's base graph, which may already differ at round 0
+			// (grow starts with most nodes unjoined; i.i.d. failures
+			// sample round 0 too).
+			var reset []core.NodeID
+			if ch, ok := e.dyn.(graph.Churner); ok {
+				reset = ch.ResetAt(0)
+			}
+			ta.OnTopologyChange(TopologyEvent{Round: 0, Graph: e.g, Reset: reset})
+		}
 	}
 	switch e.model {
 	case core.Synchronous:
@@ -119,6 +153,7 @@ func (e *Engine) runSync() (rounds int, done bool) {
 		if e.proto.Done() {
 			return round, true
 		}
+		e.stepTopology(round)
 		e.proto.BeginRound(round)
 		for v := 0; v < n; v++ {
 			e.proto.OnWake(core.NodeID(v))
@@ -137,7 +172,32 @@ func (e *Engine) runAsync() (timeslots int, done bool) {
 		if e.proto.Done() {
 			return slot, true
 		}
+		if slot%n == 0 {
+			e.stepTopology(slot / n)
+		}
 		e.proto.OnWake(core.NodeID(e.rng.IntN(n)))
 	}
 	return budget, e.proto.Done()
+}
+
+// stepTopology advances a dynamic run's topology to the given round and
+// notifies the protocol on a change. It is a no-op for static runs, and
+// consumes no scheduling randomness either way, so static trajectories
+// are untouched.
+func (e *Engine) stepTopology(round int) {
+	if e.dyn == nil {
+		return
+	}
+	g := e.dyn.At(round)
+	var reset []core.NodeID
+	if ch, ok := e.dyn.(graph.Churner); ok {
+		reset = ch.ResetAt(round)
+	}
+	if g == e.g && len(reset) == 0 {
+		return
+	}
+	e.g = g
+	if ta, ok := e.proto.(TopologyAware); ok {
+		ta.OnTopologyChange(TopologyEvent{Round: round, Graph: g, Reset: reset})
+	}
 }

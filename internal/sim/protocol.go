@@ -15,7 +15,10 @@
 // gossip, and the fixed-parent selection used by TAG's Phase 2.
 package sim
 
-import "algossip/internal/core"
+import (
+	"algossip/internal/core"
+	"algossip/internal/graph"
+)
 
 // Protocol is a gossip protocol driven by the engine. A protocol owns all
 // per-node state; the engine only decides who wakes up when.
@@ -41,6 +44,56 @@ type Protocol interface {
 	// every node reached rank k). It must be cheap: the engine polls it
 	// every timeslot in the asynchronous model.
 	Done() bool
+}
+
+// TopologyEvent describes one topology transition of a dynamic run. The
+// engine delivers it at a round boundary (before BeginRound in the
+// synchronous model; at a slot that starts a round in the asynchronous
+// model), where no staged deliveries are normally in flight; protocols
+// still filter their staged sends through Deliverable so that direct or
+// mid-round invocations of the hook stay safe.
+type TopologyEvent struct {
+	// Round is the first round the new topology is in force.
+	Round int
+	// Graph is the new topology. Node count never changes across events.
+	Graph *graph.Graph
+	// Reset lists churned nodes that rejoined as fresh machines: the
+	// protocol must reinitialize their state from their initial seeds.
+	Reset []core.NodeID
+}
+
+// Retarget points sel at the event's graph when the selector supports
+// dynamic retargeting (no-op otherwise).
+func (ev TopologyEvent) Retarget(sel PartnerSelector) {
+	if ds, ok := sel.(DynamicSelector); ok {
+		ds.SetGraph(ev.Graph)
+	}
+}
+
+// Deliverable reports whether a staged send from->to survives the
+// transition: the edge still exists and neither endpoint was reset.
+// Every protocol's staged-delivery filter shares this rule.
+func (ev TopologyEvent) Deliverable(from, to core.NodeID) bool {
+	if !ev.Graph.HasEdge(from, to) {
+		return false
+	}
+	for _, v := range ev.Reset {
+		if v == from || v == to {
+			return false
+		}
+	}
+	return true
+}
+
+// TopologyAware is an optional Protocol extension for dynamic-topology
+// runs: the engine calls OnTopologyChange whenever the schedule's graph
+// changes or churned nodes rejoin. Protocols that implement it must
+// re-target their partner selection to the event's graph and drop any
+// staged sends the new topology can no longer carry; coded protocols
+// keep every surviving node's subspace (a smaller graph never invalidates
+// received equations).
+type TopologyAware interface {
+	OnTopologyChange(ev TopologyEvent)
 }
 
 // Observer receives progress callbacks from protocols that support

@@ -17,6 +17,17 @@ type PartnerSelector interface {
 	Name() string
 }
 
+// DynamicSelector is a PartnerSelector that can re-target to a new graph
+// mid-run (dynamic topologies). Uniform and RoundRobin implement it;
+// Fixed deliberately does not — a fixed spanning tree has no meaningful
+// retarget, which is why tree-based protocols require static topologies.
+type DynamicSelector interface {
+	PartnerSelector
+	// SetGraph switches partner selection to g. Per-node selector state
+	// (round-robin cursors) is preserved where it still makes sense.
+	SetGraph(g *graph.Graph)
+}
+
 // Uniform selects a partner uniformly at random among all neighbors
 // (Definition 1, uniform gossip).
 type Uniform struct {
@@ -39,6 +50,9 @@ func (u *Uniform) Partner(v core.NodeID, rng *rand.Rand) core.NodeID {
 
 // Name implements PartnerSelector.
 func (u *Uniform) Name() string { return "uniform" }
+
+// SetGraph implements DynamicSelector.
+func (u *Uniform) SetGraph(g *graph.Graph) { u.g = g }
 
 // RoundRobin selects partners according to a fixed cyclic list of each
 // node's neighbors, with a uniformly random initial position (Definition 2;
@@ -79,6 +93,23 @@ func (r *RoundRobin) Partner(v core.NodeID, rng *rand.Rand) core.NodeID {
 
 // Name implements PartnerSelector.
 func (r *RoundRobin) Name() string { return "round-robin" }
+
+// SetGraph implements DynamicSelector: cursors keep their position where
+// the new degree allows it and wrap otherwise, so the cyclic discipline
+// survives topology changes without re-drawing initial offsets.
+func (r *RoundRobin) SetGraph(g *graph.Graph) {
+	r.g = g
+	for v := range r.cursor {
+		deg := g.Degree(core.NodeID(v))
+		if deg == 0 {
+			r.cursor[v] = 0
+			continue
+		}
+		if r.cursor[v] >= deg {
+			r.cursor[v] %= deg
+		}
+	}
+}
 
 // Fixed selects a fixed partner per node — TAG's Phase 2 communication
 // model, where every node exchanges only with its spanning-tree parent.

@@ -108,6 +108,60 @@ func TestRoundLimit(t *testing.T) {
 	}
 }
 
+// TestRunUnknownTimeModel drives the engine's error branch: any model
+// outside {Synchronous, Asynchronous} must fail with a descriptive error
+// and an incomplete zero-round Result, and must never be confused with a
+// round-limit timeout.
+func TestRunUnknownTimeModel(t *testing.T) {
+	g := graph.Line(4)
+	for _, tt := range []struct {
+		name  string
+		model core.TimeModel
+	}{
+		{"zero", core.TimeModel(0)},
+		{"past-end", core.TimeModel(3)},
+		{"garbage", core.TimeModel(42)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			p := newProbe(1)
+			res, err := New(g, tt.model, p, 1).Run()
+			if err == nil {
+				t.Fatal("unknown time model accepted")
+			}
+			if !strings.Contains(err.Error(), "unknown time model") {
+				t.Errorf("err = %v, want unknown-time-model message", err)
+			}
+			if errors.Is(err, ErrRoundLimit) {
+				t.Error("unknown-model error must not wrap ErrRoundLimit")
+			}
+			if res.Completed || res.Rounds != 0 || res.Timeslots != 0 {
+				t.Errorf("result not zeroed: %+v", res)
+			}
+			if res.Protocol != "probe" || res.Graph != g.Name() || res.Model != tt.model {
+				t.Errorf("result labels wrong: %+v", res)
+			}
+			if len(p.wakes) != 0 {
+				t.Error("protocol woke despite the error")
+			}
+		})
+	}
+}
+
+// TestResultString pins the exact rendering of both Result states, TIMEOUT
+// included.
+func TestResultString(t *testing.T) {
+	timeout := Result{Protocol: "uniform-ag", Graph: "line-8",
+		Model: core.Synchronous, Rounds: 1048576}
+	if got, want := timeout.String(), "uniform-ag on line-8 [synchronous]: 1048576 rounds (TIMEOUT)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	done := Result{Protocol: "tag-brr", Graph: "barbell-16",
+		Model: core.Asynchronous, Rounds: 42, Completed: true}
+	if got, want := done.String(), "tag-brr on barbell-16 [asynchronous]: 42 rounds (done)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() []core.NodeID {
 		p := newProbe(1000)
