@@ -1,21 +1,28 @@
-// Command benchdelta is CI's performance gate for the coding kernels: it
-// parses `go test -bench` output, compares each benchmark's ns/op
-// against a checked-in baseline (BENCH_BASELINE.json) with a relative
-// tolerance, and exits non-zero on regressions.
+// Command benchdelta is CI's performance gate: it parses `go test
+// -bench` output, compares each benchmark's ns/op against a checked-in
+// baseline with a relative tolerance — and, when both sides carry
+// -benchmem data, fails on any allocs/op increase at all (allocation
+// counts are deterministic for fixed-seed workloads, so there is no
+// noise to tolerate). Two baselines are gated in CI: the coding kernels
+// (BENCH_BASELINE.json, ./internal/gf ./internal/rlnc) and the
+// whole-simulation macro suite (BENCH_SIM.json, root BenchmarkSim*).
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 200ms ./internal/gf ./internal/rlnc \
 //	    | go run ./cmd/benchdelta -baseline BENCH_BASELINE.json -out bench_new.json
 //
-//	# refresh the baseline after an intentional perf change:
-//	go test -run '^$' -bench . -benchtime 200ms ./internal/gf ./internal/rlnc \
-//	    | go run ./cmd/benchdelta -baseline BENCH_BASELINE.json -update
+//	go test -run '^$' -bench '^BenchmarkSim' -benchmem -benchtime 1x -count 3 . \
+//	    | go run ./cmd/benchdelta -baseline BENCH_SIM.json -out bench_sim_new.json
 //
-// A benchmark regresses when new_ns > old_ns * (1 + tolerance). New
-// benchmarks (absent from the baseline) and improvements are reported
-// but never fail the gate; the -out file always carries the fresh
-// numbers so CI can upload them as an artifact.
+//	# refresh a baseline after an intentional perf change:
+//	... | go run ./cmd/benchdelta -baseline BENCH_SIM.json -update
+//
+// A benchmark regresses when new_ns > old_ns * (1 + tolerance), or when
+// new_allocs > old_allocs (any amount). New benchmarks (absent from the
+// baseline) and improvements are reported but never fail the gate; the
+// -out file always carries the fresh numbers so CI can upload them as
+// an artifact.
 package main
 
 import (
@@ -39,10 +46,15 @@ type Baseline struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-// Entry is one benchmark measurement.
+// Entry is one benchmark measurement. AllocsPerOp and BytesPerOp are
+// pointers so "not measured" (no -benchmem) is distinguishable from a
+// genuine zero — zero allocations is exactly what the hot-path gate
+// pins.
 type Entry struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	MBPerS  float64 `json:"mb_per_s,omitempty"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	MBPerS      float64  `json:"mb_per_s,omitempty"`
+	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 func main() {
@@ -115,12 +127,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 // benchLine matches `go test -bench` result lines, e.g.
 //
 //	BenchmarkAddMulSliceGF256-8   123456   987.6 ns/op   259.3 MB/s
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op(?:\s+([0-9.eE+]+) MB/s)?`)
+//	BenchmarkSimUniformAG/complete/n=256/gf=2-8   1   30731284 ns/op   78.60 rounds   1792800 B/op   2596 allocs/op
+//
+// Custom metrics (like "rounds") may sit between ns/op and the
+// -benchmem pair, so the B/op capture is anchored lazily.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op(?:\s+([0-9.eE+]+) MB/s)?(?:.*?\s([0-9.eE+]+) B/op\s+([0-9.eE+]+) allocs/op)?`)
 
 // ParseBench extracts benchmark entries from `go test -bench` output,
 // normalizing names by stripping the GOMAXPROCS suffix. A benchmark that
-// appears multiple times keeps its best (lowest ns/op) run, which damps
-// scheduler noise.
+// appears multiple times (-count > 1) keeps its best (lowest) ns/op and
+// allocs/op across runs, which damps scheduler and GC-timing noise.
 func ParseBench(r io.Reader) (map[string]Entry, error) {
 	out := map[string]Entry{}
 	sc := bufio.NewScanner(r)
@@ -138,17 +154,51 @@ func ParseBench(r io.Reader) (map[string]Entry, error) {
 		if m[3] != "" {
 			e.MBPerS, _ = strconv.ParseFloat(m[3], 64)
 		}
-		if old, ok := out[m[1]]; !ok || e.NsPerOp < old.NsPerOp {
-			out[m[1]] = e
+		if m[4] != "" && m[5] != "" {
+			if b, err := strconv.ParseFloat(m[4], 64); err == nil {
+				e.BytesPerOp = &b
+			}
+			if a, err := strconv.ParseFloat(m[5], 64); err == nil {
+				e.AllocsPerOp = &a
+			}
 		}
+		old, ok := out[m[1]]
+		if !ok {
+			out[m[1]] = e
+			continue
+		}
+		merged := old
+		if e.NsPerOp < old.NsPerOp {
+			merged.NsPerOp, merged.MBPerS = e.NsPerOp, e.MBPerS
+		}
+		merged.BytesPerOp = minPtr(old.BytesPerOp, e.BytesPerOp)
+		merged.AllocsPerOp = minPtr(old.AllocsPerOp, e.AllocsPerOp)
+		out[m[1]] = merged
 	}
 	return out, sc.Err()
 }
 
+// minPtr merges two optional measurements, keeping the smaller when both
+// are present.
+func minPtr(a, b *float64) *float64 {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case *b < *a:
+		return b
+	default:
+		return a
+	}
+}
+
 // Compare renders a benchstat-style delta table and counts regressions
-// (fresh entries whose ns/op exceeds the baseline by more than
-// tolerance) and missing entries (baseline benchmarks absent from the
-// fresh run — a crashed bench binary or a rename).
+// — fresh entries whose ns/op exceeds the baseline by more than
+// tolerance, or whose allocs/op exceeds the baseline at all (allocation
+// counts are deterministic; any increase is a leak into the hot path) —
+// and missing entries (baseline benchmarks absent from the fresh run: a
+// crashed bench binary or a rename).
 func Compare(base, fresh map[string]Entry, tolerance float64) (string, int, int) {
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
@@ -158,12 +208,12 @@ func Compare(base, fresh map[string]Entry, tolerance float64) (string, int, int)
 
 	var sb strings.Builder
 	regressions := 0
-	fmt.Fprintf(&sb, "%-40s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "verdict")
+	fmt.Fprintf(&sb, "%-52s %12s %12s %8s %12s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "verdict")
 	for _, name := range names {
 		f := fresh[name]
 		b, ok := base[name]
 		if !ok {
-			fmt.Fprintf(&sb, "%-40s %12s %12.1f %8s  new (no baseline)\n", name, "-", f.NsPerOp, "-")
+			fmt.Fprintf(&sb, "%-52s %12s %12.1f %8s %12s  new (no baseline)\n", name, "-", f.NsPerOp, "-", allocsCell(f.AllocsPerOp))
 			continue
 		}
 		delta := (f.NsPerOp - b.NsPerOp) / b.NsPerOp
@@ -171,11 +221,23 @@ func Compare(base, fresh map[string]Entry, tolerance float64) (string, int, int)
 		switch {
 		case delta > tolerance:
 			verdict = "REGRESSION"
-			regressions++
 		case delta < -tolerance:
 			verdict = "improved"
 		}
-		fmt.Fprintf(&sb, "%-40s %12.1f %12.1f %+7.1f%%  %s\n", name, b.NsPerOp, f.NsPerOp, delta*100, verdict)
+		if b.AllocsPerOp != nil && f.AllocsPerOp != nil && *f.AllocsPerOp > *b.AllocsPerOp {
+			allocNote := fmt.Sprintf("ALLOC REGRESSION (%.0f -> %.0f allocs/op)", *b.AllocsPerOp, *f.AllocsPerOp)
+			if verdict == "REGRESSION" {
+				verdict = "REGRESSION + " + allocNote
+			} else {
+				verdict = allocNote
+			}
+		}
+		// One benchmark counts once, however many ways it regressed.
+		if strings.Contains(verdict, "REGRESSION") {
+			regressions++
+		}
+		fmt.Fprintf(&sb, "%-52s %12.1f %12.1f %+7.1f%% %12s  %s\n",
+			name, b.NsPerOp, f.NsPerOp, delta*100, allocsCell(f.AllocsPerOp), verdict)
 	}
 	missing := 0
 	missingNames := make([]string, 0)
@@ -187,9 +249,17 @@ func Compare(base, fresh map[string]Entry, tolerance float64) (string, int, int)
 	}
 	sort.Strings(missingNames)
 	for _, name := range missingNames {
-		fmt.Fprintf(&sb, "%-40s MISSING from this run (crashed bench or rename?)\n", name)
+		fmt.Fprintf(&sb, "%-52s MISSING from this run (crashed bench or rename?)\n", name)
 	}
 	return sb.String(), regressions, missing
+}
+
+// allocsCell renders the optional allocs/op column.
+func allocsCell(a *float64) string {
+	if a == nil {
+		return "-"
+	}
+	return strconv.FormatFloat(*a, 'f', 0, 64)
 }
 
 func readBaseline(path string) (Baseline, error) {
@@ -206,7 +276,7 @@ func readBaseline(path string) (Baseline, error) {
 
 func writeBaseline(path string, fresh map[string]Entry) error {
 	b := Baseline{
-		Note:       "kernel benchmark reference for CI's bench-delta gate; refresh with: go test -run '^$' -bench . -benchtime 200ms ./internal/gf ./internal/rlnc | go run ./cmd/benchdelta -update",
+		Note:       "benchmark reference for CI's bench-delta gate; refresh by piping the matching `go test -bench` run into `go run ./cmd/benchdelta -baseline <file> -update` after an intentional perf change",
 		Benchmarks: fresh,
 	}
 	data, err := json.MarshalIndent(b, "", "  ")

@@ -145,3 +145,113 @@ func TestEmptyInputErrors(t *testing.T) {
 		t.Fatal("empty input accepted")
 	}
 }
+
+func fptr(v float64) *float64 { return &v }
+
+// TestParseBenchmem covers -benchmem lines, including custom metrics
+// sitting between ns/op and the B/op pair, and zero allocs/op.
+func TestParseBenchmem(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkSimUniformAG/complete/n=256/gf=2-8   1   30731284 ns/op   78.60 rounds   1792800 B/op   2596 allocs/op
+BenchmarkSteadyState-8   1000000   105.0 ns/op   0 B/op   0 allocs/op
+BenchmarkKernelOnly-8   123456   987.6 ns/op   259.3 MB/s
+`)
+	got, err := ParseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := got["BenchmarkSimUniformAG/complete/n=256/gf=2"]
+	if sim.AllocsPerOp == nil || *sim.AllocsPerOp != 2596 {
+		t.Fatalf("sim allocs = %v, want 2596", sim.AllocsPerOp)
+	}
+	if sim.BytesPerOp == nil || *sim.BytesPerOp != 1792800 {
+		t.Fatalf("sim B/op = %v, want 1792800", sim.BytesPerOp)
+	}
+	steady := got["BenchmarkSteadyState"]
+	if steady.AllocsPerOp == nil || *steady.AllocsPerOp != 0 {
+		t.Fatalf("zero allocs must parse as present-and-zero, got %v", steady.AllocsPerOp)
+	}
+	if kern := got["BenchmarkKernelOnly"]; kern.AllocsPerOp != nil {
+		t.Fatalf("no-benchmem line must leave allocs nil, got %v", *kern.AllocsPerOp)
+	}
+}
+
+// TestParseBenchmemKeepsMin: with -count > 1, the merged entry keeps the
+// minimum allocs/op across runs.
+func TestParseBenchmemKeepsMin(t *testing.T) {
+	in := strings.NewReader(`
+BenchmarkX-8   1   200 ns/op   10 B/op   3 allocs/op
+BenchmarkX-8   1   100 ns/op   12 B/op   2 allocs/op
+BenchmarkX-8   1   150 ns/op   11 B/op   4 allocs/op
+`)
+	got, err := ParseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := got["BenchmarkX"]
+	if e.NsPerOp != 100 || *e.AllocsPerOp != 2 || *e.BytesPerOp != 10 {
+		t.Fatalf("merged entry = %+v (allocs %v bytes %v), want ns=100 allocs=2 bytes=10",
+			e, *e.AllocsPerOp, *e.BytesPerOp)
+	}
+}
+
+// TestCompareAllocRegression: any allocs/op increase fails the gate even
+// when ns/op is within tolerance; absent alloc data on either side never
+// gates.
+func TestCompareAllocRegression(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: fptr(5)},
+		"BenchmarkB": {NsPerOp: 100, AllocsPerOp: fptr(5)},
+		"BenchmarkC": {NsPerOp: 100}, // baseline without -benchmem data
+	}
+	fresh := map[string]Entry{
+		"BenchmarkA": {NsPerOp: 101, AllocsPerOp: fptr(6)}, // ns fine, allocs up
+		"BenchmarkB": {NsPerOp: 99, AllocsPerOp: fptr(5)},  // unchanged
+		"BenchmarkC": {NsPerOp: 100, AllocsPerOp: fptr(999)},
+	}
+	report, regressions, missing := Compare(base, fresh, 0.20)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (alloc-only regression)\n%s", regressions, report)
+	}
+	if missing != 0 {
+		t.Fatalf("missing = %d, want 0", missing)
+	}
+	if !strings.Contains(report, "ALLOC REGRESSION (5 -> 6 allocs/op)") {
+		t.Fatalf("report lacks alloc verdict:\n%s", report)
+	}
+}
+
+// TestAllocsRoundTripJSON: zero allocs/op survives the baseline JSON
+// round trip (omitempty must not erase a measured zero).
+func TestAllocsRoundTripJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := writeBaseline(path, map[string]Entry{
+		"BenchmarkZ": {NsPerOp: 50, AllocsPerOp: fptr(0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := b.Benchmarks["BenchmarkZ"]
+	if e.AllocsPerOp == nil || *e.AllocsPerOp != 0 {
+		t.Fatalf("zero allocs lost in round trip: %v", e.AllocsPerOp)
+	}
+}
+
+// TestCompareCombinedRegressionCountsOnce: a benchmark that regresses in
+// both ns/op and allocs/op counts as one regression, and the report
+// names both failures.
+func TestCompareCombinedRegressionCountsOnce(t *testing.T) {
+	base := map[string]Entry{"BenchmarkBoth": {NsPerOp: 100, AllocsPerOp: fptr(5)}}
+	fresh := map[string]Entry{"BenchmarkBoth": {NsPerOp: 200, AllocsPerOp: fptr(6)}}
+	report, regressions, _ := Compare(base, fresh, 0.20)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 for a single doubly-regressed benchmark\n%s", regressions, report)
+	}
+	if !strings.Contains(report, "REGRESSION + ALLOC REGRESSION (5 -> 6 allocs/op)") {
+		t.Fatalf("report must name both failures:\n%s", report)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"time"
 
 	"algossip/internal/core"
 	"algossip/internal/graph"
@@ -36,27 +37,41 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		graphName = fs.String("graph", "grid", "topology family")
-		n         = fs.Int("n", 64, "number of nodes (approximate for grid/bintree)")
-		k         = fs.Int("k", 0, "number of messages (default n/2)")
-		protoName = fs.String("protocol", "ag", "protocol: ag|tag|tag-uniform|tag-is|uncoded")
-		modelName = fs.String("model", "sync", "time model: sync|async")
-		q         = fs.Int("q", 2, "field order")
-		action    = fs.String("action", "exchange", "action: push|pull|exchange")
-		dynamics  = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16")
-		seed      = fs.Uint64("seed", 1, "root seed")
-		trials    = fs.Int("trials", 3, "number of trials")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
-		single    = fs.Bool("single-source", false, "seed all messages at node 0")
-		detail    = fs.Bool("detail", false, "print traffic counters and completion quantiles")
-		traceCSV  = fs.String("tracecsv", "", "write per-node completion rounds to this CSV file")
+		graphName  = fs.String("graph", "grid", "topology family")
+		n          = fs.Int("n", 64, "number of nodes (approximate for grid/bintree)")
+		k          = fs.Int("k", 0, "number of messages (default n/2)")
+		protoName  = fs.String("protocol", "ag", "protocol: ag|tag|tag-uniform|tag-is|uncoded")
+		modelName  = fs.String("model", "sync", "time model: sync|async")
+		q          = fs.Int("q", 2, "field order")
+		action     = fs.String("action", "exchange", "action: push|pull|exchange")
+		dynamics   = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16")
+		seed       = fs.Uint64("seed", 1, "root seed")
+		trials     = fs.Int("trials", 3, "number of trials")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
+		single     = fs.Bool("single-source", false, "seed all messages at node 0")
+		detail     = fs.Bool("detail", false, "print traffic counters and completion quantiles")
+		traceCSV   = fs.String("tracecsv", "", "write per-node completion rounds to this CSV file")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		traceFile  = fs.String("trace", "", "write a runtime/trace execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := harness.Profiles{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *traceFile,
+	}.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	g, err := graph.FromName(*graphName, *n, core.NewRand(core.SplitSeed(*seed, 999)))
 	if err != nil {
 		return err
@@ -146,6 +161,10 @@ func run(args []string, stdout io.Writer) error {
 	bound := float64(*k+diam+int(math.Log2(float64(g.N())))+1) * float64(delta)
 	fmt.Fprintf(w, "Theorem 1 reference (k+log n+D)·Δ = %.0f  (measured mean / bound = %.2f)\n",
 		bound, s.Mean/bound)
+	// Timing footer goes to stderr so the stdout report stays a pure
+	// function of the flags and seed.
+	fmt.Fprintf(os.Stderr, "gossipsim: %d trials in %v, %.1f trials/sec\n",
+		rs.Executed, rs.Elapsed.Round(time.Millisecond), rs.TrialsPerSec())
 	return w.Err()
 }
 

@@ -116,3 +116,30 @@ func TestGossipsimPropagatesWriteErrors(t *testing.T) {
 		t.Fatalf("write error not propagated: %v", err)
 	}
 }
+
+// TestProfileFlagsSmoke checks -cpuprofile/-memprofile/-trace write
+// non-empty diagnostics files on clean exit without disturbing the report.
+func TestProfileFlagsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	trc := filepath.Join(dir, "trace.out")
+	var buf bytes.Buffer
+	args := []string{"-graph", "grid", "-n", "9", "-trials", "1", "-seed", "1",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stopping time:") {
+		t.Fatalf("report output disturbed: %q", buf.String())
+	}
+	for _, path := range []string{cpu, mem, trc} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"algossip/internal/core"
 	"algossip/internal/harness"
@@ -58,10 +59,24 @@ func run(args []string, stdout io.Writer) (err error) {
 		progress   = fs.Bool("progress", false, "report per-trial progress on stderr")
 		jsonOut    = fs.Bool("json", false, "write JSON instead of CSV")
 		out        = fs.String("out", "", "output path (default stdout)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		traceFile  = fs.String("trace", "", "write a runtime/trace execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := harness.Profiles{
+		CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *traceFile,
+	}.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	proto, err := harness.ParseProtocol(*protoName)
 	if err != nil {
 		return err
@@ -104,9 +119,11 @@ func run(args []string, stdout io.Writer) (err error) {
 		Resume:     *resume,
 	}
 	if *progress {
+		progressStart := time.Now()
 		runner.Progress = func(done, total int, t harness.Trial, o harness.Outcome) {
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d trials (n=%d trial=%d: %d rounds)   ",
-				done, total, t.Graph.N(), t.Num, o.Result.Rounds)
+			rate := float64(done) / time.Since(progressStart).Seconds()
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d trials (n=%d trial=%d: %d rounds, %.1f trials/sec)   ",
+				done, total, t.Graph.N(), t.Num, o.Result.Rounds, rate)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
@@ -145,5 +162,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		fmt.Fprintf(os.Stderr, "n=%-5d k=%-5d %s\n",
 			c.Graph.N(), c.K, stats.Summarize(rs.CellRounds(ci)))
 	}
+	// Timing footer goes to stderr, never into the CSV/JSON data: the
+	// output bytes stay a pure function of (Spec, seed).
+	resumed := len(rs.Trials) - rs.Executed
+	fmt.Fprintf(os.Stderr, "sweep: %d trials (%d executed, %d resumed) in %v, %.1f trials/sec\n",
+		len(rs.Trials), rs.Executed, resumed, rs.Elapsed.Round(time.Millisecond), rs.TrialsPerSec())
 	return nil
 }

@@ -220,3 +220,40 @@ func TestSweepPropagatesWriteErrors(t *testing.T) {
 		t.Fatalf("write error not propagated: %v", err)
 	}
 }
+
+// TestProfileFlagsSmoke checks -cpuprofile/-memprofile/-trace write
+// non-empty diagnostics files on clean exit without disturbing the CSV.
+func TestProfileFlagsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	trc := filepath.Join(dir, "trace.out")
+	var buf bytes.Buffer
+	args := []string{"-graph", "line", "-protocol", "ag", "-sizes", "8", "-trials", "1", "-seed", "5",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", trc}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "graph,protocol,model,n,k,trial,rounds\n") {
+		t.Fatalf("CSV output disturbed: %q", buf.String())
+	}
+	for _, path := range []string{cpu, mem, trc} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestProfileFlagBadPath: an unwritable profile path fails up front.
+func TestProfileFlagBadPath(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-graph", "line", "-sizes", "8", "-trials", "1",
+		"-cpuprofile", filepath.Join(t.TempDir(), "missing-dir", "cpu.pprof")}, &buf)
+	if err == nil {
+		t.Fatal("expected error for unwritable cpuprofile path")
+	}
+}

@@ -61,14 +61,20 @@ type Protocol struct {
 	initial [][]rlnc.Message // per-node initial seeds, replayed on churn reset
 	seeded  int              // number of distinct message indices seeded
 
-	staged    []delivery
-	traffic   gossip.Traffic
-	doneCount int
-	doneRound []int // round at which each node reached rank k, -1 before
-	round     int   // current round (sync: from BeginRound; async: slots/n)
-	slots     int   // async wakeup counter
-	obs       sim.Observer
+	staged     []delivery
+	stagedPeak int             // decaying high-water mark of staged length
+	free       []*rlnc.Packet  // recycled packets; backing arrays are reused by EmitInto
+	dupSeen    map[dupKey]bool // reusable per-round dedup set (DiscardDuplicatePerRound)
+	traffic    gossip.Traffic
+	doneCount  int
+	doneRound  []int // round at which each node reached rank k, -1 before
+	round      int   // current round (sync: from BeginRound; async: slots/n)
+	slots      int   // async wakeup counter
+	obs        sim.Observer
 }
+
+// dupKey identifies one (receiver, sender) pair for per-round dedup.
+type dupKey struct{ to, from core.NodeID }
 
 var (
 	_ sim.Protocol      = (*Protocol)(nil)
@@ -188,6 +194,8 @@ func (p *Protocol) OnTopologyChange(ev sim.TopologyEvent) {
 	for _, d := range p.staged {
 		if ev.Deliverable(d.from, d.to) {
 			kept = append(kept, d)
+		} else {
+			p.recycle(d.pkt)
 		}
 	}
 	p.staged = kept
@@ -220,19 +228,39 @@ func (p *Protocol) Tick() {
 	}
 }
 
+// getPacket pops a recycled packet (or allocates the first few). Pooled
+// packets keep their backing arrays, which EmitInto refills in place, so
+// the steady-state send path allocates nothing.
+func (p *Protocol) getPacket() *rlnc.Packet {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pkt
+	}
+	return &rlnc.Packet{}
+}
+
+// recycle returns a packet (whose contents ReceiveOwned may have
+// clobbered) to the freelist for the next EmitInto.
+func (p *Protocol) recycle(pkt *rlnc.Packet) {
+	p.free = append(p.free, pkt)
+}
+
 // send emits a random combination from node `from` toward node `to`. In the
 // synchronous model the delivery is staged until EndRound (information
 // received in a round is available only at the next round); in the
 // asynchronous model it applies immediately. With LossRate set, the packet
 // may be dropped in flight.
 func (p *Protocol) send(from, to core.NodeID) {
-	pkt := p.nodes[from].Emit(p.rng)
-	if pkt == nil {
+	pkt := p.getPacket()
+	if !p.nodes[from].EmitInto(p.rng, pkt) {
+		p.recycle(pkt)
 		return
 	}
 	p.traffic.Sent++
 	if p.cfg.LossRate > 0 && p.rng.Float64() < p.cfg.LossRate {
 		p.traffic.Dropped++
+		p.recycle(pkt)
 		return // lost in flight
 	}
 	if p.model == core.Synchronous {
@@ -240,11 +268,15 @@ func (p *Protocol) send(from, to core.NodeID) {
 		return
 	}
 	p.apply(to, pkt)
+	p.recycle(pkt)
 }
 
 // apply lets node `to` receive the packet and updates completion tracking.
+// The packet is pool-owned: ReceiveOwned reduces directly in its backing
+// arrays (clobbering the contents, never retaining them), and the caller
+// recycles it afterwards.
 func (p *Protocol) apply(to core.NodeID, pkt *rlnc.Packet) {
-	if p.nodes[to].Receive(pkt) {
+	if p.nodes[to].ReceiveOwned(pkt) {
 		p.traffic.Helpful++
 		p.refreshDone(to)
 	} else {
@@ -265,26 +297,54 @@ func (p *Protocol) refreshDone(v core.NodeID) {
 // BeginRound implements sim.Protocol.
 func (p *Protocol) BeginRound(round int) { p.round = round }
 
-// EndRound implements sim.Protocol: applies the staged deliveries. With
-// DiscardDuplicatePerRound, only the first packet from each (sender,
-// receiver) pair survives the round.
+// EndRound implements sim.Protocol: applies the staged deliveries and
+// recycles their packets. With DiscardDuplicatePerRound, only the first
+// packet from each (sender, receiver) pair survives the round.
 func (p *Protocol) EndRound(round int) {
 	p.round = round
 	if p.cfg.DiscardDuplicatePerRound {
-		type pair struct{ to, from core.NodeID }
-		seen := make(map[pair]bool, len(p.staged))
+		if p.dupSeen == nil {
+			p.dupSeen = make(map[dupKey]bool, len(p.staged))
+		} else {
+			clear(p.dupSeen)
+		}
 		for _, d := range p.staged {
-			key := pair{d.to, d.from}
-			if seen[key] {
-				continue
+			key := dupKey{d.to, d.from}
+			if !p.dupSeen[key] {
+				p.dupSeen[key] = true
+				p.apply(d.to, d.pkt)
 			}
-			seen[key] = true
-			p.apply(d.to, d.pkt)
+			p.recycle(d.pkt)
 		}
 	} else {
 		for _, d := range p.staged {
 			p.apply(d.to, d.pkt)
+			p.recycle(d.pkt)
 		}
+	}
+	p.resetStaged()
+}
+
+// resetStaged empties the staged buffer for reuse next round, shrinking
+// it (and the packet freelist, which mirrors its capacity needs) when the
+// capacity has grown far past a decaying high-water mark — so one burst
+// round on a dense graph does not pin peak memory for the rest of a long
+// run, while steady traffic never reallocates.
+func (p *Protocol) resetStaged() {
+	used := len(p.staged)
+	if used > p.stagedPeak {
+		p.stagedPeak = used
+	} else {
+		// Exponential decay keeps the mark tracking recent rounds only.
+		p.stagedPeak -= (p.stagedPeak - used) / 8
+	}
+	const minShrinkCap = 64
+	if cap(p.staged) > minShrinkCap && cap(p.staged) > 4*p.stagedPeak {
+		p.staged = make([]delivery, 0, 2*p.stagedPeak)
+		if len(p.free) > 2*p.stagedPeak {
+			p.free = append([]*rlnc.Packet(nil), p.free[:2*p.stagedPeak]...)
+		}
+		return
 	}
 	p.staged = p.staged[:0]
 }

@@ -1,0 +1,157 @@
+package algebraic
+
+import (
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+// steadyProtocol runs a protocol to completion so every node is at full
+// rank — the steady state in which the pooled hot path must be
+// allocation-free.
+func steadyProtocol(t testing.TB, q int) *Protocol {
+	t.Helper()
+	g := graph.Complete(16)
+	cfg := Config{RLNC: rlnc.Config{Field: gf.MustNew(q), K: 8, RankOnly: true}}
+	p, err := New(g, core.Synchronous, sim.NewUniform(g), cfg, core.NewRand(core.SplitSeed(3, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SeedAll(RoundRobinAssign(8, g.N()), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(g, core.Synchronous, p, core.SplitSeed(3, 2)).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestAllocsSteadyStateRound pins zero allocations for a whole
+// synchronous protocol round (every node wakes, stages, applies) once
+// ranks have saturated: the packet freelist, the staged buffer, and the
+// matrix scratch are all warm, so nothing on the send/receive path may
+// allocate — for the bit-packed GF(2) backend and the generic GF(256)
+// backend alike.
+func TestAllocsSteadyStateRound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		q    int
+	}{
+		{"gf2-bit", 2},
+		{"gf256-generic", 256},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := steadyProtocol(t, tc.q)
+			n := 16
+			round := 1 << 20 // past any real round; only the clock label
+			// Warm one round so staged/freelist reach their steady capacity.
+			p.BeginRound(round)
+			for v := 0; v < n; v++ {
+				p.OnWake(core.NodeID(v))
+			}
+			p.EndRound(round)
+			allocs := testing.AllocsPerRun(50, func() {
+				round++
+				p.BeginRound(round)
+				for v := 0; v < n; v++ {
+					p.OnWake(core.NodeID(v))
+				}
+				p.EndRound(round)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state round allocated %.1f times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestStagedBufferShrinks locks the bounded-shrink fix: a burst round
+// that stages far more deliveries than the following rounds must not pin
+// its peak capacity forever — the decaying high-water mark releases it
+// within a bounded number of quiet rounds.
+func TestStagedBufferShrinks(t *testing.T) {
+	p := steadyProtocol(t, 2)
+
+	// Burst: stage a large artificial round by sending many times.
+	p.BeginRound(1)
+	for i := 0; i < 64; i++ {
+		for v := 0; v < 16; v++ {
+			p.OnWake(core.NodeID(v))
+		}
+	}
+	burst := len(p.staged)
+	if burst < 1024 {
+		t.Fatalf("burst staged only %d deliveries", burst)
+	}
+	p.EndRound(1)
+	if cap(p.staged) < 1024 {
+		t.Fatalf("burst capacity %d unexpectedly small", cap(p.staged))
+	}
+
+	// Quiet rounds: one wake per round. The decaying peak must release
+	// the burst capacity (and trim the packet freelist with it).
+	for r := 2; r < 80; r++ {
+		p.BeginRound(r)
+		p.OnWake(core.NodeID(r % 16))
+		p.EndRound(r)
+	}
+	if cap(p.staged) >= burst/4 {
+		t.Fatalf("staged capacity %d still holds the burst peak %d", cap(p.staged), burst)
+	}
+	if len(p.free) >= burst {
+		t.Fatalf("freelist kept %d packets after shrink", len(p.free))
+	}
+}
+
+// TestPacketPoolRecyclesOnLossAndDynamics checks the freelist keeps
+// packets on every exit path: emitted-then-lost packets and staged
+// deliveries dropped by a topology change return to the pool instead of
+// leaking to the GC.
+func TestPacketPoolRecyclesOnLossAndDynamics(t *testing.T) {
+	g := graph.Complete(8)
+	cfg := Config{
+		RLNC:     rlnc.Config{Field: gf.MustNew(2), K: 4, RankOnly: true},
+		LossRate: 0.5,
+	}
+	p, err := New(g, core.Synchronous, sim.NewUniform(g), cfg, core.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SeedAll(RoundRobinAssign(4, g.N()), nil); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 20; r++ {
+		p.BeginRound(r)
+		for v := 0; v < g.N(); v++ {
+			p.OnWake(core.NodeID(v))
+		}
+		p.EndRound(r)
+	}
+	live := len(p.free)
+	if live == 0 {
+		t.Fatal("freelist empty after lossy rounds")
+	}
+	// Stage deliveries, then drop them all via a topology change to the
+	// empty graph: every staged packet must land back in the pool.
+	p.BeginRound(20)
+	for v := 0; v < g.N(); v++ {
+		p.OnWake(core.NodeID(v))
+	}
+	staged := len(p.staged)
+	if staged == 0 {
+		t.Fatal("nothing staged")
+	}
+	before := len(p.free)
+	empty := graph.NewBuilder("empty", g.N()).Build()
+	p.OnTopologyChange(sim.TopologyEvent{Round: 21, Graph: empty})
+	if len(p.staged) != 0 {
+		t.Fatalf("%d staged deliveries survived an empty topology", len(p.staged))
+	}
+	if len(p.free) != before+staged {
+		t.Fatalf("freelist %d after drop, want %d", len(p.free), before+staged)
+	}
+}

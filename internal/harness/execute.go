@@ -101,6 +101,11 @@ type GossipSpec struct {
 	// SingleSource, when true, seeds all k messages at node 0 instead of
 	// round-robin across nodes.
 	SingleSource bool
+	// PayloadLen, when positive, runs the simulation with real r-symbol
+	// payloads (random contents drawn from a dedicated seed stream)
+	// instead of rank-only coefficient tracking — the configuration that
+	// exercises the bulk combine kernels end to end. Uniform AG only.
+	PayloadLen int
 	// LossRate drops each transmitted packet with this probability
 	// (failure injection; uniform AG only).
 	LossRate float64
@@ -142,8 +147,12 @@ func (s GossipSpec) Normalize() GossipSpec {
 	return s
 }
 
-// RLNCConfig returns the rank-only codec configuration for the spec.
+// RLNCConfig returns the codec configuration for the spec: rank-only by
+// default, payload-carrying when PayloadLen is set.
 func (s GossipSpec) RLNCConfig() rlnc.Config {
+	if s.PayloadLen > 0 {
+		return rlnc.Config{Field: gf.MustNew(s.Q), K: s.K, PayloadLen: s.PayloadLen}
+	}
 	return rlnc.Config{Field: gf.MustNew(s.Q), K: s.K, RankOnly: true}
 }
 
@@ -196,6 +205,13 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 				spec.Dynamics.Kind, proto)
 		}
 	}
+	if spec.PayloadLen > 0 {
+		switch proto {
+		case 0, ProtocolUniformAG:
+		default:
+			return Outcome{}, fmt.Errorf("harness: payload mode unsupported for protocol %v (uniform AG only)", proto)
+		}
+	}
 	spec = spec.Normalize()
 	g := spec.Graph
 	out := Outcome{
@@ -217,7 +233,13 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 		if spec.Observer != nil {
 			p.SetObserver(spec.Observer)
 		}
-		if err := p.SeedAll(spec.Assign(), nil); err != nil {
+		// Payload contents draw from their own stream (11) so rank-only
+		// trajectories are untouched when PayloadLen is zero.
+		var msgs []rlnc.Message
+		if spec.PayloadLen > 0 {
+			msgs = algebraic.RandomMessages(spec.RLNCConfig(), core.NewRand(core.SplitSeed(seed, 11)))
+		}
+		if err := p.SeedAll(spec.Assign(), msgs); err != nil {
 			return out, err
 		}
 		proto2, engineStream = p, 2

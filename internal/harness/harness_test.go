@@ -235,3 +235,45 @@ func errFor(i int) error { return &indexErr{i} }
 type indexErr struct{ i int }
 
 func (e *indexErr) Error() string { return "fail at " + string(rune('0'+e.i)) }
+
+// TestExecutePayloadMode covers the payload-carrying configuration: the
+// trial must complete with real payloads end to end (the coded path,
+// not rank-only), be deterministic for a fixed seed, leave the
+// rank-only trajectory of the same seed untouched, and be rejected for
+// protocols that only support rank-only runs.
+func TestExecutePayloadMode(t *testing.T) {
+	g := graph.Complete(12)
+	base := GossipSpec{Graph: g, K: 6, Q: 2}
+
+	rankOnly, err := Execute(base, ProtocolUniformAG, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withPay := base
+	withPay.PayloadLen = 32
+	if withPay.RLNCConfig().RankOnly {
+		t.Fatal("payload spec must not be rank-only")
+	}
+	o1, err := Execute(withPay, ProtocolUniformAG, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Execute(withPay, ProtocolUniformAG, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Result.Rounds != o2.Result.Rounds {
+		t.Fatalf("payload mode not deterministic: %d vs %d rounds", o1.Result.Rounds, o2.Result.Rounds)
+	}
+	// Rank evolution ignores payload content, so the stopping time
+	// matches the rank-only run of the same seed.
+	if o1.Result.Rounds != rankOnly.Result.Rounds {
+		t.Fatalf("payload run diverged from rank-only trajectory: %d vs %d rounds",
+			o1.Result.Rounds, rankOnly.Result.Rounds)
+	}
+
+	if _, err := Execute(withPay, ProtocolTAGRR, 42); err == nil {
+		t.Fatal("payload mode must be rejected for TAG")
+	}
+}

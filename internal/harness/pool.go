@@ -31,12 +31,30 @@ type Runner struct {
 }
 
 // ResultSet is a Spec's work-list with every Outcome filled in, in
-// deterministic work-list order.
+// deterministic work-list order. Elapsed and Executed describe how the
+// run went (wall-clock, trials actually simulated vs. replayed from a
+// checkpoint); they are observability only and never rendered into the
+// byte-identical CSV/JSON data.
 type ResultSet struct {
 	Spec     *Spec
 	Cells    []Cell
 	Trials   []Trial
 	Outcomes []Outcome
+
+	// Elapsed is the wall-clock duration of the Run call.
+	Elapsed time.Duration
+	// Executed counts the trials simulated in this run (total minus the
+	// ones replayed from a resume checkpoint).
+	Executed int
+}
+
+// TrialsPerSec returns the executed-trial throughput of the run (0 when
+// nothing ran or the clock did not advance).
+func (rs *ResultSet) TrialsPerSec() float64 {
+	if rs.Elapsed <= 0 || rs.Executed == 0 {
+		return 0
+	}
+	return float64(rs.Executed) / rs.Elapsed.Seconds()
 }
 
 // CellRounds returns the per-trial stopping times of one grid cell.
@@ -65,6 +83,7 @@ func (rs *ResultSet) MeanRounds(ci int) float64 {
 // returned ResultSet is identical for any Parallel value and for any
 // interrupt/resume history.
 func (r Runner) Run(spec *Spec) (*ResultSet, error) {
+	start := time.Now()
 	cells, trials, err := spec.Expand()
 	if err != nil {
 		return nil, err
@@ -124,7 +143,10 @@ func (r Runner) Run(spec *Spec) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ResultSet{Spec: spec, Cells: cells, Trials: trials, Outcomes: outcomes}, nil
+	return &ResultSet{
+		Spec: spec, Cells: cells, Trials: trials, Outcomes: outcomes,
+		Elapsed: time.Since(start), Executed: len(pending),
+	}, nil
 }
 
 // runOne executes one trial, enforcing the per-trial timeout.

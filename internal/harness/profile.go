@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiles bundles the standard Go diagnostics outputs a long-running
+// experiment binary can record: CPU profile, heap profile, and execution
+// trace. Empty paths disable the corresponding output.
+type Profiles struct {
+	// CPUProfile receives a pprof CPU profile covering Start..Stop.
+	CPUProfile string
+	// MemProfile receives a heap profile written at Stop (after a GC, so
+	// it reflects live steady-state memory, not transient garbage).
+	MemProfile string
+	// Trace receives a runtime/trace execution trace covering Start..Stop.
+	Trace string
+}
+
+// enabled reports whether any output is requested.
+func (p Profiles) enabled() bool {
+	return p.CPUProfile != "" || p.MemProfile != "" || p.Trace != ""
+}
+
+// Start begins the requested recordings and returns a stop function to
+// call on clean exit; the stop function finishes the recordings and
+// writes the heap profile. When nothing is requested both Start and the
+// returned stop are no-ops, so callers can wire it unconditionally.
+func (p Profiles) Start() (stop func() error, err error) {
+	if !p.enabled() {
+		return func() error { return nil }, nil
+	}
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if p.CPUProfile != "" {
+		cpuF, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			cpuF = nil
+			cleanup()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		traceF, err = os.Create(p.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	memPath := p.MemProfile
+	return func() error {
+		var firstErr error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if traceF != nil {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("trace: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("memprofile: %w", err)
+				}
+			} else {
+				runtime.GC() // materialize live-object statistics
+				if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("memprofile: %w", err)
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("memprofile: %w", err)
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -29,6 +29,12 @@ var ErrNotFullRank = errors.New("linalg: matrix is not full rank")
 // a whole row costs one table walk (or word-wise XOR) instead of a
 // per-symbol scalar loop.
 //
+// Memory behavior: surviving rows are copied into a matrix-owned arena
+// allocated in bulk chunks (at most cols rows can ever be retained), and
+// elimination scratch is reused across calls, so the steady-state
+// Add/AddOwned/WouldHelp path performs no allocations and never retains
+// caller memory.
+//
 // The zero value is not usable; construct with NewRankMatrix.
 type RankMatrix struct {
 	f     gf.Field
@@ -37,7 +43,17 @@ type RankMatrix struct {
 	rows  [][]gf.Elem // coefficient parts, pivot columns strictly increasing
 	pay   [][]byte    // augmented payload parts, parallel to rows (nil entries when extra == 0)
 	pivot []int       // pivot[i] is the pivot column of rows[i]
+
+	arenaC   []gf.Elem // coefficient arena; rows are carved off its front
+	arenaP   []byte    // payload arena
+	scratchC []gf.Elem // reusable reduce buffer (coefficients)
+	scratchP []byte    // reusable reduce buffer (payload)
 }
+
+// arenaChunkRows bounds how many rows one arena chunk holds, so huge
+// matrices grow incrementally instead of committing cols² memory up
+// front while small ones still allocate once.
+const arenaChunkRows = 64
 
 // NewRankMatrix returns an empty matrix over field f with cols coefficient
 // columns and extra augmented payload bytes per row.
@@ -102,34 +118,99 @@ func (m *RankMatrix) reduce(coeffs []gf.Elem, pay []byte) int {
 	return -1
 }
 
-// Add inserts the given row — cols coefficients plus an extra-length payload
-// (nil when extra == 0) — if it is linearly independent of the stored rows,
-// keeping echelon form. It reports whether the rank increased, i.e. whether
-// the row was a *helpful message*. Both input slices are copied; the caller
-// keeps ownership.
-func (m *RankMatrix) Add(coeffs []gf.Elem, payload []byte) bool {
+// checkWidths panics on a caller-side width bug (the network-facing
+// screens live in rlnc).
+func (m *RankMatrix) checkWidths(coeffs []gf.Elem, payload []byte) {
 	if len(coeffs) != m.cols {
 		panic("linalg: coefficient width mismatch")
 	}
 	if len(payload) != m.extra {
 		panic("linalg: payload width mismatch")
 	}
-	workC := append([]gf.Elem(nil), coeffs...)
+}
+
+// Add inserts the given row — cols coefficients plus an extra-length payload
+// (nil when extra == 0) — if it is linearly independent of the stored rows,
+// keeping echelon form. It reports whether the rank increased, i.e. whether
+// the row was a *helpful message*. The inputs are neither modified nor
+// retained (reduction happens in reusable scratch); the caller keeps
+// ownership.
+func (m *RankMatrix) Add(coeffs []gf.Elem, payload []byte) bool {
+	m.checkWidths(coeffs, payload)
+	m.ensureScratch()
+	copy(m.scratchC, coeffs)
 	var workP []byte
 	if m.extra > 0 {
-		workP = append([]byte(nil), payload...)
+		copy(m.scratchP, payload)
+		workP = m.scratchP
 	}
-	p := m.reduce(workC, workP)
+	p := m.reduce(m.scratchC, workP)
 	if p < 0 {
 		return false
 	}
-	m.insert(workC, workP, p)
+	m.insert(m.scratchC, workP, p)
 	return true
 }
 
-// insert places an already-reduced row with pivot column p, keeping pivots
-// strictly increasing.
+// AddOwned is the move-semantics insert: it reduces directly in the
+// caller's buffers (clobbering them) instead of copying into scratch
+// first, then copies the surviving row into the matrix arena. The caller
+// must treat the contents as consumed but keeps the buffers themselves —
+// the packet-pool recycling contract of the coded hot path.
+func (m *RankMatrix) AddOwned(coeffs []gf.Elem, payload []byte) bool {
+	m.checkWidths(coeffs, payload)
+	var workP []byte
+	if m.extra > 0 {
+		workP = payload
+	}
+	p := m.reduce(coeffs, workP)
+	if p < 0 {
+		return false
+	}
+	m.insert(coeffs, workP, p)
+	return true
+}
+
+// ensureScratch sizes the reusable reduce buffers once.
+func (m *RankMatrix) ensureScratch() {
+	if m.scratchC == nil {
+		m.scratchC = make([]gf.Elem, m.cols)
+	}
+	if m.extra > 0 && m.scratchP == nil {
+		m.scratchP = make([]byte, m.extra)
+	}
+}
+
+// allocRow carves one coefficient row (and payload row when extra > 0)
+// off the arena, growing it chunk-wise. Retained rows end up contiguous
+// in memory, which the reduce loop walks in order.
+func (m *RankMatrix) allocRow() ([]gf.Elem, []byte) {
+	if len(m.arenaC) < m.cols {
+		rows := m.cols - len(m.rows) // rows that can still be retained
+		if rows > arenaChunkRows {
+			rows = arenaChunkRows
+		}
+		m.arenaC = make([]gf.Elem, rows*m.cols)
+		if m.extra > 0 {
+			m.arenaP = make([]byte, rows*m.extra)
+		}
+	}
+	rowC := m.arenaC[:m.cols:m.cols]
+	m.arenaC = m.arenaC[m.cols:]
+	var rowP []byte
+	if m.extra > 0 {
+		rowP = m.arenaP[:m.extra:m.extra]
+		m.arenaP = m.arenaP[m.extra:]
+	}
+	return rowC, rowP
+}
+
+// insert copies an already-reduced row with pivot column p into the
+// arena, keeping pivots strictly increasing.
 func (m *RankMatrix) insert(coeffs []gf.Elem, pay []byte, p int) {
+	rowC, rowP := m.allocRow()
+	copy(rowC, coeffs)
+	copy(rowP, pay)
 	at := len(m.rows)
 	for i, q := range m.pivot {
 		if q > p {
@@ -143,20 +224,23 @@ func (m *RankMatrix) insert(coeffs []gf.Elem, pay []byte, p int) {
 	copy(m.rows[at+1:], m.rows[at:])
 	copy(m.pay[at+1:], m.pay[at:])
 	copy(m.pivot[at+1:], m.pivot[at:])
-	m.rows[at] = coeffs
-	m.pay[at] = pay
+	m.rows[at] = rowC
+	m.pay[at] = rowP
 	m.pivot[at] = p
 }
 
 // WouldHelp reports whether the given coefficient vector (length Cols) is
-// linearly independent of the stored rows, without modifying the matrix.
-// This is the helpful-message test of Definition 3.
+// linearly independent of the stored rows, without modifying the matrix or
+// the input — reduction happens in reusable scratch, so the query neither
+// allocates nor takes a defensive copy. This is the helpful-message test
+// of Definition 3.
 func (m *RankMatrix) WouldHelp(coeffs []gf.Elem) bool {
 	if len(coeffs) != m.cols {
 		panic("linalg: coefficient width mismatch")
 	}
-	work := append([]gf.Elem(nil), coeffs...)
-	return m.reduce(work, nil) >= 0
+	m.ensureScratch()
+	copy(m.scratchC, coeffs)
+	return m.reduce(m.scratchC, nil) >= 0
 }
 
 // RandomCombination returns a fresh uniformly random linear combination of
@@ -173,6 +257,21 @@ func (m *RankMatrix) RandomCombination(rng *rand.Rand) ([]gf.Elem, []byte) {
 	if m.extra > 0 {
 		pay = make([]byte, m.extra)
 	}
+	m.RandomCombinationInto(rng, coeffs, pay)
+	return coeffs, pay
+}
+
+// RandomCombinationInto fills coeffs (length Cols) and pay (length Extra;
+// nil when extra == 0) with a uniformly random combination of the stored
+// rows, reusing the caller's buffers — the zero-allocation emit path. It
+// reports false without drawing randomness when the matrix is empty.
+func (m *RankMatrix) RandomCombinationInto(rng *rand.Rand, coeffs []gf.Elem, pay []byte) bool {
+	if len(m.rows) == 0 {
+		return false
+	}
+	m.checkWidths(coeffs, pay)
+	clear(coeffs)
+	clear(pay)
 	for i, row := range m.rows {
 		c := gf.Rand(m.f, rng)
 		m.f.AXPY(coeffs, row, c)
@@ -180,7 +279,7 @@ func (m *RankMatrix) RandomCombination(rng *rand.Rand) ([]gf.Elem, []byte) {
 			m.f.AddMulSlice(pay, m.pay[i], c)
 		}
 	}
-	return coeffs, pay
+	return true
 }
 
 // Solve performs full back-substitution (RREF) and returns the decoded

@@ -11,9 +11,19 @@
 // and recovers all k initial messages.
 //
 // Two backends share one API: a generic finite-field backend carrying
-// payloads, and a coefficient-only GF(2) bitset backend used by large-scale
-// simulations where only the stopping time matters (the rank evolution — and
-// hence the stopping time — does not depend on payload content).
+// payloads, and a packed GF(2) bitset backend used whenever the field has
+// order 2 — with or without payloads — so binary simulations get word-wise
+// XOR elimination end to end. Helpfulness (and hence every stopping time)
+// depends only on coefficient vectors, and both backends consume protocol
+// randomness identically, so backend selection never changes fixed-seed
+// trajectories.
+//
+// Memory contract for the hot path: EmitInto fills a caller-owned Packet
+// whose backing arrays are reused, Receive/ReceiveOwned never retain
+// packet memory (surviving rows are copied into matrix-owned arenas), and
+// WouldHelp reduces in matrix scratch. A protocol that recycles packets
+// through a freelist therefore runs the steady-state send/receive cycle
+// with zero allocations.
 package rlnc
 
 import (
@@ -39,9 +49,12 @@ type Config struct {
 	// PayloadLen is r, the number of field symbols per message payload.
 	// Ignored in rank-only mode.
 	PayloadLen int
-	// RankOnly drops payloads and tracks only coefficient vectors. With
-	// Field of order 2 this additionally selects the packed-bitset backend.
+	// RankOnly drops payloads and tracks only coefficient vectors.
 	RankOnly bool
+	// ForceGeneric disables the packed GF(2) backend even when the field
+	// has order 2 (testing and cross-validation only — the backends are
+	// trajectory-identical, the generic one is just slower).
+	ForceGeneric bool
 }
 
 func (c Config) validate() error {
@@ -57,8 +70,18 @@ func (c Config) validate() error {
 	return nil
 }
 
-// bitMode reports whether the packed GF(2) backend applies.
-func (c Config) bitMode() bool { return c.RankOnly && c.Field.Order() == 2 }
+// bitMode reports whether the packed GF(2) backend applies. Since the
+// bit backend learned to carry payload rows, every order-2 configuration
+// qualifies — rank-only or not.
+func (c Config) bitMode() bool { return c.Field.Order() == 2 && !c.ForceGeneric }
+
+// extra returns the augmented payload width in bytes (0 in rank-only mode).
+func (c Config) extra() int {
+	if c.RankOnly {
+		return 0
+	}
+	return c.PayloadLen
+}
 
 // Message is an initial (decoded) message: its index in 1..k (zero-based
 // here) and its payload.
@@ -69,7 +92,9 @@ type Message struct {
 	Payload []byte
 }
 
-// Packet is one transmitted coded message.
+// Packet is one transmitted coded message. The zero value is valid: the
+// emit path (EmitInto) sizes the backing arrays on first use and reuses
+// them afterwards, which is what makes pooled packets allocation-free.
 type Packet struct {
 	// Coeffs has length k (generic backend). Nil in bit mode.
 	Coeffs []gf.Elem
@@ -89,12 +114,49 @@ func (p *Packet) IsZero() bool {
 	return gf.IsZeroVector(p.Coeffs)
 }
 
+// ExpandCoeffs returns the packet's coefficient vector in generic []Elem
+// form, expanding packed bits when needed — the wire-format bridge for
+// transports that serialize one coefficient per symbol. It allocates for
+// bit packets; boundary code only.
+func (p *Packet) ExpandCoeffs(k int) []gf.Elem {
+	if p.Bits == nil {
+		return p.Coeffs
+	}
+	out := make([]gf.Elem, k)
+	for i := range out {
+		if p.Bits.Get(i) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// PackCoeffs packs a generic GF(2) coefficient vector into a BitVec. It
+// reports false when any coefficient is not 0 or 1 (the vector is not a
+// valid GF(2) row). Boundary code only; the hot path stays packed.
+func PackCoeffs(coeffs []gf.Elem) (linalg.BitVec, bool) {
+	v := linalg.NewBitVec(len(coeffs))
+	for i, c := range coeffs {
+		switch c {
+		case 0:
+		case 1:
+			v.Set(i)
+		default:
+			return nil, false
+		}
+	}
+	return v, true
+}
+
 // Node is the per-gossip-node RLNC state: the matrix of stored equations.
 // It is not safe for concurrent use; the concurrent runtime wraps it.
 type Node struct {
 	cfg Config
 	mat *linalg.RankMatrix // generic backend
-	bit *linalg.BitMatrix  // bit backend
+	bit *linalg.BitMatrix  // bit backend (with payload rows when configured)
+
+	scratchBits linalg.BitVec // reusable Receive buffer (bit mode)
+	scratchPay  []byte        // reusable Receive buffer (payload)
 }
 
 // NewNode returns an empty node for the given configuration.
@@ -104,13 +166,9 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	n := &Node{cfg: cfg}
 	if cfg.bitMode() {
-		n.bit = linalg.NewBitMatrix(cfg.K)
+		n.bit = linalg.NewBitMatrixPayload(cfg.K, cfg.extra())
 	} else {
-		extra := cfg.PayloadLen
-		if cfg.RankOnly {
-			extra = 0
-		}
-		n.mat = linalg.NewRankMatrix(cfg.Field, cfg.K, extra)
+		n.mat = linalg.NewRankMatrix(cfg.Field, cfg.K, cfg.extra())
 	}
 	return n, nil
 }
@@ -126,6 +184,10 @@ func MustNewNode(cfg Config) *Node {
 
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
+
+// BitMode reports whether this node uses the packed GF(2) backend (its
+// packets carry Bits instead of Coeffs).
+func (n *Node) BitMode() bool { return n.bit != nil }
 
 // Rank returns the dimension of the node's equation space.
 func (n *Node) Rank() int {
@@ -144,14 +206,6 @@ func (n *Node) Seed(msg Message) {
 	if msg.Index < 0 || msg.Index >= n.cfg.K {
 		panic(fmt.Sprintf("rlnc: seed index %d out of range [0,%d)", msg.Index, n.cfg.K))
 	}
-	if n.bit != nil {
-		v := linalg.NewBitVec(n.cfg.K)
-		v.Set(msg.Index)
-		n.bit.Add(v)
-		return
-	}
-	coeffs := make([]gf.Elem, n.cfg.K)
-	coeffs[msg.Index] = 1
 	var payload []byte
 	if !n.cfg.RankOnly {
 		if len(msg.Payload) != n.cfg.PayloadLen {
@@ -159,30 +213,70 @@ func (n *Node) Seed(msg Message) {
 		}
 		payload = msg.Payload
 	}
+	if n.bit != nil {
+		v := linalg.NewBitVec(n.cfg.K)
+		v.Set(msg.Index)
+		// AddPayload consumes its inputs but copies survivors into the
+		// matrix arena, so the caller's msg.Payload is cloned first.
+		n.bit.AddPayload(v, append([]byte(nil), payload...))
+		return
+	}
+	coeffs := make([]gf.Elem, n.cfg.K)
+	coeffs[msg.Index] = 1
 	n.mat.Add(coeffs, payload)
 }
 
 // Emit builds the packet an algebraic-gossip node transmits: a uniformly
 // random linear combination of all stored packets. It returns nil when the
-// node stores nothing yet (rank 0).
+// node stores nothing yet (rank 0). Allocates a fresh packet per call;
+// hot paths use EmitInto with a pooled packet instead.
 func (n *Node) Emit(rng *rand.Rand) *Packet {
-	if n.bit != nil {
-		combo := n.bit.RandomCombination(rng)
-		if combo == nil {
-			return nil
-		}
-		return &Packet{Bits: combo}
-	}
-	coeffs, payload := n.mat.RandomCombination(rng)
-	if coeffs == nil {
+	p := &Packet{}
+	if !n.EmitInto(rng, p) {
 		return nil
 	}
-	return &Packet{Coeffs: coeffs, Payload: payload}
+	return p
+}
+
+// EmitInto fills p with a uniformly random linear combination of all
+// stored packets, reusing p's backing arrays (growing them on first use).
+// It reports false — drawing no randomness — when the node stores
+// nothing yet; p's fields may already have been resized or re-pointed by
+// then, so a false return leaves the packet's contents unspecified. The
+// emitted trajectory is identical to Emit's.
+func (n *Node) EmitInto(rng *rand.Rand, p *Packet) bool {
+	extra := n.cfg.extra()
+	if extra > 0 && cap(p.Payload) >= extra {
+		p.Payload = p.Payload[:extra]
+	} else if extra > 0 {
+		p.Payload = make([]byte, extra)
+	} else {
+		p.Payload = nil
+	}
+	if n.bit != nil {
+		p.Coeffs = nil
+		words := n.bit.Words()
+		if cap(p.Bits) >= words {
+			p.Bits = p.Bits[:words]
+		} else {
+			p.Bits = make(linalg.BitVec, words)
+		}
+		return n.bit.RandomCombinationInto(rng, p.Bits, p.Payload)
+	}
+	p.Bits = nil
+	if cap(p.Coeffs) >= n.cfg.K {
+		p.Coeffs = p.Coeffs[:n.cfg.K]
+	} else {
+		p.Coeffs = make([]gf.Elem, n.cfg.K)
+	}
+	return n.mat.RandomCombinationInto(rng, p.Coeffs, p.Payload)
 }
 
 // Receive processes an incoming packet and reports whether it was helpful,
 // i.e. increased the node's rank (Definition 3). Unhelpful packets are
-// discarded, exactly as in the paper.
+// discarded, exactly as in the paper. The packet is neither modified nor
+// retained (reduction happens in node-owned scratch); callers that own
+// the packet and want to skip that defensive copy use ReceiveOwned.
 func (n *Node) Receive(p *Packet) bool {
 	if p == nil || p.IsZero() {
 		return false
@@ -194,7 +288,15 @@ func (n *Node) Receive(p *Packet) bool {
 		if !n.validBits(p.Bits) {
 			return false
 		}
-		return n.bit.Add(p.Bits.Clone())
+		if n.scratchBits == nil {
+			n.scratchBits = make(linalg.BitVec, n.bit.Words())
+		}
+		copy(n.scratchBits, p.Bits)
+		pay := n.copyPayloadScratch(p.Payload)
+		if pay == nil && n.cfg.extra() > 0 {
+			return false // malformed payload width
+		}
+		return n.bit.AddPayload(n.scratchBits, pay)
 	}
 	if p.Coeffs == nil {
 		panic("rlnc: bit packet delivered to generic-mode node")
@@ -214,8 +316,71 @@ func (n *Node) Receive(p *Packet) bool {
 	return n.mat.Add(p.Coeffs, payload)
 }
 
+// copyPayloadScratch copies a payload into the node's reusable payload
+// scratch and returns it. It returns nil both on width mismatch and for
+// rank-only nodes (extra == 0, nothing to copy) — which is why the
+// caller must disambiguate nil with an extra() > 0 check before treating
+// it as malformed.
+func (n *Node) copyPayloadScratch(payload []byte) []byte {
+	extra := n.cfg.extra()
+	if extra == 0 {
+		return nil
+	}
+	if len(payload) != extra {
+		return nil
+	}
+	if n.scratchPay == nil {
+		n.scratchPay = make([]byte, extra)
+	}
+	copy(n.scratchPay, payload)
+	return n.scratchPay
+}
+
+// ReceiveOwned is Receive for callers that own the packet (pooled hot
+// path): reduction happens directly in the packet's backing arrays,
+// clobbering their contents, but the arrays are never retained — the
+// caller recycles the packet afterwards. Helpfulness, rank evolution and
+// randomness are identical to Receive.
+func (n *Node) ReceiveOwned(p *Packet) bool {
+	if p == nil || p.IsZero() {
+		return false
+	}
+	if n.bit != nil {
+		if p.Bits == nil {
+			panic("rlnc: generic packet delivered to bit-mode node")
+		}
+		if !n.validBits(p.Bits) {
+			return false
+		}
+		extra := n.cfg.extra()
+		if extra > 0 && len(p.Payload) != extra {
+			return false
+		}
+		var pay []byte
+		if extra > 0 {
+			pay = p.Payload
+		}
+		return n.bit.AddPayload(p.Bits, pay)
+	}
+	if p.Coeffs == nil {
+		panic("rlnc: bit packet delivered to generic-mode node")
+	}
+	if len(p.Coeffs) != n.cfg.K {
+		return false
+	}
+	var payload []byte
+	if !n.cfg.RankOnly {
+		if len(p.Payload) != n.cfg.PayloadLen {
+			return false
+		}
+		payload = p.Payload
+	}
+	return n.mat.AddOwned(p.Coeffs, payload)
+}
+
 // WouldHelp reports whether the packet would increase this node's rank,
-// without storing it.
+// without storing it. The query reduces in matrix scratch: no allocation,
+// no defensive copy, and the packet is not modified.
 func (n *Node) WouldHelp(p *Packet) bool {
 	if p == nil || p.IsZero() {
 		return false
@@ -246,6 +411,32 @@ func (n *Node) validBits(v linalg.BitVec) bool {
 	return true
 }
 
+// Adapt converts a wire-format packet into this node's native
+// representation: a generic-coefficient packet arriving at a bit-mode
+// node is packed (rejecting vectors with non-GF(2) symbols by returning
+// nil), a bit packet arriving at a generic node is expanded, and a packet
+// already in native form is returned unchanged. Transports that pin a
+// one-coefficient-per-symbol wire format call this before Receive.
+func (n *Node) Adapt(p *Packet) *Packet {
+	if p == nil {
+		return nil
+	}
+	if n.bit != nil && p.Bits == nil {
+		if len(p.Coeffs) != n.cfg.K {
+			return nil
+		}
+		bits, ok := PackCoeffs(p.Coeffs)
+		if !ok {
+			return nil
+		}
+		return &Packet{Bits: bits, Payload: p.Payload}
+	}
+	if n.bit == nil && p.Bits != nil {
+		return &Packet{Coeffs: p.ExpandCoeffs(n.cfg.K), Payload: p.Payload}
+	}
+	return p
+}
+
 // HelpfulTo reports whether this node is a *helpful node* for other
 // (Definition 3): whether some combination this node can construct is
 // independent of everything other has — equivalently, whether this node's
@@ -253,8 +444,9 @@ func (n *Node) validBits(v linalg.BitVec) bool {
 func (n *Node) HelpfulTo(other *Node) bool {
 	if n.bit != nil {
 		for i := 0; i < n.bit.Rank(); i++ {
-			// Row access via re-reduction: test each basis row.
-			if other.bit.WouldHelp(n.bitRow(i)) {
+			// Row views are safe here: WouldHelp reduces in scratch and
+			// never mutates its input.
+			if other.bit.WouldHelp(n.bit.Row(i)) {
 				return true
 			}
 		}
@@ -268,12 +460,6 @@ func (n *Node) HelpfulTo(other *Node) bool {
 	return false
 }
 
-// bitRow reconstructs basis row i of the bit backend. The BitMatrix does
-// not expose rows directly, so Node keeps this thin helper.
-func (n *Node) bitRow(i int) linalg.BitVec {
-	return n.bit.Basis(i)
-}
-
 // Decode solves the linear system and returns all k initial messages in
 // index order. It returns ErrCannotDecode when rank < k, and an error in
 // rank-only mode (there are no payloads to recover).
@@ -284,7 +470,13 @@ func (n *Node) Decode() ([]Message, error) {
 	if !n.CanDecode() {
 		return nil, ErrCannotDecode
 	}
-	payloads, err := n.mat.Solve()
+	var payloads [][]byte
+	var err error
+	if n.bit != nil {
+		payloads, err = n.bit.Solve()
+	} else {
+		payloads, err = n.mat.Solve()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("rlnc: decode: %w", err)
 	}

@@ -230,12 +230,14 @@ func (n *clusterNode) run(ctx context.Context) {
 	}
 }
 
-// handle ingests a packet and serves the EXCHANGE reply leg.
+// handle ingests a packet and serves the EXCHANGE reply leg. The wire
+// format carries one coefficient per symbol; Adapt re-packs it for
+// bit-mode (GF(2)) codecs and rejects malformed vectors as nil.
 func (n *clusterNode) handle(env Envelope) {
 	pkt := &rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload}
 	n.mu.Lock()
 	if len(env.Coeffs) > 0 {
-		n.codec.Receive(pkt)
+		n.codec.Receive(n.codec.Adapt(pkt))
 		n.checkDoneLocked()
 	}
 	n.mu.Unlock()
@@ -249,10 +251,11 @@ func (n *clusterNode) handle(env Envelope) {
 func (n *clusterNode) sendPacket(peer core.NodeID, wantReply bool) {
 	n.mu.Lock()
 	pkt := n.codec.Emit(n.rng)
+	k := n.codec.Config().K
 	n.mu.Unlock()
 	env := Envelope{From: n.id, WantReply: wantReply}
 	if pkt != nil {
-		env.Coeffs = pkt.Coeffs
+		env.Coeffs = pkt.ExpandCoeffs(k)
 		env.Payload = pkt.Payload
 	} else if !wantReply {
 		return // nothing to say and nobody waiting

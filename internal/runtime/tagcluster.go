@@ -240,7 +240,9 @@ func (n *tagNode) handle(env Envelope) {
 	case EnvelopePacket:
 		n.mu.Lock()
 		if len(env.Coeffs) > 0 {
-			n.codec.Receive(&rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload})
+			// Wire format is one coefficient per symbol; Adapt re-packs
+			// for bit-mode (GF(2)) codecs.
+			n.codec.Receive(n.codec.Adapt(&rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload}))
 			n.checkDoneLocked()
 		}
 		n.mu.Unlock()
@@ -253,10 +255,11 @@ func (n *tagNode) handle(env Envelope) {
 func (n *tagNode) sendPacket(peer core.NodeID, wantReply bool) {
 	n.mu.Lock()
 	pkt := n.codec.Emit(n.rng)
+	k := n.codec.Config().K
 	n.mu.Unlock()
 	env := Envelope{Kind: EnvelopePacket, From: n.id, WantReply: wantReply}
 	if pkt != nil {
-		env.Coeffs = pkt.Coeffs
+		env.Coeffs = pkt.ExpandCoeffs(k)
 		env.Payload = pkt.Payload
 	} else if !wantReply {
 		return
