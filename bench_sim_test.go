@@ -12,11 +12,11 @@ package algossip_test
 // even when ns/op noise hides it.
 //
 // The grid follows the experiment sweeps: complete/ring/random-regular at
-// n ∈ {64, 256, 1024} over GF(2) (bit-packed backend) and GF(256)
-// (generic backend), k = min(n/2, 128) so the O(rank·k) elimination cost
-// stays bounded at n=1024. Payload and dynamic-topology variants cover
-// the two other hot configurations: the GF(2) XOR payload path and the
-// per-round topology stepping.
+// n ∈ {64, 256, 1024} over GF(2) (bit-packed backend), GF(16) and
+// GF(256) (bit-sliced backend), k = min(n/2, 128) so the O(rank·k)
+// elimination cost stays bounded at n=1024. Payload and dynamic-topology
+// variants cover the other hot configurations: the GF(2) XOR payload
+// path, the sliced payload path, and the per-round topology stepping.
 
 import (
 	"fmt"
@@ -69,7 +69,7 @@ func runSimTrials(b *testing.B, spec harness.GossipSpec) {
 func BenchmarkSimUniformAG(b *testing.B) {
 	for _, family := range []string{"complete", "ring", "randreg"} {
 		for _, n := range []int{64, 256, 1024} {
-			for _, q := range []int{2, 256} {
+			for _, q := range []int{2, 16, 256} {
 				b.Run(fmt.Sprintf("%s/n=%d/gf=%d", family, n, q), func(b *testing.B) {
 					// Built inside the sub-benchmark (then excluded via
 					// ResetTimer in runSimTrials) so non-matching cells
@@ -86,9 +86,9 @@ func BenchmarkSimUniformAG(b *testing.B) {
 
 // BenchmarkSimPayloadAG carries real payloads so the combine kernels run
 // end to end: GF(2) exercises the word-wise XOR payload path of the
-// bit-packed backend, GF(256) the table-walk kernels.
+// bit-packed backend, GF(16) and GF(256) the bit-sliced plane kernels.
 func BenchmarkSimPayloadAG(b *testing.B) {
-	for _, q := range []int{2, 256} {
+	for _, q := range []int{2, 16, 256} {
 		b.Run(fmt.Sprintf("complete/n=256/gf=%d/r=1024", q), func(b *testing.B) {
 			g := simGraph(b, "complete", 256)
 			runSimTrials(b, harness.GossipSpec{

@@ -18,6 +18,10 @@
 //	# refresh a baseline after an intentional perf change:
 //	... | go run ./cmd/benchdelta -baseline BENCH_SIM.json -update
 //
+//	# additionally append this run to the machine-readable perf trajectory
+//	# (one JSON line per benchmark: commit, name, ns/op, B/op, allocs/op):
+//	... | go run ./cmd/benchdelta -baseline BENCH_SIM.json -history BENCH_TRAJECTORY.jsonl
+//
 // A benchmark regresses when new_ns > old_ns * (1 + tolerance), or when
 // new_allocs > old_allocs (any amount). New benchmarks (absent from the
 // baseline) and improvements are reported but never fail the gate; the
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
@@ -72,6 +77,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		outPath      = fs.String("out", "", "write the fresh numbers as JSON to this path")
 		tolerance    = fs.Float64("tolerance", 0.20, "relative ns/op regression tolerance")
 		update       = fs.Bool("update", false, "rewrite the baseline with the fresh numbers instead of comparing")
+		historyPath  = fs.String("history", "", "append one JSONL record per benchmark (commit, name, ns/op, B/op, allocs/op) to this file")
+		commit       = fs.String("commit", "", "commit id recorded in -history lines (default: git rev-parse --short HEAD)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +102,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if *outPath != "" {
 		if err := writeBaseline(*outPath, fresh); err != nil {
+			return err
+		}
+	}
+	if *historyPath != "" {
+		if err := appendHistory(*historyPath, resolveCommit(*commit), fresh); err != nil {
 			return err
 		}
 	}
@@ -260,6 +272,64 @@ func allocsCell(a *float64) string {
 		return "-"
 	}
 	return strconv.FormatFloat(*a, 'f', 0, 64)
+}
+
+// HistoryEntry is one perf-trajectory record: a benchmark's numbers at a
+// commit. The trajectory file is JSONL — append-only, one record per
+// benchmark per recorded run — so tooling can chart ns/op across PRs
+// without parsing bench logs.
+type HistoryEntry struct {
+	Commit      string   `json:"commit"`
+	Bench       string   `json:"bench"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// resolveCommit returns the explicit commit id, or asks git, or falls
+// back to "unknown" (the trajectory stays useful even outside a repo).
+func resolveCommit(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendHistory appends one JSONL record per benchmark, sorted by name
+// for deterministic output.
+func appendHistory(path, commit string, fresh map[string]Entry) error {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		e := fresh[name]
+		rec := HistoryEntry{
+			Commit: commit, Bench: name,
+			NsPerOp: e.NsPerOp, BytesPerOp: e.BytesPerOp, AllocsPerOp: e.AllocsPerOp,
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		sb.Write(data)
+		sb.WriteByte('\n')
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(sb.String()); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readBaseline(path string) (Baseline, error) {

@@ -255,3 +255,44 @@ func TestCompareCombinedRegressionCountsOnce(t *testing.T) {
 		t.Fatalf("report must name both failures:\n%s", report)
 	}
 }
+
+// TestHistoryAppend: -history appends one JSONL record per benchmark per
+// run (commit, name, ns/op, B/op, allocs/op), so repeated runs build the
+// machine-readable perf trajectory.
+func TestHistoryAppend(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "traj.jsonl")
+	baseline := filepath.Join(dir, "base.json")
+	in := "BenchmarkA-8  10  200.0 ns/op  128 B/op  3 allocs/op\nBenchmarkB-8  10  90.0 ns/op\n"
+	// First run creates the baseline and the history file.
+	if err := run([]string{"-baseline", baseline, "-update", "-history", hist, "-commit", "c0ffee1"},
+		strings.NewReader(in), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	// Second run (compare mode) appends.
+	if err := run([]string{"-baseline", baseline, "-history", hist, "-commit", "c0ffee2"},
+		strings.NewReader(in), &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("history has %d lines, want 4:\n%s", len(lines), data)
+	}
+	// Sorted by name within a run, commit stamped per run.
+	if !strings.Contains(lines[0], `"commit":"c0ffee1"`) || !strings.Contains(lines[0], `"bench":"BenchmarkA"`) {
+		t.Fatalf("line 0 = %s", lines[0])
+	}
+	if !strings.Contains(lines[0], `"ns_per_op":200`) || !strings.Contains(lines[0], `"b_per_op":128`) || !strings.Contains(lines[0], `"allocs_per_op":3`) {
+		t.Fatalf("line 0 missing fields: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"bench":"BenchmarkB"`) || strings.Contains(lines[1], "b_per_op") {
+		t.Fatalf("line 1 = %s", lines[1])
+	}
+	if !strings.Contains(lines[2], `"commit":"c0ffee2"`) {
+		t.Fatalf("line 2 = %s", lines[2])
+	}
+}

@@ -97,3 +97,63 @@ func BenchmarkMulSliceGF256(b *testing.B) {
 		})
 	}
 }
+
+// The sliced kernel is the GF(2^m) elimination workhorse: dst += c*src as
+// at most m^2 plane XORs over packed words instead of one table gather
+// per symbol. Benchmarked against BenchmarkAddMulSliceGF256 above at the
+// same row lengths (bytes of symbols, i.e. SetBytes matches).
+func benchSlicedRows(f *GF2m, n int) (dst, src []uint64) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	dst = make([]uint64, f.M()*SlicedWords(n))
+	src = make([]uint64, f.M()*SlicedWords(n))
+	f.PackSliced(dst, RandBytes(f, n, rng))
+	f.PackSliced(src, RandBytes(f, n, rng))
+	return dst, src
+}
+
+func BenchmarkAddMulSlicedGF256(b *testing.B) {
+	f := MustNew(256).(*GF2m)
+	for _, n := range benchLens {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			dst, src := benchSlicedRows(f, n)
+			words := SlicedWords(n)
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				f.AddMulSliced(dst, src, words, 0x53)
+			}
+		})
+	}
+}
+
+func BenchmarkAddMulSlicedGF16(b *testing.B) {
+	f := MustNew(16).(*GF2m)
+	for _, n := range benchLens {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			dst, src := benchSlicedRows(f, n)
+			words := SlicedWords(n)
+			b.SetBytes(int64(n))
+			for i := 0; i < b.N; i++ {
+				f.AddMulSliced(dst, src, words, 0xB)
+			}
+		})
+	}
+}
+
+// Coefficient-only inner products (WouldHelp-style queries) walk bulkTab
+// rows; this pins the gather restructure.
+func BenchmarkDotProductGF256(b *testing.B) {
+	f := MustNew(256)
+	for _, n := range benchLens {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(3, 4))
+			x := RandVector(f, n, rng)
+			y := RandVector(f, n, rng)
+			b.SetBytes(int64(n))
+			var sink Elem
+			for i := 0; i < b.N; i++ {
+				sink ^= f.DotProduct(x, y)
+			}
+			_ = sink
+		})
+	}
+}

@@ -34,6 +34,14 @@ type GF2m struct {
 	// q == 256 it is mulTab itself; smaller fields pad each row to 256
 	// entries so a byte index can never be out of range.
 	bulkTab []byte
+	// mulPlanes holds, per scalar c, the m basis images c*x^j (zero-padded
+	// to 8 entries) — the columns of the GF(2) matrix that multiplication
+	// by c applies to a bit-sliced row (see sliced.go). mulRows is the
+	// transposed table feeding the branchless subset-XOR kernels.
+	mulPlanes [][8]byte
+	mulRows   [][8]byte
+	mulRowsU  []uint64
+	selLog    []uint64
 }
 
 var _ Field = (*GF2m)(nil)
@@ -102,6 +110,7 @@ func NewGF2m(m int) (*GF2m, error) {
 			}
 		}
 	}
+	f.buildMulPlanes()
 	return f, nil
 }
 
@@ -230,11 +239,27 @@ func (f *GF2m) Scale(v []Elem, c Elem) {
 	f.MulSlice(asBytes(v), c)
 }
 
-// DotProduct returns sum_i a[i]*b[i].
+// DotProduct returns sum_i a[i]*b[i]. It walks the padded 256-stride
+// bulkTab rows — index (a[i]<<8 | b[i]) — so each element costs one
+// shift/or and one load instead of a multiply-scaled mulTab gather, and
+// the four-way unroll keeps independent loads in flight.
 func (f *GF2m) DotProduct(a, b []Elem) Elem {
-	var acc Elem
-	for i := range a {
-		acc ^= f.mulTab[int(a[i])*f.order+int(b[i])]
+	n := len(a)
+	if n == 0 {
+		return 0
 	}
-	return acc
+	_ = b[n-1]
+	tab := f.bulkTab
+	var acc byte
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		acc ^= tab[int(a[i])<<8|int(b[i])] ^
+			tab[int(a[i+1])<<8|int(b[i+1])] ^
+			tab[int(a[i+2])<<8|int(b[i+2])] ^
+			tab[int(a[i+3])<<8|int(b[i+3])]
+	}
+	for ; i < n; i++ {
+		acc ^= tab[int(a[i])<<8|int(b[i])]
+	}
+	return Elem(acc)
 }

@@ -1,0 +1,197 @@
+package gf
+
+import (
+	"bytes"
+	"testing"
+
+	"math/rand/v2"
+)
+
+// extensionOrders is every binary extension field with a sliced backend.
+var extensionOrders = []int{2, 4, 8, 16, 32, 64, 128, 256}
+
+// slicedField constructs GF(2^m) for order q = 2^m directly (MustNew(2)
+// would return the GF2 specialization, which has no sliced kernels).
+func slicedField(t testing.TB, q int) *GF2m {
+	t.Helper()
+	m := 0
+	for v := q; v > 1; v >>= 1 {
+		m++
+	}
+	f, err := NewGF2m(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// packRow packs a byte row into a fresh sliced buffer.
+func packRow(f *GF2m, src []byte) []uint64 {
+	v := make([]uint64, f.M()*SlicedWords(len(src)))
+	f.PackSliced(v, src)
+	return v
+}
+
+// unpackRow unpacks a sliced buffer into a fresh n-byte row.
+func unpackRow(f *GF2m, v []uint64, n int) []byte {
+	out := make([]byte, n)
+	f.UnpackSliced(out, v)
+	return out
+}
+
+func TestPackUnpackSlicedRoundTrip(t *testing.T) {
+	lengths := []int{0, 1, 7, 63, 64, 65, 128, 129, 1000}
+	for _, q := range extensionOrders {
+		f := slicedField(t, q)
+		rng := rand.New(rand.NewPCG(uint64(q), 3))
+		for _, n := range lengths {
+			row := RandBytes(f, n, rng)
+			got := unpackRow(f, packRow(f, row), n)
+			if !bytes.Equal(got, row) {
+				t.Fatalf("%s: pack/unpack round trip mismatch at n=%d", f.Name(), n)
+			}
+		}
+		// Packing masks stray high bits, mirroring the padded bulkTab rows.
+		raw := make([]byte, 70)
+		for i := range raw {
+			raw[i] = byte(37 * i)
+		}
+		masked := make([]byte, len(raw))
+		for i, b := range raw {
+			masked[i] = b & byte(q-1)
+		}
+		if got := unpackRow(f, packRow(f, raw), len(raw)); !bytes.Equal(got, masked) {
+			t.Fatalf("%s: pack does not mask to m bits", f.Name())
+		}
+	}
+}
+
+func TestSlicedElem(t *testing.T) {
+	for _, q := range extensionOrders {
+		f := slicedField(t, q)
+		rng := rand.New(rand.NewPCG(uint64(q), 5))
+		row := RandBytes(f, 150, rng)
+		v := packRow(f, row)
+		words := SlicedWords(len(row))
+		for i, want := range row {
+			if got := f.SlicedElem(v, words, i); got != Elem(want) {
+				t.Fatalf("%s: SlicedElem(%d) = %d, want %d", f.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+// TestAddMulSlicedMatchesScalar cross-checks the plane-XOR kernel against
+// the scalar Mul/Add reference for every extension field, every
+// coefficient of small fields, and lengths straddling the word-count
+// specializations (words ∈ {1, 2, >2}).
+func TestAddMulSlicedMatchesScalar(t *testing.T) {
+	lengths := []int{1, 7, 63, 64, 65, 128, 129, 200, 300}
+	for _, q := range extensionOrders {
+		f := slicedField(t, q)
+		t.Run(f.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(q), 7))
+			coeffs := make([]Elem, 0, q)
+			if q <= 16 {
+				for c := 0; c < q; c++ {
+					coeffs = append(coeffs, Elem(c))
+				}
+			} else {
+				coeffs = append(coeffs, 0, 1, Elem(q-1))
+				for i := 0; i < 8; i++ {
+					coeffs = append(coeffs, Rand(f, rng))
+				}
+			}
+			for _, n := range lengths {
+				words := SlicedWords(n)
+				for _, c := range coeffs {
+					src := RandBytes(f, n, rng)
+					dst := RandBytes(f, n, rng)
+					want := append([]byte(nil), dst...)
+					addMulRef(f, want, src, c)
+
+					sDst, sSrc := packRow(f, dst), packRow(f, src)
+					f.AddMulSliced(sDst, sSrc, words, c)
+					if got := unpackRow(f, sDst, n); !bytes.Equal(got, want) {
+						t.Fatalf("AddMulSliced(n=%d, c=%d) diverges from scalar reference", n, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScaleSlicedMatchesScalar cross-checks the in-place scale kernel.
+func TestScaleSlicedMatchesScalar(t *testing.T) {
+	for _, q := range extensionOrders {
+		f := slicedField(t, q)
+		rng := rand.New(rand.NewPCG(uint64(q), 11))
+		for _, n := range []int{1, 64, 65, 129, 300} {
+			words := SlicedWords(n)
+			for _, c := range []Elem{0, 1, Elem(q - 1), Rand(f, rng)} {
+				v := RandBytes(f, n, rng)
+				want := append([]byte(nil), v...)
+				mulRef(f, want, c)
+
+				sv := packRow(f, v)
+				f.ScaleSliced(sv, words, c)
+				if got := unpackRow(f, sv, n); !bytes.Equal(got, want) {
+					t.Fatalf("%s: ScaleSliced(n=%d, c=%d) diverges from scalar reference", f.Name(), n, c)
+				}
+			}
+		}
+	}
+}
+
+// FuzzAddMulSliced cross-checks the sliced multiply-add kernel against the
+// scalar Mul loop over random rows and scalars for every extension field —
+// the sliced analogue of FuzzAddMulSlice.
+func FuzzAddMulSliced(f *testing.F) {
+	f.Add([]byte("hello sliced world"), []byte("abcdefghijklmnopqr"), byte(3), uint8(7))
+	f.Add([]byte{0, 1, 2, 3}, []byte{255, 254, 253, 252}, byte(1), uint8(3))
+	f.Add(bytes.Repeat([]byte{0xAA}, 200), bytes.Repeat([]byte{0x55}, 200), byte(77), uint8(0))
+	f.Fuzz(func(t *testing.T, dstRaw, srcRaw []byte, cRaw, sel byte) {
+		fld := slicedField(t, extensionOrders[int(sel)%len(extensionOrders)])
+		n := min(len(srcRaw), len(dstRaw))
+		if n == 0 {
+			return
+		}
+		src := reduceRow(fld, srcRaw[:n])
+		dst := reduceRow(fld, dstRaw[:n])
+		c := Elem(int(cRaw) % fld.Order())
+
+		want := make([]byte, n)
+		for i := 0; i < n; i++ {
+			want[i] = byte(fld.Add(Elem(dst[i]), fld.Mul(c, Elem(src[i]))))
+		}
+
+		words := SlicedWords(n)
+		sDst, sSrc := packRow(fld, dst), packRow(fld, src)
+		fld.AddMulSliced(sDst, sSrc, words, c)
+		if got := unpackRow(fld, sDst, n); !bytes.Equal(got, want) {
+			t.Fatalf("%s AddMulSliced(c=%d, n=%d) diverges from scalar path:\ngot  %v\nwant %v",
+				fld.Name(), c, n, got, want)
+		}
+	})
+}
+
+// TestDotProductMatchesScalar pins the bulkTab-row DotProduct against the
+// per-element Mul/Add reference for every field (the generic interface
+// contract — prime fields keep their scalar loop).
+func TestDotProductMatchesScalar(t *testing.T) {
+	for _, q := range allOrders {
+		f := MustNew(q)
+		rng := rand.New(rand.NewPCG(uint64(q), 13))
+		for _, n := range []int{0, 1, 3, 4, 5, 17, 128, 257} {
+			a := RandVector(f, n, rng)
+			b := RandVector(f, n, rng)
+			var want Elem
+			for i := range a {
+				want = f.Add(want, f.Mul(a[i], b[i]))
+			}
+			if got := f.DotProduct(a, b); got != want {
+				t.Fatalf("%s: DotProduct(n=%d) = %d, want %d", f.Name(), n, got, want)
+			}
+		}
+	}
+}

@@ -42,10 +42,14 @@ type Config struct {
 	LossRate float64
 }
 
-// delivery is one staged packet transfer (synchronous model).
+// delivery is one staged packet transfer (synchronous model). skip marks
+// a delivery whose verdict was predetermined at send time (receiver
+// already at full rank): the packet was never filled and apply only
+// counts it as useless.
 type delivery struct {
 	to, from core.NodeID
 	pkt      *rlnc.Packet
+	skip     bool
 }
 
 // Protocol is the algebraic gossip state machine. It implements
@@ -252,8 +256,23 @@ func (p *Protocol) recycle(pkt *rlnc.Packet) {
 // asynchronous model it applies immediately. With LossRate set, the packet
 // may be dropped in flight.
 func (p *Protocol) send(from, to core.NodeID) {
+	// A receiver already at full rank discards any combination: the
+	// outcome (and every counter) is predetermined, so consume exactly the
+	// randomness the emit would draw (SkipEmit) and skip building the
+	// combination — the delivery still flows through the normal pool /
+	// staging path (flagged skip) so buffer dynamics are identical, and
+	// apply-time accounting records the Useless verdict any real packet
+	// would have received. Rank never decreases within a round, so the
+	// verdict holds at delivery time. DiscardDuplicatePerRound is excluded
+	// because its dedup changes which staged packets reach apply.
+	skip := !p.cfg.DiscardDuplicatePerRound && p.nodes[to].CanDecode()
 	pkt := p.getPacket()
-	if !p.nodes[from].EmitInto(p.rng, pkt) {
+	if skip {
+		if !p.nodes[from].SkipEmit(p.rng) {
+			p.recycle(pkt)
+			return // rank-0 sender: nothing to say, no randomness drawn
+		}
+	} else if !p.nodes[from].EmitInto(p.rng, pkt) {
 		p.recycle(pkt)
 		return
 	}
@@ -264,10 +283,14 @@ func (p *Protocol) send(from, to core.NodeID) {
 		return // lost in flight
 	}
 	if p.model == core.Synchronous {
-		p.staged = append(p.staged, delivery{to: to, from: from, pkt: pkt})
+		p.staged = append(p.staged, delivery{to: to, from: from, pkt: pkt, skip: skip})
 		return
 	}
-	p.apply(to, pkt)
+	if skip {
+		p.traffic.Useless++
+	} else {
+		p.apply(to, pkt)
+	}
 	p.recycle(pkt)
 }
 
@@ -318,7 +341,11 @@ func (p *Protocol) EndRound(round int) {
 		}
 	} else {
 		for _, d := range p.staged {
-			p.apply(d.to, d.pkt)
+			if d.skip {
+				p.traffic.Useless++
+			} else {
+				p.apply(d.to, d.pkt)
+			}
 			p.recycle(d.pkt)
 		}
 	}

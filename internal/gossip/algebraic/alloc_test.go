@@ -14,9 +14,13 @@ import (
 // rank — the steady state in which the pooled hot path must be
 // allocation-free.
 func steadyProtocol(t testing.TB, q int) *Protocol {
+	return steadyProtocolCfg(t, rlnc.Config{Field: gf.MustNew(q), K: 8, RankOnly: true})
+}
+
+func steadyProtocolCfg(t testing.TB, rcfg rlnc.Config) *Protocol {
 	t.Helper()
 	g := graph.Complete(16)
-	cfg := Config{RLNC: rlnc.Config{Field: gf.MustNew(q), K: 8, RankOnly: true}}
+	cfg := Config{RLNC: rcfg}
 	p, err := New(g, core.Synchronous, sim.NewUniform(g), cfg, core.NewRand(core.SplitSeed(3, 1)))
 	if err != nil {
 		t.Fatal(err)
@@ -34,18 +38,20 @@ func steadyProtocol(t testing.TB, q int) *Protocol {
 // synchronous protocol round (every node wakes, stages, applies) once
 // ranks have saturated: the packet freelist, the staged buffer, and the
 // matrix scratch are all warm, so nothing on the send/receive path may
-// allocate — for the bit-packed GF(2) backend and the generic GF(256)
-// backend alike.
+// allocate — for the bit-packed GF(2), bit-sliced GF(2^m), and generic
+// backends alike.
 func TestAllocsSteadyStateRound(t *testing.T) {
 	for _, tc := range []struct {
 		name string
-		q    int
+		cfg  rlnc.Config
 	}{
-		{"gf2-bit", 2},
-		{"gf256-generic", 256},
+		{"gf2-bit", rlnc.Config{Field: gf.MustNew(2), K: 8, RankOnly: true}},
+		{"gf16-sliced", rlnc.Config{Field: gf.MustNew(16), K: 8, RankOnly: true}},
+		{"gf256-sliced", rlnc.Config{Field: gf.MustNew(256), K: 8, RankOnly: true}},
+		{"gf256-generic", rlnc.Config{Field: gf.MustNew(256), K: 8, RankOnly: true, ForceGeneric: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			p := steadyProtocol(t, tc.q)
+			p := steadyProtocolCfg(t, tc.cfg)
 			n := 16
 			round := 1 << 20 // past any real round; only the clock label
 			// Warm one round so staged/freelist reach their steady capacity.
@@ -72,9 +78,20 @@ func TestAllocsSteadyStateRound(t *testing.T) {
 // TestStagedBufferShrinks locks the bounded-shrink fix: a burst round
 // that stages far more deliveries than the following rounds must not pin
 // its peak capacity forever — the decaying high-water mark releases it
-// within a bounded number of quiet rounds.
+// within a bounded number of quiet rounds. Every node holds a seed but
+// none is complete, so every send leg really stages (a full-rank
+// receiver's delivery is skipped outright and would never enter the
+// buffer).
 func TestStagedBufferShrinks(t *testing.T) {
-	p := steadyProtocol(t, 2)
+	g := graph.Complete(16)
+	cfg := Config{RLNC: rlnc.Config{Field: gf.MustNew(2), K: 16, RankOnly: true}}
+	p, err := New(g, core.Synchronous, sim.NewUniform(g), cfg, core.NewRand(core.SplitSeed(3, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SeedAll(RoundRobinAssign(16, g.N()), nil); err != nil {
+		t.Fatal(err)
+	}
 
 	// Burst: stage a large artificial round by sending many times.
 	p.BeginRound(1)
@@ -135,6 +152,12 @@ func TestPacketPoolRecyclesOnLossAndDynamics(t *testing.T) {
 	if live == 0 {
 		t.Fatal("freelist empty after lossy rounds")
 	}
+	// By now every node is complete and sends to full-rank receivers skip
+	// the pool entirely; churn-reset every node so the next round stages
+	// real deliveries again.
+	for v := 0; v < g.N(); v++ {
+		p.resetNode(core.NodeID(v))
+	}
 	// Stage deliveries, then drop them all via a topology change to the
 	// empty graph: every staged packet must land back in the pool.
 	p.BeginRound(20)
@@ -153,5 +176,43 @@ func TestPacketPoolRecyclesOnLossAndDynamics(t *testing.T) {
 	}
 	if len(p.free) != before+staged {
 		t.Fatalf("freelist %d after drop, want %d", len(p.free), before+staged)
+	}
+}
+
+// TestSimTrajectorySlicedVsGeneric pins the backend-selection determinism
+// contract at whole-simulation scale: a fixed-seed uniform-AG run over
+// GF(2^m) produces the identical stopping time and per-node completion
+// rounds whether the codec uses the bit-sliced backend or the generic one
+// (ForceGeneric) — backend selection never moves a trajectory.
+func TestSimTrajectorySlicedVsGeneric(t *testing.T) {
+	for _, q := range []int{4, 16, 256} {
+		g := graph.Complete(24)
+		run := func(forceGeneric bool) (int, []int) {
+			cfg := Config{RLNC: rlnc.Config{
+				Field: gf.MustNew(q), K: 12, RankOnly: true, ForceGeneric: forceGeneric,
+			}}
+			p, err := New(g, core.Synchronous, sim.NewUniform(g), cfg, core.NewRand(core.SplitSeed(9, 1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.SeedAll(RoundRobinAssign(12, g.N()), nil); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.New(g, core.Synchronous, p, core.SplitSeed(9, 2)).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Rounds, p.DoneRounds()
+		}
+		slcRounds, slcDone := run(false)
+		genRounds, genDone := run(true)
+		if slcRounds != genRounds {
+			t.Fatalf("q=%d: stopping time moved across backends (%d vs %d)", q, slcRounds, genRounds)
+		}
+		for v := range slcDone {
+			if slcDone[v] != genDone[v] {
+				t.Fatalf("q=%d: node %d completion round moved (%d vs %d)", q, v, slcDone[v], genDone[v])
+			}
+		}
 	}
 }

@@ -266,6 +266,9 @@ func (m *BitMatrix) AddPayload(row BitVec, pay []byte) bool {
 	if len(pay) != m.extra {
 		panic("linalg: payload width mismatch")
 	}
+	if m.Full() {
+		return false // the row space is everything; nothing can help
+	}
 	if m.extra == 0 {
 		pay = nil // no payload rows are kept; take the coefficient-only path
 	}
@@ -281,6 +284,9 @@ func (m *BitMatrix) AddPayload(row BitVec, pay []byte) bool {
 // without modifying the matrix or the input. It reduces in a reusable
 // scratch buffer: no allocation, no defensive copy for the caller.
 func (m *BitMatrix) WouldHelp(row BitVec) bool {
+	if m.Full() {
+		return false
+	}
 	if m.scratchC == nil {
 		m.scratchC = make(BitVec, m.words)
 	}

@@ -37,12 +37,13 @@ var ErrNotFullRank = errors.New("linalg: matrix is not full rank")
 //
 // The zero value is not usable; construct with NewRankMatrix.
 type RankMatrix struct {
-	f     gf.Field
-	cols  int
-	extra int
-	rows  [][]gf.Elem // coefficient parts, pivot columns strictly increasing
-	pay   [][]byte    // augmented payload parts, parallel to rows (nil entries when extra == 0)
-	pivot []int       // pivot[i] is the pivot column of rows[i]
+	f      gf.Field
+	cols   int
+	extra  int
+	rows   [][]gf.Elem // coefficient parts, pivot columns strictly increasing
+	pay    [][]byte    // augmented payload parts, parallel to rows (nil entries when extra == 0)
+	pivot  []int       // pivot[i] is the pivot column of rows[i]
+	pivFac []gf.Elem   // -1/rows[i][pivot[i]], cached at insert time
 
 	arenaC   []gf.Elem // coefficient arena; rows are carved off its front
 	arenaP   []byte    // payload arena
@@ -103,8 +104,10 @@ func (m *RankMatrix) reduce(coeffs []gf.Elem, pay []byte) int {
 		if c == 0 {
 			continue
 		}
-		// row -= (c / rows[i][p]) * rows[i]
-		factor := f.Neg(f.Div(c, m.rows[i][p]))
+		// row -= (c / rows[i][p]) * rows[i]; the pivot's negated inverse is
+		// cached at insert time, so each elimination step costs one Mul
+		// instead of a Div+Neg pair.
+		factor := f.Mul(c, m.pivFac[i])
 		f.AXPY(coeffs, m.rows[i], factor)
 		if pay != nil {
 			f.AddMulSlice(pay, m.pay[i], factor)
@@ -137,6 +140,9 @@ func (m *RankMatrix) checkWidths(coeffs []gf.Elem, payload []byte) {
 // ownership.
 func (m *RankMatrix) Add(coeffs []gf.Elem, payload []byte) bool {
 	m.checkWidths(coeffs, payload)
+	if m.Full() {
+		return false // the row space is everything; nothing can help
+	}
 	m.ensureScratch()
 	copy(m.scratchC, coeffs)
 	var workP []byte
@@ -159,6 +165,9 @@ func (m *RankMatrix) Add(coeffs []gf.Elem, payload []byte) bool {
 // the packet-pool recycling contract of the coded hot path.
 func (m *RankMatrix) AddOwned(coeffs []gf.Elem, payload []byte) bool {
 	m.checkWidths(coeffs, payload)
+	if m.Full() {
+		return false
+	}
 	var workP []byte
 	if m.extra > 0 {
 		workP = payload
@@ -221,12 +230,15 @@ func (m *RankMatrix) insert(coeffs []gf.Elem, pay []byte, p int) {
 	m.rows = append(m.rows, nil)
 	m.pay = append(m.pay, nil)
 	m.pivot = append(m.pivot, 0)
+	m.pivFac = append(m.pivFac, 0)
 	copy(m.rows[at+1:], m.rows[at:])
 	copy(m.pay[at+1:], m.pay[at:])
 	copy(m.pivot[at+1:], m.pivot[at:])
+	copy(m.pivFac[at+1:], m.pivFac[at:])
 	m.rows[at] = rowC
 	m.pay[at] = rowP
 	m.pivot[at] = p
+	m.pivFac[at] = m.f.Neg(m.f.Inv(rowC[p]))
 }
 
 // WouldHelp reports whether the given coefficient vector (length Cols) is
@@ -237,6 +249,9 @@ func (m *RankMatrix) insert(coeffs []gf.Elem, pay []byte, p int) {
 func (m *RankMatrix) WouldHelp(coeffs []gf.Elem) bool {
 	if len(coeffs) != m.cols {
 		panic("linalg: coefficient width mismatch")
+	}
+	if m.Full() {
+		return false
 	}
 	m.ensureScratch()
 	copy(m.scratchC, coeffs)
@@ -301,6 +316,7 @@ func (m *RankMatrix) Solve() ([][]byte, error) {
 			inv := f.Inv(c)
 			f.Scale(row, inv)
 			f.MulSlice(m.pay[i], inv)
+			m.pivFac[i] = f.Neg(1) // pivot normalized; keep the cache honest
 		}
 		for j := 0; j < i; j++ {
 			above := m.rows[j]
@@ -321,12 +337,13 @@ func (m *RankMatrix) Solve() ([][]byte, error) {
 // Clone returns a deep copy of the matrix.
 func (m *RankMatrix) Clone() *RankMatrix {
 	cp := &RankMatrix{
-		f:     m.f,
-		cols:  m.cols,
-		extra: m.extra,
-		rows:  make([][]gf.Elem, len(m.rows)),
-		pay:   make([][]byte, len(m.pay)),
-		pivot: append([]int(nil), m.pivot...),
+		f:      m.f,
+		cols:   m.cols,
+		extra:  m.extra,
+		rows:   make([][]gf.Elem, len(m.rows)),
+		pay:    make([][]byte, len(m.pay)),
+		pivot:  append([]int(nil), m.pivot...),
+		pivFac: append([]gf.Elem(nil), m.pivFac...),
 	}
 	for i, r := range m.rows {
 		cp.rows[i] = append([]gf.Elem(nil), r...)

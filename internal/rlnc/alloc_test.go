@@ -127,8 +127,11 @@ func TestAllocsSteadyStateSendReceive(t *testing.T) {
 	}{
 		{"gf2-rankonly-bit", Config{Field: gf.MustNew(2), K: 96, RankOnly: true}},
 		{"gf2-payload-bit", Config{Field: gf.MustNew(2), K: 96, PayloadLen: 256}},
-		{"gf256-rankonly", Config{Field: gf.MustNew(256), K: 96, RankOnly: true}},
-		{"gf256-payload", Config{Field: gf.MustNew(256), K: 96, PayloadLen: 256}},
+		{"gf16-rankonly-sliced", Config{Field: gf.MustNew(16), K: 96, RankOnly: true}},
+		{"gf256-rankonly-sliced", Config{Field: gf.MustNew(256), K: 96, RankOnly: true}},
+		{"gf256-payload-sliced", Config{Field: gf.MustNew(256), K: 96, PayloadLen: 256}},
+		{"gf256-rankonly-generic", Config{Field: gf.MustNew(256), K: 96, RankOnly: true, ForceGeneric: true}},
+		{"gf256-payload-generic", Config{Field: gf.MustNew(256), K: 96, PayloadLen: 256, ForceGeneric: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -37,7 +37,9 @@ func FuzzSplitJoinBytes(f *testing.F) {
 
 // FuzzDecoderNeverPanics throws arbitrary coefficient/payload bytes at a
 // node and requires graceful handling: rank stays within [0, k], and a
-// full-rank node decodes without error.
+// full-rank node decodes without error. Wire bytes enter through Adapt,
+// the boundary every transport uses — which also covers the sliced
+// backend's pack path (GF(256) selects it by default).
 func FuzzDecoderNeverPanics(f *testing.F) {
 	f.Add(uint64(1), []byte{1, 2, 3, 4, 5, 6})
 	f.Add(uint64(2), []byte{0, 0, 0})
@@ -45,13 +47,13 @@ func FuzzDecoderNeverPanics(f *testing.F) {
 		const k, r = 4, 2
 		cfg := Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
 		n := MustNewNode(cfg)
-		// Feed raw bytes as packets, k+r bytes at a time.
+		// Feed raw bytes as wire packets, k+r bytes at a time.
 		for i := 0; i+k+r <= len(raw); i += k + r {
 			pkt := &Packet{
 				Coeffs:  bytesToElems(raw[i : i+k]),
 				Payload: append([]byte(nil), raw[i+k:i+k+r]...),
 			}
-			n.Receive(pkt)
+			n.Receive(n.Adapt(pkt))
 			if n.Rank() < 0 || n.Rank() > k {
 				t.Fatalf("rank %d out of range", n.Rank())
 			}

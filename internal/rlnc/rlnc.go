@@ -10,13 +10,15 @@
 // once its coefficient matrix reaches rank k it solves the linear system
 // and recovers all k initial messages.
 //
-// Two backends share one API: a generic finite-field backend carrying
-// payloads, and a packed GF(2) bitset backend used whenever the field has
-// order 2 — with or without payloads — so binary simulations get word-wise
-// XOR elimination end to end. Helpfulness (and hence every stopping time)
-// depends only on coefficient vectors, and both backends consume protocol
-// randomness identically, so backend selection never changes fixed-seed
-// trajectories.
+// Three backends share one API: a generic finite-field backend carrying
+// payloads, a packed GF(2) bitset backend used whenever the field has
+// order 2, and a bit-sliced backend for every other binary extension
+// field GF(2^m) — so both binary and multi-bit-symbol simulations get
+// word-wise XOR elimination end to end (the sliced backend turns dst +=
+// c*src into at most m² plane XORs instead of k table gathers).
+// Helpfulness (and hence every stopping time) depends only on coefficient
+// vectors, and all backends consume protocol randomness identically, so
+// backend selection never changes fixed-seed trajectories.
 //
 // Memory contract for the hot path: EmitInto fills a caller-owned Packet
 // whose backing arrays are reused, Receive/ReceiveOwned never retain
@@ -51,8 +53,8 @@ type Config struct {
 	PayloadLen int
 	// RankOnly drops payloads and tracks only coefficient vectors.
 	RankOnly bool
-	// ForceGeneric disables the packed GF(2) backend even when the field
-	// has order 2 (testing and cross-validation only — the backends are
+	// ForceGeneric disables the packed GF(2) and bit-sliced GF(2^m)
+	// backends (testing and cross-validation only — the backends are
 	// trajectory-identical, the generic one is just slower).
 	ForceGeneric bool
 }
@@ -75,6 +77,20 @@ func (c Config) validate() error {
 // qualifies — rank-only or not.
 func (c Config) bitMode() bool { return c.Field.Order() == 2 && !c.ForceGeneric }
 
+// slicedField returns the field when the bit-sliced GF(2^m) backend
+// applies (any binary extension field of order > 2, unless ForceGeneric),
+// nil otherwise. GF(2) stays on the dedicated bit backend.
+func (c Config) slicedField() *gf.GF2m {
+	if c.ForceGeneric || c.bitMode() {
+		return nil
+	}
+	f, ok := c.Field.(*gf.GF2m)
+	if !ok || f.Order() == 2 {
+		return nil
+	}
+	return f
+}
+
 // extra returns the augmented payload width in bytes (0 in rank-only mode).
 func (c Config) extra() int {
 	if c.RankOnly {
@@ -96,13 +112,19 @@ type Message struct {
 // emit path (EmitInto) sizes the backing arrays on first use and reuses
 // them afterwards, which is what makes pooled packets allocation-free.
 type Packet struct {
-	// Coeffs has length k (generic backend). Nil in bit mode.
+	// Coeffs has length k (generic backend). Nil in bit and sliced modes.
 	Coeffs []gf.Elem
 	// Bits is the packed k-bit coefficient vector (bit mode). Nil otherwise.
 	Bits linalg.BitVec
+	// Sliced is the bit-sliced coefficient vector (sliced GF(2^m) mode):
+	// m planes of SlicedWords(k) packed words. Nil otherwise.
+	Sliced linalg.SlicedVec
 	// Payload is the combined payload row, combined with the field's bulk
-	// kernels (nil in rank-only mode).
+	// kernels (nil in rank-only and sliced modes).
 	Payload []byte
+	// SlicedPay is the bit-sliced payload row (sliced mode with payloads):
+	// m planes of SlicedWords(r) packed words. Nil otherwise.
+	SlicedPay linalg.SlicedVec
 }
 
 // IsZero reports whether the packet's coefficient vector is all-zero (such
@@ -111,22 +133,67 @@ func (p *Packet) IsZero() bool {
 	if p.Bits != nil {
 		return p.Bits.IsZero()
 	}
+	if p.Sliced != nil {
+		return p.Sliced.IsZero()
+	}
 	return gf.IsZeroVector(p.Coeffs)
 }
 
 // ExpandCoeffs returns the packet's coefficient vector in generic []Elem
-// form, expanding packed bits when needed — the wire-format bridge for
-// transports that serialize one coefficient per symbol. It allocates for
-// bit packets; boundary code only.
+// form, expanding packed bits or sliced planes when needed — the
+// wire-format bridge for transports that serialize one coefficient per
+// symbol. It allocates for bit and sliced packets; boundary code only.
 func (p *Packet) ExpandCoeffs(k int) []gf.Elem {
-	if p.Bits == nil {
-		return p.Coeffs
-	}
-	out := make([]gf.Elem, k)
-	for i := range out {
-		if p.Bits.Get(i) {
-			out[i] = 1
+	if p.Bits != nil {
+		out := make([]gf.Elem, k)
+		for i := range out {
+			if p.Bits.Get(i) {
+				out[i] = 1
+			}
 		}
+		return out
+	}
+	if p.Sliced != nil {
+		b := expandSliced(p.Sliced, k)
+		out := make([]gf.Elem, k)
+		for i, x := range b {
+			out[i] = gf.Elem(x)
+		}
+		return out
+	}
+	return p.Coeffs
+}
+
+// ExpandPayload returns the packet's payload row in byte-encoded wire
+// form for a payload width of r symbols, unpacking sliced planes when
+// needed. A non-positive width returns nil even for a payload-carrying
+// sliced packet (a rank-only peer requesting zero symbols — the
+// cross-backend Adapt path). It allocates for sliced packets; boundary
+// code only.
+func (p *Packet) ExpandPayload(r int) []byte {
+	if p.SlicedPay == nil {
+		return p.Payload
+	}
+	if r <= 0 {
+		return nil
+	}
+	return expandSliced(p.SlicedPay, r)
+}
+
+// expandSliced unpacks a plane-major sliced row of n symbols into bytes,
+// inferring m from the slice length (the field is not needed: the layout
+// alone determines the symbols).
+func expandSliced(v linalg.SlicedVec, n int) []byte {
+	out := make([]byte, n)
+	words := gf.SlicedWords(n)
+	m := len(v) / words
+	for i := range out {
+		w, b := i/64, uint(i)%64
+		var s byte
+		for j := 0; j < m; j++ {
+			s |= byte((v[j*words+w]>>b)&1) << uint(j)
+		}
+		out[i] = s
 	}
 	return out
 }
@@ -152,8 +219,9 @@ func PackCoeffs(coeffs []gf.Elem) (linalg.BitVec, bool) {
 // It is not safe for concurrent use; the concurrent runtime wraps it.
 type Node struct {
 	cfg Config
-	mat *linalg.RankMatrix // generic backend
-	bit *linalg.BitMatrix  // bit backend (with payload rows when configured)
+	mat *linalg.RankMatrix   // generic backend
+	bit *linalg.BitMatrix    // bit backend (with payload rows when configured)
+	slc *linalg.SlicedMatrix // bit-sliced GF(2^m) backend
 
 	scratchBits linalg.BitVec // reusable Receive buffer (bit mode)
 	scratchPay  []byte        // reusable Receive buffer (payload)
@@ -165,9 +233,12 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{cfg: cfg}
-	if cfg.bitMode() {
+	switch {
+	case cfg.bitMode():
 		n.bit = linalg.NewBitMatrixPayload(cfg.K, cfg.extra())
-	} else {
+	case cfg.slicedField() != nil:
+		n.slc = linalg.NewSlicedMatrix(cfg.slicedField(), cfg.K, cfg.extra())
+	default:
 		n.mat = linalg.NewRankMatrix(cfg.Field, cfg.K, cfg.extra())
 	}
 	return n, nil
@@ -189,12 +260,20 @@ func (n *Node) Config() Config { return n.cfg }
 // packets carry Bits instead of Coeffs).
 func (n *Node) BitMode() bool { return n.bit != nil }
 
+// SlicedMode reports whether this node uses the bit-sliced GF(2^m)
+// backend (its packets carry Sliced/SlicedPay instead of Coeffs/Payload).
+func (n *Node) SlicedMode() bool { return n.slc != nil }
+
 // Rank returns the dimension of the node's equation space.
 func (n *Node) Rank() int {
-	if n.bit != nil {
+	switch {
+	case n.bit != nil:
 		return n.bit.Rank()
+	case n.slc != nil:
+		return n.slc.Rank()
+	default:
+		return n.mat.Rank()
 	}
-	return n.mat.Rank()
 }
 
 // CanDecode reports whether the node has reached rank k.
@@ -221,6 +300,19 @@ func (n *Node) Seed(msg Message) {
 		n.bit.AddPayload(v, append([]byte(nil), payload...))
 		return
 	}
+	if n.slc != nil {
+		// The unit vector e_Index has the single symbol value 1: only bit
+		// plane 0 carries a bit. The payload packs through the field.
+		v := make(linalg.SlicedVec, n.slc.Stride())
+		v[msg.Index/64] |= 1 << (uint(msg.Index) % 64)
+		var pay linalg.SlicedVec
+		if n.slc.PayStride() > 0 {
+			pay = make(linalg.SlicedVec, n.slc.PayStride())
+			n.cfg.slicedField().PackSliced(pay, payload)
+		}
+		n.slc.AddOwned(v, pay)
+		return
+	}
 	coeffs := make([]gf.Elem, n.cfg.K)
 	coeffs[msg.Index] = 1
 	n.mat.Add(coeffs, payload)
@@ -245,6 +337,26 @@ func (n *Node) Emit(rng *rand.Rand) *Packet {
 // then, so a false return leaves the packet's contents unspecified. The
 // emitted trajectory is identical to Emit's.
 func (n *Node) EmitInto(rng *rand.Rand, p *Packet) bool {
+	if n.slc != nil {
+		p.Coeffs, p.Bits, p.Payload = nil, nil, nil
+		stride := n.slc.Stride()
+		if cap(p.Sliced) >= stride {
+			p.Sliced = p.Sliced[:stride]
+		} else {
+			p.Sliced = make(linalg.SlicedVec, stride)
+		}
+		if ps := n.slc.PayStride(); ps > 0 {
+			if cap(p.SlicedPay) >= ps {
+				p.SlicedPay = p.SlicedPay[:ps]
+			} else {
+				p.SlicedPay = make(linalg.SlicedVec, ps)
+			}
+		} else {
+			p.SlicedPay = nil
+		}
+		return n.slc.RandomCombinationInto(rng, p.Sliced, p.SlicedPay)
+	}
+	p.Sliced, p.SlicedPay = nil, nil
 	extra := n.cfg.extra()
 	if extra > 0 && cap(p.Payload) >= extra {
 		p.Payload = p.Payload[:extra]
@@ -272,6 +384,32 @@ func (n *Node) EmitInto(rng *rand.Rand, p *Packet) bool {
 	return n.mat.RandomCombinationInto(rng, p.Coeffs, p.Payload)
 }
 
+// SkipEmit consumes exactly the randomness EmitInto would draw — one
+// coefficient draw per stored row — without building the packet. It
+// reports false (drawing nothing) when the node stores nothing yet,
+// mirroring EmitInto's return. Simulators call it when the packet's fate
+// is already determined (e.g. the receiver is at full rank, where any
+// combination is unhelpful), so the trajectory-pinned random stream
+// advances identically while the combination work is skipped.
+func (n *Node) SkipEmit(rng *rand.Rand) bool {
+	rank := n.Rank()
+	if rank == 0 {
+		return false
+	}
+	if n.bit != nil || n.slc != nil {
+		// Both packed backends draw one Uint64 per stored row (IntN of a
+		// power-of-two order is exactly one masked Uint64).
+		for i := 0; i < rank; i++ {
+			rng.Uint64()
+		}
+		return true
+	}
+	for i := 0; i < rank; i++ {
+		gf.Rand(n.cfg.Field, rng)
+	}
+	return true
+}
+
 // Receive processes an incoming packet and reports whether it was helpful,
 // i.e. increased the node's rank (Definition 3). Unhelpful packets are
 // discarded, exactly as in the paper. The packet is neither modified nor
@@ -280,6 +418,24 @@ func (n *Node) EmitInto(rng *rand.Rand, p *Packet) bool {
 func (n *Node) Receive(p *Packet) bool {
 	if p == nil || p.IsZero() {
 		return false
+	}
+	if n.slc != nil {
+		if p.Sliced == nil {
+			panic("rlnc: non-sliced packet delivered to sliced-mode node (use Adapt at wire boundaries)")
+		}
+		if !n.validSliced(p.Sliced) {
+			return false
+		}
+		var pay linalg.SlicedVec
+		if ps := n.slc.PayStride(); ps > 0 {
+			if len(p.SlicedPay) != ps {
+				return false // malformed payload width
+			}
+			pay = p.SlicedPay
+		}
+		// SlicedMatrix.Add reduces in matrix-owned scratch: the packet is
+		// neither modified nor retained.
+		return n.slc.Add(p.Sliced, pay)
 	}
 	if n.bit != nil {
 		if p.Bits == nil {
@@ -345,6 +501,22 @@ func (n *Node) ReceiveOwned(p *Packet) bool {
 	if p == nil || p.IsZero() {
 		return false
 	}
+	if n.slc != nil {
+		if p.Sliced == nil {
+			panic("rlnc: non-sliced packet delivered to sliced-mode node (use Adapt at wire boundaries)")
+		}
+		if !n.validSliced(p.Sliced) {
+			return false
+		}
+		var pay linalg.SlicedVec
+		if ps := n.slc.PayStride(); ps > 0 {
+			if len(p.SlicedPay) != ps {
+				return false
+			}
+			pay = p.SlicedPay
+		}
+		return n.slc.AddOwned(p.Sliced, pay)
+	}
 	if n.bit != nil {
 		if p.Bits == nil {
 			panic("rlnc: generic packet delivered to bit-mode node")
@@ -385,6 +557,12 @@ func (n *Node) WouldHelp(p *Packet) bool {
 	if p == nil || p.IsZero() {
 		return false
 	}
+	if n.slc != nil {
+		if !n.validSliced(p.Sliced) {
+			return false
+		}
+		return n.slc.WouldHelp(p.Sliced)
+	}
 	if n.bit != nil {
 		if !n.validBits(p.Bits) {
 			return false
@@ -411,18 +589,61 @@ func (n *Node) validBits(v linalg.BitVec) bool {
 	return true
 }
 
+// validSliced is the sliced-mode malformed-packet screen: the vector must
+// have exactly m planes of SlicedWords(k) words with no stray bits past
+// column k-1 in any plane.
+func (n *Node) validSliced(v linalg.SlicedVec) bool {
+	if len(v) != n.slc.Stride() {
+		return false
+	}
+	words := n.slc.Words()
+	if rem := n.cfg.K % 64; rem != 0 {
+		for j := words - 1; j < len(v); j += words {
+			if v[j]>>uint(rem) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Adapt converts a wire-format packet into this node's native
 // representation: a generic-coefficient packet arriving at a bit-mode
 // node is packed (rejecting vectors with non-GF(2) symbols by returning
-// nil), a bit packet arriving at a generic node is expanded, and a packet
-// already in native form is returned unchanged. Transports that pin a
-// one-coefficient-per-symbol wire format call this before Receive.
+// nil), one arriving at a sliced-mode node is bit-sliced (symbols are
+// masked to m bits, the padded-table semantics of the byte kernels), a
+// bit or sliced packet arriving at a generic node is expanded, and a
+// packet already in native form is returned unchanged. Transports that
+// pin a one-coefficient-per-symbol wire format call this before Receive.
 func (n *Node) Adapt(p *Packet) *Packet {
 	if p == nil {
 		return nil
 	}
+	if n.slc != nil {
+		if p.Sliced != nil {
+			return p
+		}
+		if p.Bits != nil || len(p.Coeffs) != n.cfg.K {
+			return nil // a bit-mode packet can only come from a mismatched field
+		}
+		f := n.cfg.slicedField()
+		out := &Packet{Sliced: make(linalg.SlicedVec, n.slc.Stride())}
+		raw := make([]byte, n.cfg.K)
+		for i, c := range p.Coeffs {
+			raw[i] = byte(c)
+		}
+		f.PackSliced(out.Sliced, raw)
+		if extra := n.cfg.extra(); extra > 0 {
+			if len(p.Payload) != extra {
+				return nil
+			}
+			out.SlicedPay = make(linalg.SlicedVec, n.slc.PayStride())
+			f.PackSliced(out.SlicedPay, p.Payload)
+		}
+		return out
+	}
 	if n.bit != nil && p.Bits == nil {
-		if len(p.Coeffs) != n.cfg.K {
+		if p.Sliced != nil || len(p.Coeffs) != n.cfg.K {
 			return nil
 		}
 		bits, ok := PackCoeffs(p.Coeffs)
@@ -431,8 +652,8 @@ func (n *Node) Adapt(p *Packet) *Packet {
 		}
 		return &Packet{Bits: bits, Payload: p.Payload}
 	}
-	if n.bit == nil && p.Bits != nil {
-		return &Packet{Coeffs: p.ExpandCoeffs(n.cfg.K), Payload: p.Payload}
+	if n.bit == nil && (p.Bits != nil || p.Sliced != nil) {
+		return &Packet{Coeffs: p.ExpandCoeffs(n.cfg.K), Payload: p.ExpandPayload(n.cfg.extra())}
 	}
 	return p
 }
@@ -447,6 +668,14 @@ func (n *Node) HelpfulTo(other *Node) bool {
 			// Row views are safe here: WouldHelp reduces in scratch and
 			// never mutates its input.
 			if other.bit.WouldHelp(n.bit.Row(i)) {
+				return true
+			}
+		}
+		return false
+	}
+	if n.slc != nil {
+		for i := 0; i < n.slc.Rank(); i++ {
+			if other.slc.WouldHelp(n.slc.Row(i)) {
 				return true
 			}
 		}
@@ -472,9 +701,12 @@ func (n *Node) Decode() ([]Message, error) {
 	}
 	var payloads [][]byte
 	var err error
-	if n.bit != nil {
+	switch {
+	case n.bit != nil:
 		payloads, err = n.bit.Solve()
-	} else {
+	case n.slc != nil:
+		payloads, err = n.slc.Solve()
+	default:
 		payloads, err = n.mat.Solve()
 	}
 	if err != nil {

@@ -154,8 +154,12 @@ func TestReceiveNilAndZero(t *testing.T) {
 
 // TestReceiveMalformedLengths: packets can arrive from the network with a
 // peer's mismatched configuration; they must be rejected, not panic.
+// ForceGeneric pins the generic backend's screen — GF(2^m) nodes select
+// the sliced backend and apply their own (TestReceiveMalformedSliced).
 func TestReceiveMalformedLengths(t *testing.T) {
-	n := MustNewNode(genericCfg(256, 3, 2))
+	cfg := genericCfg(256, 3, 2)
+	cfg.ForceGeneric = true
+	n := MustNewNode(cfg)
 	n.Seed(Message{Index: 0, Payload: []byte{1, 2}})
 	cases := []*Packet{
 		{Coeffs: []gf.Elem{1, 2}, Payload: []byte{3, 4}},       // short coeffs
@@ -197,6 +201,47 @@ func TestReceiveMalformedBits(t *testing.T) {
 	}
 	if n.Rank() != 1 {
 		t.Fatalf("rank = %d after malformed bit packets, want 1", n.Rank())
+	}
+}
+
+// TestReceiveMalformedSliced: the sliced backend applies the same screen —
+// a sliced vector with the wrong word count or stray bits past column k-1
+// in any plane is rejected, never panics, and never inflates the rank.
+func TestReceiveMalformedSliced(t *testing.T) {
+	n := MustNewNode(Config{Field: gf.MustNew(16), K: 5, RankOnly: true})
+	if !n.SlicedMode() {
+		t.Fatal("GF(16) node must select the sliced backend")
+	}
+	n.Seed(Message{Index: 0})
+	stride := 4 * 1 // m=4 planes, 1 word each for k=5
+	stray := make(linalg.SlicedVec, stride)
+	stray[2] = 1 << 9 // column 9 >= k in plane 2
+	cases := []*Packet{
+		{Sliced: linalg.SlicedVec{1}},              // too few words
+		{Sliced: make(linalg.SlicedVec, 2*stride)}, // too many words
+		{Sliced: stray},                            // stray high column
+		{Sliced: func() linalg.SlicedVec { // good coeffs, short payload: only rejected when payload mode
+			v := make(linalg.SlicedVec, stride)
+			v[0] = 1 << 1
+			return v
+		}()},
+	}
+	for i, p := range cases[:3] {
+		if n.Receive(p) || n.WouldHelp(p) {
+			t.Errorf("malformed sliced packet %d accepted", i)
+		}
+	}
+	if n.Rank() != 1 {
+		t.Fatalf("rank = %d after malformed sliced packets, want 1", n.Rank())
+	}
+	// Payload mode also screens the payload width.
+	np := MustNewNode(Config{Field: gf.MustNew(16), K: 5, PayloadLen: 8})
+	np.Seed(Message{Index: 1, Payload: make([]byte, 8)})
+	if np.Receive(cases[3]) {
+		t.Error("packet with missing sliced payload accepted")
+	}
+	if np.ReceiveOwned(&Packet{Sliced: cases[3].Sliced, SlicedPay: linalg.SlicedVec{1}}) {
+		t.Error("packet with short sliced payload accepted")
 	}
 }
 

@@ -1,0 +1,154 @@
+package rlnc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+)
+
+// TestSlicedGenericEquivalence locks the backend-selection determinism
+// contract for the bit-sliced backend: a GF(2^m) payload-carrying node on
+// the sliced backend and one on the generic backend (ForceGeneric)
+// consume the random stream identically and emit the same packets, so
+// swapping backends can never move a fixed-seed trajectory — the
+// TestBitGenericEquivalence analogue for m ∈ {2, 4, 8}. k > 64 forces
+// multi-word planes.
+func TestSlicedGenericEquivalence(t *testing.T) {
+	for _, q := range []int{4, 16, 256} {
+		t.Run(fmt.Sprintf("gf=%d", q), func(t *testing.T) {
+			const k, r = 70, 16
+			f := gf.MustNew(q)
+			slcCfg := Config{Field: f, K: k, PayloadLen: r}
+			genCfg := Config{Field: f, K: k, PayloadLen: r, ForceGeneric: true}
+
+			seedRNG := core.NewRand(5)
+			msgs := make([]Message, k)
+			for i := range msgs {
+				msgs[i] = Message{Index: i, Payload: gf.RandBytes(f, r, seedRNG)}
+			}
+			slcSrc, genSrc := MustNewNode(slcCfg), MustNewNode(genCfg)
+			slcDst, genDst := MustNewNode(slcCfg), MustNewNode(genCfg)
+			if !slcSrc.SlicedMode() || genSrc.SlicedMode() || slcSrc.BitMode() {
+				t.Fatal("backend selection wrong")
+			}
+			for _, m := range msgs {
+				slcSrc.Seed(m)
+				genSrc.Seed(m)
+			}
+
+			// Drive both universes with independent but identically seeded
+			// RNGs; every emitted packet and helpfulness verdict must agree.
+			slcRNG, genRNG := core.NewRand(77), core.NewRand(77)
+			for step := 0; step < 400; step++ {
+				sp := slcSrc.Emit(slcRNG)
+				gp := genSrc.Emit(genRNG)
+				if !bytes.Equal(elemsToBytes(sp.ExpandCoeffs(k)), elemsToBytes(gp.Coeffs)) {
+					t.Fatalf("step %d: coefficient vectors differ across backends", step)
+				}
+				if !bytes.Equal(sp.ExpandPayload(r), gp.Payload) {
+					t.Fatalf("step %d: payloads differ across backends", step)
+				}
+				if slcDst.WouldHelp(sp) != genDst.WouldHelp(gp) {
+					t.Fatalf("step %d: WouldHelp disagrees", step)
+				}
+				if slcDst.Receive(sp) != genDst.Receive(gp) {
+					t.Fatalf("step %d: Receive helpfulness disagrees", step)
+				}
+				if slcDst.Rank() != genDst.Rank() {
+					t.Fatalf("step %d: ranks diverged (%d vs %d)", step, slcDst.Rank(), genDst.Rank())
+				}
+			}
+			if !slcDst.CanDecode() {
+				t.Fatal("sliced destination did not converge")
+			}
+			slcMsgs, err := slcDst.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			genMsgs, err := genDst.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range msgs {
+				if !bytes.Equal(slcMsgs[i].Payload, msgs[i].Payload) || !bytes.Equal(genMsgs[i].Payload, msgs[i].Payload) {
+					t.Fatalf("decoded payload %d wrong", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSlicedAdaptRoundTrip covers the wire-format bridge both ways for
+// the sliced backend plus its malformed-input rejections.
+func TestSlicedAdaptRoundTrip(t *testing.T) {
+	f := gf.MustNew(16)
+	slcNode := MustNewNode(Config{Field: f, K: 5, PayloadLen: 3})
+	genNode := MustNewNode(Config{Field: f, K: 5, PayloadLen: 3, ForceGeneric: true})
+	seed := Message{Index: 2, Payload: []byte{1, 2, 3}}
+	slcNode.Seed(seed)
+	genNode.Seed(seed)
+
+	wire := &Packet{Coeffs: []gf.Elem{1, 0, 7, 0, 0}, Payload: []byte{9, 8, 7}}
+	native := slcNode.Adapt(wire)
+	if native == nil || native.Sliced == nil || native.SlicedPay == nil {
+		t.Fatal("Adapt failed to slice a generic packet for a sliced node")
+	}
+	// The pack/expand pair is lossless for valid symbols.
+	if !bytes.Equal(elemsToBytes(native.ExpandCoeffs(5)), elemsToBytes(wire.Coeffs)) {
+		t.Fatal("sliced pack/expand round trip lost coefficients")
+	}
+	if !bytes.Equal(native.ExpandPayload(3), wire.Payload) {
+		t.Fatal("sliced pack/expand round trip lost payload")
+	}
+	if !slcNode.Receive(native) {
+		t.Fatal("adapted packet should be helpful")
+	}
+	back := genNode.Adapt(slcNode.Emit(core.NewRand(3)))
+	if back == nil || back.Coeffs == nil || back.Payload == nil {
+		t.Fatal("Adapt failed to expand a sliced packet for a generic node")
+	}
+	if slcNode.Adapt(&Packet{Coeffs: []gf.Elem{1}}) != nil {
+		t.Fatal("wrong-width coefficients must not slice")
+	}
+	if slcNode.Adapt(&Packet{Coeffs: []gf.Elem{1, 0, 0, 0, 0}, Payload: []byte{1}}) != nil {
+		t.Fatal("wrong-width payload must not slice")
+	}
+	if slcNode.Adapt(nil) != nil {
+		t.Fatal("nil packet must adapt to nil")
+	}
+	// Out-of-field symbols mask to m bits (the padded-table semantics):
+	// 16 & 0xF == 0, so a lone symbol 16 packs to the zero vector.
+	masked := slcNode.Adapt(&Packet{Coeffs: []gf.Elem{16, 0, 0, 0, 0}, Payload: []byte{0, 0, 0}})
+	if masked == nil || !masked.IsZero() {
+		t.Fatal("out-of-field symbol must mask to zero")
+	}
+}
+
+// TestAdaptSlicedToRankOnlyGeneric: a payload-carrying sliced packet
+// adapted for a rank-only generic peer must expand cleanly with its
+// payload dropped (regression: ExpandPayload(0) used to divide by zero).
+func TestAdaptSlicedToRankOnlyGeneric(t *testing.T) {
+	f := gf.MustNew(256)
+	src := MustNewNode(Config{Field: f, K: 4, PayloadLen: 3})
+	for i := 0; i < 4; i++ {
+		src.Seed(Message{Index: i, Payload: []byte{byte(i), 1, 2}})
+	}
+	pkt := src.Emit(core.NewRand(7))
+	if pkt.SlicedPay == nil {
+		t.Fatal("sliced emit must carry a sliced payload")
+	}
+	if got := pkt.ExpandPayload(0); got != nil {
+		t.Fatalf("ExpandPayload(0) = %v, want nil", got)
+	}
+	rankOnly := MustNewNode(Config{Field: f, K: 4, RankOnly: true, ForceGeneric: true})
+	adapted := rankOnly.Adapt(pkt)
+	if adapted == nil || len(adapted.Coeffs) != 4 {
+		t.Fatal("cross-backend adapt failed")
+	}
+	if !rankOnly.Receive(adapted) {
+		t.Fatal("adapted packet should be helpful to an empty node")
+	}
+}

@@ -232,7 +232,8 @@ func (n *clusterNode) run(ctx context.Context) {
 
 // handle ingests a packet and serves the EXCHANGE reply leg. The wire
 // format carries one coefficient per symbol; Adapt re-packs it for
-// bit-mode (GF(2)) codecs and rejects malformed vectors as nil.
+// bit-mode (GF(2)) and sliced (GF(2^m)) codecs and rejects malformed
+// vectors as nil.
 func (n *clusterNode) handle(env Envelope) {
 	pkt := &rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload}
 	n.mu.Lock()
@@ -251,12 +252,14 @@ func (n *clusterNode) handle(env Envelope) {
 func (n *clusterNode) sendPacket(peer core.NodeID, wantReply bool) {
 	n.mu.Lock()
 	pkt := n.codec.Emit(n.rng)
-	k := n.codec.Config().K
+	cfg := n.codec.Config()
 	n.mu.Unlock()
 	env := Envelope{From: n.id, WantReply: wantReply}
 	if pkt != nil {
-		env.Coeffs = pkt.ExpandCoeffs(k)
-		env.Payload = pkt.Payload
+		// The wire format is one coefficient per symbol regardless of the
+		// codec's internal representation: bit and sliced packets expand here.
+		env.Coeffs = pkt.ExpandCoeffs(cfg.K)
+		env.Payload = pkt.ExpandPayload(cfg.PayloadLen)
 	} else if !wantReply {
 		return // nothing to say and nobody waiting
 	}

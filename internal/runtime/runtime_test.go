@@ -266,3 +266,30 @@ func TestClusterGF2BitMode(t *testing.T) {
 	}
 	verifyDecode(t, c, msgs, g.N())
 }
+
+// TestClusterGF16SlicedMode runs a payload-carrying GF(16) cluster end to
+// end: the codecs use the bit-sliced backend internally while the wire
+// format still carries one coefficient per symbol, so the Adapt /
+// ExpandCoeffs / ExpandPayload boundary is exercised in both directions
+// for a sub-byte symbol width, including full decode at every node.
+func TestClusterGF16SlicedMode(t *testing.T) {
+	g := graph.Grid(3, 3)
+	cfg := rlnc.Config{Field: gf.MustNew(16), K: 5, PayloadLen: 8}
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 11}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := seedMessages(t, c, cfg, g.N())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.N() {
+		t.Fatalf("completed %d/%d nodes", done, g.N())
+	}
+	verifyDecode(t, c, msgs, g.N())
+}

@@ -241,7 +241,7 @@ func (n *tagNode) handle(env Envelope) {
 		n.mu.Lock()
 		if len(env.Coeffs) > 0 {
 			// Wire format is one coefficient per symbol; Adapt re-packs
-			// for bit-mode (GF(2)) codecs.
+			// for bit-mode (GF(2)) and sliced (GF(2^m)) codecs.
 			n.codec.Receive(n.codec.Adapt(&rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload}))
 			n.checkDoneLocked()
 		}
@@ -255,12 +255,14 @@ func (n *tagNode) handle(env Envelope) {
 func (n *tagNode) sendPacket(peer core.NodeID, wantReply bool) {
 	n.mu.Lock()
 	pkt := n.codec.Emit(n.rng)
-	k := n.codec.Config().K
+	cfg := n.codec.Config()
 	n.mu.Unlock()
 	env := Envelope{Kind: EnvelopePacket, From: n.id, WantReply: wantReply}
 	if pkt != nil {
-		env.Coeffs = pkt.ExpandCoeffs(k)
-		env.Payload = pkt.Payload
+		// Bit and sliced packets expand to the one-coefficient-per-symbol
+		// wire format here, mirroring clusterNode.sendPacket.
+		env.Coeffs = pkt.ExpandCoeffs(cfg.K)
+		env.Payload = pkt.ExpandPayload(cfg.PayloadLen)
 	} else if !wantReply {
 		return
 	}
