@@ -98,6 +98,48 @@ func BenchmarkSimPayloadAG(b *testing.B) {
 	}
 }
 
+// BenchmarkSimGenerationAG runs generation-coded uniform AG (the web-scale
+// mode of E16): ⌈k/g⌉ independent small decoders per node instead of one
+// k-wide matrix, capping reduce cost at O(g·rank) per receive. The grid
+// pins both the generation hot path (GenNode emit/receive dispatch,
+// rank/nonEmpty caching) and its scaling against full-span coding: at
+// n=1024/gf=256 the g=16 row should beat the matching BenchmarkSimUniformAG
+// cell by roughly the k/g decode-cost ratio.
+func BenchmarkSimGenerationAG(b *testing.B) {
+	for _, family := range []string{"complete", "randreg"} {
+		for _, n := range []int{256, 1024} {
+			for _, q := range []int{2, 256} {
+				b.Run(fmt.Sprintf("%s/n=%d/gf=%d/g=16", family, n, q), func(b *testing.B) {
+					g := simGraph(b, family, n)
+					runSimTrials(b, harness.GossipSpec{
+						Graph: g, K: benchK(n), Q: q, GenSize: 16, Lean: true,
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkSimShardedAG runs the round-parallel sharded engine on the
+// generation-coded configuration. shards=1 isolates the staging/commit
+// overhead of sharded semantics against the classic serial engine (same
+// trajectory family, different bookkeeping); shards=4 shows the speedup
+// left after the serial commit phase (Amdahl-bound). The counts are
+// pinned — not GOMAXPROCS — because the benchmark name feeds the
+// benchdelta baseline, which fails on entries missing from a run; the
+// trajectory is identical for any positive count, so oversharding a
+// smaller box only costs idle workers.
+func BenchmarkSimShardedAG(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("randreg/n=1024/gf=2/g=16/shards=%d", shards), func(b *testing.B) {
+			g := simGraph(b, "randreg", 1024)
+			runSimTrials(b, harness.GossipSpec{
+				Graph: g, K: benchK(1024), Q: 2, GenSize: 16, Shards: shards, Lean: true,
+			})
+		})
+	}
+}
+
 // BenchmarkSimDynamicAG runs uniform AG over a time-varying topology
 // (i.i.d. per-round edge failures on a random-regular graph), covering
 // the round-boundary topology stepping and staged-delivery filtering.

@@ -48,6 +48,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		q          = fs.Int("q", 2, "field order")
 		action     = fs.String("action", "exchange", "action: push|pull|exchange")
 		dynamics   = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16")
+		gens       = fs.Int("generations", 0, "generation size g for generation-coded AG (0 = full-span coding)")
+		shards     = fs.Int("shards", 0, "run each trial on this many shards (0 = classic serial engine; any positive count gives the same trajectory)")
 		seed       = fs.Uint64("seed", 1, "root seed")
 		trials     = fs.Int("trials", 3, "number of trials")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
@@ -107,6 +109,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	if !dyn.IsStatic() {
 		fmt.Fprintf(w, " dynamics=%s", dyn)
 	}
+	if *gens > 0 {
+		fmt.Fprintf(w, " generations=%d", *gens)
+	}
 	fmt.Fprintln(w)
 
 	// One harness Spec: a single (graph, k) cell, -trials trials, with the
@@ -121,6 +126,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		Q:            *q,
 		Action:       act,
 		Dynamics:     dyn,
+		GenSize:      *gens,
+		Shards:       *shards,
 		SingleSource: *single,
 		Trials:       *trials,
 		Seed:         rootSeed,

@@ -50,7 +50,10 @@ func run(args []string, stdout io.Writer) (err error) {
 		kmode      = fs.String("kmode", "half", "k per size: half|n|sqrt|const:<v>")
 		q          = fs.Int("q", 2, "field order")
 		dynamics   = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16 | rewire:rate=0.3,period=32 | burst:rate=0.5,period=64,burst=8 | grow:period=4")
+		gens       = fs.Int("generations", 0, "generation size g for generation-coded AG (0 = full-span coding)")
+		shards     = fs.Int("shards", 0, "run each trial on this many shards (0 = classic serial engine; any positive count gives the same trajectory)")
 		trials     = fs.Int("trials", 3, "trials per size")
+		single     = fs.Bool("single-source", false, "seed all messages at node 0")
 		seed       = fs.Uint64("seed", 1, "root seed")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trials (0 = all cores, 1 = sequential)")
 		timeout    = fs.Duration("timeout", 0, "per-trial timeout (0 = none)")
@@ -98,16 +101,19 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 
 	spec := harness.Spec{
-		Name:     "sweep",
-		Graph:    *graphName,
-		Sizes:    sizes,
-		KMode:    *kmode,
-		Protocol: proto,
-		Model:    model,
-		Q:        *q,
-		Dynamics: dyn,
-		Trials:   *trials,
-		Seed:     *seed,
+		Name:         "sweep",
+		Graph:        *graphName,
+		Sizes:        sizes,
+		KMode:        *kmode,
+		Protocol:     proto,
+		Model:        model,
+		Q:            *q,
+		Dynamics:     dyn,
+		GenSize:      *gens,
+		Shards:       *shards,
+		SingleSource: *single,
+		Trials:       *trials,
+		Seed:         *seed,
 		// The CSV only reads Rounds; skip per-node detail so huge sweeps
 		// stay lean in memory and in the checkpoint file.
 		Lean: true,

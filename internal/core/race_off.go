@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Large-n conformance gates skip under the detector: its ~10x
+// memory and time multiplier turns a 30-second sweep into minutes without
+// adding coverage beyond what the small-n identity tests already race.
+const RaceEnabled = false

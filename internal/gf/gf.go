@@ -143,6 +143,25 @@ func Default() Field {
 	return MustNew(256)
 }
 
+// FieldOrders lists every order New accepts: the binary extension fields
+// GF(2^m) for m ≤ 8 plus a spread of small primes. Property tests sweep
+// this list to cover all three coding backends (bit-packed GF(2),
+// bit-sliced GF(2^m), generic prime).
+func FieldOrders() []int {
+	return []int{2, 4, 8, 16, 32, 64, 128, 256, 3, 5, 7, 11, 13, 251}
+}
+
+// Fields returns one instance of every supported field, in FieldOrders
+// order.
+func Fields() []Field {
+	orders := FieldOrders()
+	out := make([]Field, len(orders))
+	for i, q := range orders {
+		out[i] = MustNew(q)
+	}
+	return out
+}
+
 func isPrime(n int) bool {
 	if n < 2 {
 		return false

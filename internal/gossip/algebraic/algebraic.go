@@ -75,14 +75,18 @@ type Protocol struct {
 	round      int   // current round (sync: from BeginRound; async: slots/n)
 	slots      int   // async wakeup counter
 	obs        sim.Observer
+
+	shard    *shardCore     // sharded-execution state (nil = classic wake loop)
+	slotPkts []*rlnc.Packet // pooled per-slot packets for sharded staging
 }
 
 // dupKey identifies one (receiver, sender) pair for per-round dedup.
 type dupKey struct{ to, from core.NodeID }
 
 var (
-	_ sim.Protocol      = (*Protocol)(nil)
-	_ sim.TopologyAware = (*Protocol)(nil)
+	_ sim.Protocol        = (*Protocol)(nil)
+	_ sim.TopologyAware   = (*Protocol)(nil)
+	_ sim.ShardedProtocol = (*Protocol)(nil)
 )
 
 // New constructs an algebraic gossip protocol over g. The caller seeds the
@@ -121,6 +125,60 @@ func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Conf
 
 // SetObserver installs a progress observer (must be called before running).
 func (p *Protocol) SetObserver(obs sim.Observer) { p.obs = obs }
+
+// EnableSharded switches the protocol to sharded-execution semantics (see
+// shard.go and sim.ShardedProtocol): per-node RNG streams derived from
+// seed, per-node staging slots, ordered commit, and — on static
+// topologies — retirement of provably inert nodes. Must be called before
+// the run; the engine must be configured with sim.WithShards. The
+// trajectory is identical for every shard count but differs from the
+// classic serial semantics for the same seed.
+func (p *Protocol) EnableSharded(seed uint64, retire bool) error {
+	if p.cfg.DiscardDuplicatePerRound {
+		return errors.New("algebraic: sharded execution does not support DiscardDuplicatePerRound")
+	}
+	if p.model != core.Synchronous {
+		return errors.New("algebraic: sharded execution requires the synchronous model")
+	}
+	p.slotPkts = make([]*rlnc.Packet, 2*len(p.nodes))
+	for i := range p.slotPkts {
+		p.slotPkts[i] = &rlnc.Packet{}
+	}
+	p.shard = newShardCore(p, p.sel, p.cfg.Action, p.cfg.LossRate,
+		p.g, seed, retire, &p.traffic)
+	return nil
+}
+
+// shardOps implementation (see shard.go).
+func (p *Protocol) rank(v core.NodeID) int  { return p.nodes[v].Rank() }
+func (p *Protocol) full(v core.NodeID) bool { return p.nodes[v].CanDecode() }
+func (p *Protocol) emitSlot(from core.NodeID, rng *rand.Rand, slot int) bool {
+	return p.nodes[from].EmitInto(rng, p.slotPkts[slot])
+}
+func (p *Protocol) applySlot(to core.NodeID, slot int) bool {
+	if p.nodes[to].ReceiveOwned(p.slotPkts[slot]) {
+		p.refreshDone(to)
+		return true
+	}
+	return false
+}
+
+// ActiveWords implements sim.ShardedProtocol (nil until EnableSharded).
+func (p *Protocol) ActiveWords() []uint64 {
+	if p.shard == nil {
+		return nil
+	}
+	return p.shard.activeWords()
+}
+
+// WakeShard implements sim.ShardedProtocol.
+func (p *Protocol) WakeShard(lo, hi int) { p.shard.wakeRange(lo, hi) }
+
+// CommitRound implements sim.ShardedProtocol.
+func (p *Protocol) CommitRound(round int) {
+	p.round = round
+	p.shard.commit()
+}
 
 // Seed places message msg at node v (a node can hold more than one initial
 // message). In rank-only mode the payload may be nil.
@@ -188,6 +246,9 @@ func (p *Protocol) OnWake(v core.NodeID) {
 // transiently regress on dynamic runs.
 func (p *Protocol) OnTopologyChange(ev sim.TopologyEvent) {
 	p.g = ev.Graph
+	if p.shard != nil {
+		p.shard.g = ev.Graph
+	}
 	// The event fires at the boundary before BeginRound(ev.Round), so the
 	// clock is still on the previous round; advance it first so resets
 	// that immediately re-complete are stamped with the rejoin round in

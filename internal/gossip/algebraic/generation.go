@@ -26,10 +26,16 @@ type GenProtocol struct {
 	nodes     []*rlnc.GenNode
 	staged    []genDelivery
 	traffic   gossip.Traffic
-	doneSeen  []bool
 	doneCount int
+	doneRound []int // round at which each node reached full rank, -1 before
 	round     int
 	slots     int
+	obs       sim.Observer
+
+	free []*rlnc.GenPacket // recycled packets; backing arrays are reused by EmitInto
+
+	shard    *shardCore       // sharded-execution state (nil = classic wake loop)
+	slotPkts []rlnc.GenPacket // pooled per-slot packets for sharded staging
 }
 
 type genDelivery struct {
@@ -37,19 +43,24 @@ type genDelivery struct {
 	pkt *rlnc.GenPacket
 }
 
-var _ sim.Protocol = (*GenProtocol)(nil)
+var (
+	_ sim.Protocol        = (*GenProtocol)(nil)
+	_ sim.ShardedProtocol = (*GenProtocol)(nil)
+)
 
 // NewGen constructs a generation-coded gossip protocol; seed messages with
 // Seed before running. Contacts are EXCHANGE.
 func NewGen(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg rlnc.GenConfig, rng *rand.Rand) (*GenProtocol, error) {
 	n := g.N()
 	p := &GenProtocol{
-		g:     g,
-		model: model,
-		sel:   sel,
-		rng:   rng,
-		cfg:   cfg,
-		nodes: make([]*rlnc.GenNode, n),
+		g:         g,
+		model:     model,
+		sel:       sel,
+		rng:       rng,
+		cfg:       cfg,
+		nodes:     make([]*rlnc.GenNode, n),
+		doneRound: make([]int, n),
+		obs:       sim.NopObserver{},
 	}
 	for i := range p.nodes {
 		node, err := rlnc.NewGenNode(cfg)
@@ -58,7 +69,57 @@ func NewGen(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg r
 		}
 		p.nodes[i] = node
 	}
+	for i := range p.doneRound {
+		p.doneRound[i] = -1
+	}
 	return p, nil
+}
+
+// SetObserver installs a progress observer (must be called before running).
+func (p *GenProtocol) SetObserver(obs sim.Observer) { p.obs = obs }
+
+// EnableSharded switches the protocol to sharded-execution semantics,
+// exactly as Protocol.EnableSharded does for full-span coding; the
+// generation-coded decoders cap the commit-time reduce cost at O(g²) per
+// packet, which is what lets sharded generation runs scale to n ≥ 10^5.
+func (p *GenProtocol) EnableSharded(seed uint64, retire bool) error {
+	if p.model != core.Synchronous {
+		return fmt.Errorf("algebraic: sharded execution requires the synchronous model")
+	}
+	p.slotPkts = make([]rlnc.GenPacket, 2*len(p.nodes))
+	p.shard = newShardCore(p, p.sel, core.Exchange, 0, p.g, seed, retire, &p.traffic)
+	return nil
+}
+
+// shardOps implementation (see shard.go).
+func (p *GenProtocol) rank(v core.NodeID) int  { return p.nodes[v].Rank() }
+func (p *GenProtocol) full(v core.NodeID) bool { return p.nodes[v].CanDecode() }
+func (p *GenProtocol) emitSlot(from core.NodeID, rng *rand.Rand, slot int) bool {
+	return p.nodes[from].EmitInto(rng, &p.slotPkts[slot])
+}
+func (p *GenProtocol) applySlot(to core.NodeID, slot int) bool {
+	if p.nodes[to].ReceiveOwned(&p.slotPkts[slot]) {
+		p.refreshDone(to)
+		return true
+	}
+	return false
+}
+
+// ActiveWords implements sim.ShardedProtocol (nil until EnableSharded).
+func (p *GenProtocol) ActiveWords() []uint64 {
+	if p.shard == nil {
+		return nil
+	}
+	return p.shard.activeWords()
+}
+
+// WakeShard implements sim.ShardedProtocol.
+func (p *GenProtocol) WakeShard(lo, hi int) { p.shard.wakeRange(lo, hi) }
+
+// CommitRound implements sim.ShardedProtocol.
+func (p *GenProtocol) CommitRound(round int) {
+	p.round = round
+	p.shard.commit()
 }
 
 // Seed places message msg (global index) at node v.
@@ -102,9 +163,29 @@ func (p *GenProtocol) OnWake(v core.NodeID) {
 	p.send(u, v)
 }
 
+// getPacket pops a recycled packet (or allocates the first few). Pooled
+// packets keep their backing arrays — GenNode.EmitInto reslices or grows
+// them per generation — so the steady-state send path allocates nothing,
+// matching the full-span Protocol's pool.
+func (p *GenProtocol) getPacket() *rlnc.GenPacket {
+	if n := len(p.free); n > 0 {
+		pkt := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pkt
+	}
+	return &rlnc.GenPacket{}
+}
+
+// recycle returns a packet (whose contents ReceiveOwned may have
+// clobbered) to the freelist for the next EmitInto.
+func (p *GenProtocol) recycle(pkt *rlnc.GenPacket) {
+	p.free = append(p.free, pkt)
+}
+
 func (p *GenProtocol) send(from, to core.NodeID) {
-	pkt := p.nodes[from].Emit(p.rng)
-	if pkt == nil {
+	pkt := p.getPacket()
+	if !p.nodes[from].EmitInto(p.rng, pkt) {
+		p.recycle(pkt)
 		return
 	}
 	p.traffic.Sent++
@@ -113,10 +194,13 @@ func (p *GenProtocol) send(from, to core.NodeID) {
 		return
 	}
 	p.apply(to, pkt)
+	p.recycle(pkt)
 }
 
 func (p *GenProtocol) apply(to core.NodeID, pkt *rlnc.GenPacket) {
-	if p.nodes[to].Receive(pkt) {
+	// The protocol owns every staged packet, so the reduce can clobber
+	// it in place (helpfulness and randomness identical to Receive).
+	if p.nodes[to].ReceiveOwned(pkt) {
 		p.traffic.Helpful++
 		p.refreshDone(to)
 	} else {
@@ -124,18 +208,13 @@ func (p *GenProtocol) apply(to core.NodeID, pkt *rlnc.GenPacket) {
 	}
 }
 
-// refreshDone counts node v's completion exactly once (CanDecode is
-// monotone, but v is re-checked on every helpful packet).
+// refreshDone records the completion round for node v if it just reached
+// full rank across every generation.
 func (p *GenProtocol) refreshDone(v core.NodeID) {
-	if !p.nodes[v].CanDecode() {
-		return
-	}
-	if p.doneSeen == nil {
-		p.doneSeen = make([]bool, len(p.nodes))
-	}
-	if !p.doneSeen[v] {
-		p.doneSeen[v] = true
+	if p.doneRound[v] < 0 && p.nodes[v].CanDecode() {
+		p.doneRound[v] = p.round
 		p.doneCount++
+		p.obs.NodeDone(v, p.round)
 	}
 }
 
@@ -147,6 +226,7 @@ func (p *GenProtocol) EndRound(round int) {
 	p.round = round
 	for _, d := range p.staged {
 		p.apply(d.to, d.pkt)
+		p.recycle(d.pkt)
 	}
 	p.staged = p.staged[:0]
 }
@@ -162,3 +242,12 @@ func (p *GenProtocol) Node(v core.NodeID) *rlnc.GenNode { return p.nodes[v] }
 
 // Traffic returns the protocol's transmission counters.
 func (p *GenProtocol) Traffic() gossip.Traffic { return p.traffic }
+
+// MessageBits returns the wire size of one generation-coded message.
+func (p *GenProtocol) MessageBits() int { return p.cfg.MessageBits() }
+
+// DoneRounds returns, per node, the round at which it reached full rank
+// (-1 if it has not). The slice is a copy.
+func (p *GenProtocol) DoneRounds() []int {
+	return append([]int(nil), p.doneRound...)
+}

@@ -49,6 +49,18 @@ func (s *Spec) Fingerprint() string {
 	if !s.Dynamics.IsStatic() {
 		fmt.Fprintf(&sb, "|dyn=%s", s.Dynamics.String())
 	}
+	// Same backward-compat idiom for the generation/sharded fields: tags
+	// appear only when the mode is in force, so checkpoints written
+	// before these fields existed still resume. The sharded tag records
+	// only that the sharded trajectory semantics apply — the shard count
+	// itself is a pure execution knob (any positive count replays the
+	// same trajectory), exactly like Runner.Parallel.
+	if s.GenSize > 0 {
+		fmt.Fprintf(&sb, "|gens=%d", s.GenSize)
+	}
+	if s.Shards > 0 {
+		fmt.Fprintf(&sb, "|sharded=1")
+	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }

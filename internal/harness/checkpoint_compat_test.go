@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFingerprintBackwardCompat replicates the pre-generation fingerprint
+// preimage verbatim and pins that a spec with GenSize and Shards unset
+// still hashes to it — the guarantee that every checkpoint written before
+// those fields existed remains resumable. If this test fails, a format
+// change broke old checkpoints.
+func TestFingerprintBackwardCompat(t *testing.T) {
+	s := lineSpec()
+	s.normalize()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d|name=%s|graph=%s|sizes=%v|", checkpointVersion, s.Name, s.Graph, s.Sizes)
+	fmt.Fprintf(&sb, "kmode=%s|ks=%v|proto=%d|model=%d|q=%d|action=%d|sel=%d|single=%t|loss=%g|maxrounds=%d|trials=%d|seed=%d",
+		s.KMode, s.Ks, s.Protocol, s.Model, s.Q, s.Action, s.Selector,
+		s.SingleSource, s.LossRate, s.MaxRounds, s.Trials, s.Seed)
+	sum := sha256.Sum256([]byte(sb.String()))
+	want := hex.EncodeToString(sum[:])
+	if got := s.Fingerprint(); got != want {
+		t.Fatalf("fingerprint of a generations/shards-free spec changed:\n got %s\nwant %s (pre-generation format)", got, want)
+	}
+}
+
+// TestFingerprintGenerationsAndShards: setting GenSize changes the
+// fingerprint (a generation-coded sweep is different work), the sharded
+// tag records only on/off (the count is an execution knob, like
+// Runner.Parallel), and classic serial (Shards=0) hashes differently from
+// sharded (the trajectories differ).
+func TestFingerprintGenerationsAndShards(t *testing.T) {
+	fp := func(mut func(*Spec)) string {
+		s := lineSpec()
+		mut(&s)
+		return s.Fingerprint()
+	}
+	plain := fp(func(*Spec) {})
+	if fp(func(s *Spec) { s.GenSize = 2 }) == plain {
+		t.Error("GenSize did not change the fingerprint")
+	}
+	if fp(func(s *Spec) { s.GenSize = 2 }) == fp(func(s *Spec) { s.GenSize = 4 }) {
+		t.Error("different generation sizes share a fingerprint")
+	}
+	if fp(func(s *Spec) { s.Shards = 1 }) == plain {
+		t.Error("sharded semantics did not change the fingerprint")
+	}
+	if fp(func(s *Spec) { s.Shards = 1 }) != fp(func(s *Spec) { s.Shards = 8 }) {
+		t.Error("shard count leaked into the fingerprint: 1 and 8 shards replay the same trajectory")
+	}
+}
+
+// TestResumeGenerationCheckpoint: a generation-mode sweep checkpoints and
+// resumes like any other, and a checkpoint from a different generation
+// size is foreign (fingerprint mismatch), not silently merged.
+func TestResumeGenerationCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "gen.ckpt")
+	spec := func() Spec {
+		return Spec{
+			Name:  "gen",
+			Graph: "ring", Sizes: []int{16},
+			KMode: "const:8", GenSize: 4, Shards: 2,
+			Trials: 3, Seed: 11,
+		}
+	}
+
+	want := runToCSV(t, Runner{Parallel: 2}, spec())
+	got := runToCSV(t, Runner{Parallel: 2, Checkpoint: ckpt}, spec())
+	if got != want {
+		t.Fatalf("checkpointed generation run differs from plain run")
+	}
+	resumed := runToCSV(t, Runner{Parallel: 2, Checkpoint: ckpt, Resume: true}, spec())
+	if resumed != want {
+		t.Fatalf("resumed generation run differs from plain run")
+	}
+
+	foreign := spec()
+	foreign.GenSize = 8
+	if _, err := (Runner{Checkpoint: ckpt, Resume: true}).Run(&foreign); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("checkpoint from a different generation size accepted: %v", err)
+	}
+}

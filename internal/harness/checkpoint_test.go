@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -109,10 +110,18 @@ func TestResumeMissingCheckpointStartsFresh(t *testing.T) {
 }
 
 // TestCheckpointWithoutResumeRestarts: without -resume an existing file
-// is truncated, not appended to.
+// is truncated, not appended to. Checkpoint lines land in worker-completion
+// order (the file is a crash log, not a report), so the two runs are
+// compared as sorted line sets, not raw bytes — an append would double the
+// set, reordering alone would not change it.
 func TestCheckpointWithoutResumeRestarts(t *testing.T) {
 	dir := t.TempDir()
 	ckpt := filepath.Join(dir, "sweep.ckpt")
+	sortedLines := func(data []byte) string {
+		lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
 	runToCSV(t, Runner{Checkpoint: ckpt}, lineSpec())
 	first, err := os.ReadFile(ckpt)
 	if err != nil {
@@ -123,7 +132,7 @@ func TestCheckpointWithoutResumeRestarts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(first) != string(second) {
+	if sortedLines(first) != sortedLines(second) {
 		t.Fatalf("restarted checkpoint differs (appended?):\n%s\nvs\n%s", first, second)
 	}
 }

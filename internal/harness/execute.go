@@ -109,6 +109,21 @@ type GossipSpec struct {
 	// LossRate drops each transmitted packet with this probability
 	// (failure injection; uniform AG only).
 	LossRate float64
+	// GenSize, when positive, runs uniform AG with generation-based
+	// coding (rlnc.GenConfig): the k messages are split into ⌈k/GenSize⌉
+	// independently coded generations, capping per-packet coefficient
+	// overhead and decode cost at the generation size — the configuration
+	// that scales to n ≥ 10^5. Must not exceed K (typed error
+	// rlnc.GenSizeError otherwise). Uniform AG, static topology, no loss.
+	GenSize int
+	// Shards, when positive, runs the trial through the sharded
+	// round-parallel engine (sim.WithShards): node wakeups fan out over
+	// this many workers inside one round, with per-node RNG streams and
+	// an ordered commit keeping the trajectory byte-identical for every
+	// positive shard count. The sharded trajectory differs from the
+	// classic serial one (Shards == 0) for the same seed. Uniform AG,
+	// synchronous model only.
+	Shards int
 	// Dynamics applies a time-varying topology schedule over Graph
 	// (nil = static). Supported for uniform AG and the uncoded baseline;
 	// tree-based protocols need a static topology.
@@ -212,6 +227,35 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 			return Outcome{}, fmt.Errorf("harness: payload mode unsupported for protocol %v (uniform AG only)", proto)
 		}
 	}
+	if spec.GenSize < 0 {
+		return Outcome{}, fmt.Errorf("harness: %w", &rlnc.GenSizeError{GenSize: spec.GenSize, K: spec.K})
+	}
+	if spec.GenSize > 0 {
+		switch proto {
+		case 0, ProtocolUniformAG:
+		default:
+			return Outcome{}, fmt.Errorf("harness: generation mode unsupported for protocol %v (uniform AG only)", proto)
+		}
+		if spec.GenSize > spec.K {
+			return Outcome{}, fmt.Errorf("harness: %w", &rlnc.GenSizeError{GenSize: spec.GenSize, K: spec.K})
+		}
+		if !spec.Dynamics.IsStatic() {
+			return Outcome{}, fmt.Errorf("harness: generation mode requires a static topology")
+		}
+		if spec.LossRate != 0 {
+			return Outcome{}, fmt.Errorf("harness: generation mode does not support loss injection")
+		}
+	}
+	if spec.Shards > 0 {
+		switch proto {
+		case 0, ProtocolUniformAG:
+		default:
+			return Outcome{}, fmt.Errorf("harness: sharded execution unsupported for protocol %v (uniform AG only)", proto)
+		}
+		if spec.Model == core.Asynchronous {
+			return Outcome{}, fmt.Errorf("harness: sharded execution requires the synchronous model")
+		}
+	}
 	spec = spec.Normalize()
 	g := spec.Graph
 	out := Outcome{
@@ -222,8 +266,42 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 	var proto2 sim.Protocol
 	var engineStream uint64
 	var finish func() // gathers detail after the run
-	switch proto {
-	case 0, ProtocolUniformAG:
+	switch {
+	case (proto == 0 || proto == ProtocolUniformAG) && spec.GenSize > 0:
+		cfg := rlnc.GenConfig{Inner: spec.RLNCConfig(), K: spec.K, GenSize: spec.GenSize}
+		cfg.Inner.K = 0 // derived per generation
+		p, err := algebraic.NewGen(g, spec.Model, spec.Selector.build(g), cfg,
+			core.NewRand(core.SplitSeed(seed, 1)))
+		if err != nil {
+			return out, err
+		}
+		if spec.Observer != nil {
+			p.SetObserver(spec.Observer)
+		}
+		var msgs []rlnc.Message
+		if spec.PayloadLen > 0 {
+			msgs = algebraic.RandomMessages(spec.RLNCConfig(), core.NewRand(core.SplitSeed(seed, 11)))
+		}
+		if err := p.SeedAll(spec.Assign(), msgs); err != nil {
+			return out, err
+		}
+		if spec.Shards > 0 {
+			// Sharded per-node RNG streams derive from stream 12; the
+			// engine stream (2) is still reserved even though the sharded
+			// synchronous loop never draws from it.
+			if err := p.EnableSharded(core.SplitSeed(seed, 12), true); err != nil {
+				return out, err
+			}
+		}
+		out.MessageBits = cfg.MessageBits()
+		proto2, engineStream = p, 2
+		finish = func() {
+			if !spec.Lean {
+				out.NodeDoneRounds = p.DoneRounds()
+			}
+			out.Traffic = p.Traffic()
+		}
+	case proto == 0 || proto == ProtocolUniformAG:
 		p, err := algebraic.New(g, spec.Model, spec.Selector.build(g),
 			algebraic.Config{RLNC: spec.RLNCConfig(), Action: spec.Action, LossRate: spec.LossRate},
 			core.NewRand(core.SplitSeed(seed, 1)))
@@ -242,6 +320,14 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 		if err := p.SeedAll(spec.Assign(), msgs); err != nil {
 			return out, err
 		}
+		if spec.Shards > 0 {
+			// Stream 12 feeds the per-node RNG streams of sharded
+			// execution; retirement stays off on dynamic topologies,
+			// where inertness is not monotone.
+			if err := p.EnableSharded(core.SplitSeed(seed, 12), spec.Dynamics.IsStatic()); err != nil {
+				return out, err
+			}
+		}
 		proto2, engineStream = p, 2
 		finish = func() {
 			if !spec.Lean {
@@ -249,7 +335,7 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 			}
 			out.Traffic = p.Traffic()
 		}
-	case ProtocolTAGRR, ProtocolTAGUniform, ProtocolTAGIS:
+	case proto == ProtocolTAGRR || proto == ProtocolTAGUniform || proto == ProtocolTAGIS:
 		var stp tag.SpanningTree
 		switch proto {
 		case ProtocolTAGRR:
@@ -285,7 +371,7 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 				out.TreeDiameter = tree.Diameter()
 			}
 		}
-	case ProtocolUncoded:
+	case proto == ProtocolUncoded:
 		p := uncoded.New(g, spec.Model, spec.Selector.build(g),
 			uncoded.Config{K: spec.K, Action: spec.Action},
 			core.NewRand(core.SplitSeed(seed, 1)))
@@ -302,17 +388,21 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 		return out, fmt.Errorf("harness: unknown protocol %v", proto)
 	}
 
+	opts := []sim.Option{sim.WithMaxRounds(spec.MaxRounds)}
+	if spec.Shards > 0 {
+		opts = append(opts, sim.WithShards(spec.Shards))
+	}
 	var eng *sim.Engine
 	if spec.Dynamics.IsStatic() {
 		eng = sim.New(g, spec.Model, proto2,
-			core.SplitSeed(seed, engineStream), sim.WithMaxRounds(spec.MaxRounds))
+			core.SplitSeed(seed, engineStream), opts...)
 	} else {
 		dyn, err := spec.Dynamics.Build(g, core.SplitSeed(seed, 10))
 		if err != nil {
 			return out, err
 		}
 		eng = sim.NewDynamic(dyn, spec.Model, proto2,
-			core.SplitSeed(seed, engineStream), sim.WithMaxRounds(spec.MaxRounds))
+			core.SplitSeed(seed, engineStream), opts...)
 	}
 	res, err := eng.Run()
 	out.Result = res

@@ -7,6 +7,7 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/graph"
+	"algossip/internal/rlnc"
 )
 
 // Spec declares a full experiment grid: one protocol over one topology
@@ -51,6 +52,18 @@ type Spec struct {
 	// support dynamic topologies; the schedule randomness derives from
 	// the per-trial seed, so the work-list stays deterministic.
 	Dynamics *Dynamics
+	// GenSize, when positive, runs uniform AG with generation-based
+	// coding: ⌈k/GenSize⌉ independently coded generations per cell. The
+	// size is validated against every cell's k at Expand time (typed
+	// error rlnc.GenSizeError when it exceeds k).
+	GenSize int
+	// Shards, when positive, runs every trial through the sharded
+	// round-parallel engine. Any positive count yields the same
+	// trajectory (the fingerprint records only that sharded semantics
+	// are in force, not the count), so this is an execution knob like
+	// Runner.Parallel — raise it to spend cores inside one large-n trial
+	// instead of across trials.
+	Shards int
 	// MaxRounds caps each simulation (default generous).
 	MaxRounds int
 	// Lean skips the O(n) per-node completion detail in every Outcome —
@@ -172,6 +185,20 @@ func (s *Spec) Expand() ([]Cell, []Trial, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if s.GenSize < 0 {
+		return nil, nil, fmt.Errorf("harness: %w", &rlnc.GenSizeError{GenSize: s.GenSize, K: 0})
+	}
+	if s.GenSize > 0 {
+		// Validate against every cell's k up front: a generation larger
+		// than a cell's message count would otherwise surface only when
+		// that cell's first trial runs, possibly hours into a sweep.
+		for _, c := range cells {
+			if s.GenSize > c.K {
+				return nil, nil, fmt.Errorf("harness: cell n=%d: %w", c.Size,
+					&rlnc.GenSizeError{GenSize: s.GenSize, K: c.K})
+			}
+		}
+	}
 	trials := make([]Trial, 0, len(cells)*s.Trials)
 	for ci, c := range cells {
 		for t := 0; t < s.Trials; t++ {
@@ -191,7 +218,7 @@ func (s *Spec) gossipSpec(t Trial) GossipSpec {
 		Graph: t.Graph, Model: s.Model, K: t.K, Q: s.Q,
 		Action: s.Action, Selector: s.Selector,
 		SingleSource: s.SingleSource, LossRate: s.LossRate,
-		Dynamics:  s.Dynamics,
+		Dynamics: s.Dynamics, GenSize: s.GenSize, Shards: s.Shards,
 		MaxRounds: s.MaxRounds, Lean: s.Lean,
 	}
 }

@@ -24,12 +24,26 @@ type GenConfig struct {
 	GenSize int
 }
 
+// GenSizeError reports a generation size outside the valid range [1, K].
+// It is a typed error so config-parsing layers (harness specs, command
+// flags) can distinguish a bad -generations value from other failures.
+type GenSizeError struct {
+	// GenSize is the rejected generation size.
+	GenSize int
+	// K is the total message count the size was validated against.
+	K int
+}
+
+func (e *GenSizeError) Error() string {
+	return fmt.Sprintf("rlnc: generation size %d outside [1, %d]", e.GenSize, e.K)
+}
+
 func (c GenConfig) validate() error {
 	if c.K <= 0 {
 		return fmt.Errorf("rlnc: k must be positive, got %d", c.K)
 	}
 	if c.GenSize <= 0 || c.GenSize > c.K {
-		return fmt.Errorf("rlnc: generation size %d outside [1, %d]", c.GenSize, c.K)
+		return &GenSizeError{GenSize: c.GenSize, K: c.K}
 	}
 	return nil
 }
@@ -60,6 +74,11 @@ type GenPacket struct {
 type GenNode struct {
 	cfg  GenConfig
 	subs []*Node
+	// rank and nonEmpty cache the sums over sub-decoders: large-n wake
+	// loops query Rank/CanDecode on every contact, and recomputing them
+	// as O(Generations()) sums dominated profiles at n = 10^5.
+	rank     int
+	nonEmpty int
 }
 
 // NewGenNode returns an empty generation-coded node.
@@ -85,16 +104,19 @@ func NewGenNode(cfg GenConfig) (*GenNode, error) {
 func (n *GenNode) Config() GenConfig { return n.cfg }
 
 // Rank returns the total rank across generations.
-func (n *GenNode) Rank() int {
-	total := 0
-	for _, s := range n.subs {
-		total += s.Rank()
-	}
-	return total
-}
+func (n *GenNode) Rank() int { return n.rank }
 
 // CanDecode reports whether every generation is full rank.
-func (n *GenNode) CanDecode() bool { return n.Rank() == n.cfg.K }
+func (n *GenNode) CanDecode() bool { return n.rank == n.cfg.K }
+
+// bumped records a rank change of sub-decoder g in the cached totals.
+func (n *GenNode) bumped(g, before int) {
+	after := n.subs[g].Rank()
+	n.rank += after - before
+	if before == 0 && after > 0 {
+		n.nonEmpty++
+	}
+}
 
 // Seed installs an initial message (global index).
 func (n *GenNode) Seed(msg Message) {
@@ -105,38 +127,104 @@ func (n *GenNode) Seed(msg Message) {
 	lo, _ := n.cfg.genBounds(g)
 	local := msg
 	local.Index = msg.Index - lo
+	before := n.subs[g].Rank()
 	n.subs[g].Seed(local)
+	n.bumped(g, before)
 }
 
 // Emit picks a uniformly random non-empty generation and emits a random
 // combination from it. Returns nil when the node stores nothing.
+// Allocates a fresh packet per call; hot paths use EmitInto with a
+// pooled packet instead.
 func (n *GenNode) Emit(rng *rand.Rand) *GenPacket {
-	nonEmpty := make([]int, 0, len(n.subs))
-	for g, s := range n.subs {
-		if s.Rank() > 0 {
-			nonEmpty = append(nonEmpty, g)
-		}
-	}
-	if len(nonEmpty) == 0 {
+	p := &GenPacket{}
+	if !n.EmitInto(rng, p) {
 		return nil
 	}
-	g := nonEmpty[rng.IntN(len(nonEmpty))]
-	pkt := n.subs[g].Emit(rng)
-	if pkt == nil {
-		return nil
-	}
-	return &GenPacket{Gen: g, Packet: pkt}
+	return p
 }
 
-// Receive ingests a packet, reporting whether it was helpful.
+// EmitInto fills p with a random combination from a uniformly random
+// non-empty generation, reusing p's backing arrays across generations of
+// different sizes (the inner EmitInto reslices or grows them as needed).
+// It reports false — drawing no randomness — when the node stores
+// nothing yet, mirroring Node.EmitInto. The emitted trajectory is
+// identical to Emit's.
+func (n *GenNode) EmitInto(rng *rand.Rand, p *GenPacket) bool {
+	if n.nonEmpty == 0 {
+		return false
+	}
+	pick := rng.IntN(n.nonEmpty)
+	g := 0
+	for i, s := range n.subs {
+		if s.Rank() == 0 {
+			continue
+		}
+		if pick == 0 {
+			g = i
+			break
+		}
+		pick--
+	}
+	p.Gen = g
+	if p.Packet == nil {
+		p.Packet = &Packet{}
+	}
+	return n.subs[g].EmitInto(rng, p.Packet)
+}
+
+// Receive ingests a packet, reporting whether it was helpful. Malformed
+// packets — nil, generation tag outside [0, Generations()), or inner
+// coefficient/payload lengths that do not match the tagged generation —
+// are screened and reported unhelpful, never panicked on: generation
+// tags arrive from the wire, so an out-of-range tag is an input error,
+// not a programmer error.
 func (n *GenNode) Receive(p *GenPacket) bool {
-	if p == nil {
+	if !n.screen(p) {
+		return false
+	}
+	before := n.subs[p.Gen].Rank()
+	helpful := n.subs[p.Gen].Receive(p.Packet)
+	n.bumped(p.Gen, before)
+	return helpful
+}
+
+// ReceiveOwned is Receive for callers that own the packet (pooled hot
+// path): reduction happens directly in the packet's backing arrays,
+// clobbering their contents, but the arrays are never retained. The same
+// malformed-packet screening applies.
+func (n *GenNode) ReceiveOwned(p *GenPacket) bool {
+	if !n.screen(p) {
+		return false
+	}
+	before := n.subs[p.Gen].Rank()
+	helpful := n.subs[p.Gen].ReceiveOwned(p.Packet)
+	n.bumped(p.Gen, before)
+	return helpful
+}
+
+// screen rejects packets whose generation tag or backend shape cannot be
+// delivered to this node's decoders.
+func (n *GenNode) screen(p *GenPacket) bool {
+	if p == nil || p.Packet == nil {
 		return false
 	}
 	if p.Gen < 0 || p.Gen >= len(n.subs) {
-		panic(fmt.Sprintf("rlnc: generation %d out of range", p.Gen))
+		return false
 	}
-	return n.subs[p.Gen].Receive(p.Packet)
+	// The sub-decoders' Receive paths screen lengths, but their
+	// backend-mismatch checks panic (a mismatch is a programmer error on
+	// a single-field link); a wire packet whose arrays belong to a
+	// different backend than the tagged generation is screened here.
+	sub := n.subs[p.Gen]
+	switch {
+	case sub.SlicedMode():
+		return p.Packet.Sliced != nil
+	case sub.BitMode():
+		return p.Packet.Bits != nil
+	default:
+		return p.Packet.Coeffs != nil
+	}
 }
 
 // Decode returns all k messages with global indices. It fails until every

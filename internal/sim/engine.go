@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"algossip/internal/core"
 	"algossip/internal/graph"
@@ -55,6 +56,7 @@ type Engine struct {
 	proto     Protocol
 	rng       *rand.Rand
 	maxRounds int
+	shards    int // 0 = classic per-node wake loop
 }
 
 // Option configures an Engine.
@@ -63,6 +65,16 @@ type Option func(*Engine)
 // WithMaxRounds overrides the round budget.
 func WithMaxRounds(rounds int) Option {
 	return func(e *Engine) { e.maxRounds = rounds }
+}
+
+// WithShards enables sharded round-parallel execution with the given
+// worker count (see ShardedProtocol). The trajectory is identical for
+// every positive shard count — shards=1 runs the same semantics serially
+// — so the count is a pure execution knob, like the harness's -parallel.
+// Requires the synchronous model and a ShardedProtocol. Zero keeps the
+// classic wake loop.
+func WithShards(shards int) Option {
+	return func(e *Engine) { e.shards = shards }
 }
 
 // New returns an Engine for the given graph, time model and protocol.
@@ -126,11 +138,27 @@ func (e *Engine) Run() (Result, error) {
 	}
 	switch e.model {
 	case core.Synchronous:
-		rounds, done := e.runSync()
+		var rounds int
+		var done bool
+		if e.shards > 0 {
+			sp, ok := e.proto.(ShardedProtocol)
+			if !ok {
+				return res, fmt.Errorf("sim: protocol %s does not implement ShardedProtocol", res.Protocol)
+			}
+			if sp.ActiveWords() == nil {
+				return res, fmt.Errorf("sim: protocol %s was not configured for sharded execution", res.Protocol)
+			}
+			rounds, done = e.runShardedSync(sp)
+		} else {
+			rounds, done = e.runSync()
+		}
 		res.Rounds = rounds
 		res.Timeslots = rounds * e.g.N()
 		res.Completed = done
 	case core.Asynchronous:
+		if e.shards > 0 {
+			return res, fmt.Errorf("sim: sharded execution requires the synchronous model")
+		}
 		slots, done := e.runAsync()
 		res.Timeslots = slots
 		res.Rounds = (slots + e.g.N() - 1) / e.g.N()
@@ -159,6 +187,47 @@ func (e *Engine) runSync() (rounds int, done bool) {
 			e.proto.OnWake(core.NodeID(v))
 		}
 		e.proto.EndRound(round)
+	}
+	return e.maxRounds, e.proto.Done()
+}
+
+// runShardedSync executes synchronous rounds through the sharded
+// protocol surface: the active-node bitmap is split into contiguous word
+// ranges, one per shard, whose wakeups run concurrently; the protocol
+// then commits every staged send in ascending node order on this
+// goroutine. The per-round structure (Done poll, topology step,
+// BeginRound) matches runSync; EndRound is replaced by CommitRound.
+func (e *Engine) runShardedSync(sp ShardedProtocol) (rounds int, done bool) {
+	for round := 0; round < e.maxRounds; round++ {
+		if e.proto.Done() {
+			return round, true
+		}
+		e.stepTopology(round)
+		e.proto.BeginRound(round)
+		words := sp.ActiveWords()
+		if e.shards == 1 || len(words) == 1 {
+			sp.WakeShard(0, len(words))
+		} else {
+			shards := e.shards
+			if shards > len(words) {
+				shards = len(words)
+			}
+			per := (len(words) + shards - 1) / shards
+			var wg sync.WaitGroup
+			for lo := 0; lo < len(words); lo += per {
+				hi := lo + per
+				if hi > len(words) {
+					hi = len(words)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					sp.WakeShard(lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		sp.CommitRound(round)
 	}
 	return e.maxRounds, e.proto.Done()
 }

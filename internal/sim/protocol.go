@@ -46,6 +46,42 @@ type Protocol interface {
 	Done() bool
 }
 
+// ShardedProtocol is an optional Protocol extension for sharded
+// round-parallel execution (Engine WithShards): the engine partitions the
+// node set into contiguous 64-node bitmap-word ranges and drives each
+// range's wakeups on its own worker, then commits every staged send in a
+// single deterministic pass.
+//
+// The determinism contract mirrors the harness's byte-identity guarantee
+// across -parallel values, pushed down into the engine: a protocol's
+// sharded trajectory must be identical for every shard count. The
+// protocol owns what makes that possible — per-node RNG streams (the
+// finest-grained "per-shard" derivation, so the word partition cannot
+// influence any draw), fixed per-node staging slots, and a commit that
+// walks nodes in ascending ID order regardless of which worker staged
+// what.
+type ShardedProtocol interface {
+	Protocol
+	// ActiveWords returns the bitmap (bit v of word v/64 = node v wakes
+	// this round) the engine partitions across workers. Protocols may
+	// retire provably inert nodes by clearing bits, as long as the
+	// decision is a deterministic function of round-start state. A nil
+	// return means the protocol was not configured for sharded
+	// execution, and Run fails.
+	ActiveWords() []uint64
+	// WakeShard performs the wakeups of every set bit in the word range
+	// [lo, hi), staging all sends. Calls for disjoint ranges run
+	// concurrently; implementations must confine mutation to
+	// node-owned state (per-node RNGs, per-node slots) or guard shared
+	// scratch with per-node locks that cannot affect drawn values.
+	WakeShard(lo, hi int)
+	// CommitRound applies every staged send in ascending node order and
+	// clears the stage. It runs on the engine's goroutine, after all
+	// WakeShard calls of the round returned. It replaces EndRound, which
+	// is never invoked in sharded execution.
+	CommitRound(round int)
+}
+
 // TopologyEvent describes one topology transition of a dynamic run. The
 // engine delivers it at a round boundary (before BeginRound in the
 // synchronous model; at a slot that starts a round in the asynchronous
