@@ -35,10 +35,17 @@ type (
 	Result = sim.Result
 	// Cluster is a concurrent (goroutine-per-node) deployment.
 	Cluster = runtime.Cluster
-	// ClusterConfig configures a Cluster.
-	ClusterConfig = runtime.ClusterConfig
+	// ClusterConfig is the unified, validated runtime configuration
+	// (construct it through NewCluster's functional options).
+	ClusterConfig = runtime.Config
+	// ClusterOption customizes a cluster under construction.
+	ClusterOption = runtime.Option
 	// Transport moves packets between concurrent nodes.
 	Transport = runtime.Transport
+	// TransportStats snapshots a transport's send/drop/redial counters.
+	TransportStats = runtime.TransportStats
+	// Envelope is the wire message moved by Transports.
+	Envelope = runtime.Envelope
 )
 
 // Re-exported constants.
@@ -97,14 +104,47 @@ var (
 	JoinBytes = rlnc.JoinBytes
 )
 
-// Concurrent-runtime constructors.
+// Concurrent-runtime constructors and options. NewCluster takes the
+// transport, the topology, and k, plus functional options:
+//
+//	c, err := algossip.NewCluster(tr, g, k,
+//	    algossip.WithPayload(64), algossip.WithSeed(7))
 var (
 	// NewChanTransport returns the in-process transport.
 	NewChanTransport = runtime.NewChanTransport
-	// NewTCPTransport returns the gob-over-TCP transport.
+	// NewTCPTransport returns the wire-framed TCP transport.
 	NewTCPTransport = runtime.NewTCPTransport
+	// NewUDPTransport returns the one-frame-per-datagram UDP transport.
+	NewUDPTransport = runtime.NewUDPTransport
+	// NewLossyTransport wraps a transport with i.i.d. loss injection.
+	NewLossyTransport = runtime.NewLossyTransport
 	// NewCluster builds a concurrent gossip deployment.
 	NewCluster = runtime.NewCluster
+	// NewTAGCluster builds a concurrent TAG deployment.
+	NewTAGCluster = runtime.NewTAGCluster
+
+	// WithPayload enables payload mode with r symbols per message.
+	WithPayload = runtime.WithPayload
+	// WithGenerations codes the k messages in generations of this size.
+	WithGenerations = runtime.WithGenerations
+	// WithObserver registers a completion observer.
+	WithObserver = runtime.WithObserver
+	// WithField selects the coefficient field (default GF(256)).
+	WithField = runtime.WithField
+	// WithInterval sets the per-node gossip period.
+	WithInterval = runtime.WithInterval
+	// WithSeed roots the deployment's randomness.
+	WithSeed = runtime.WithSeed
+)
+
+// Typed transport errors, for errors.Is.
+var (
+	// ErrTransportClosed reports an operation on a closed transport.
+	ErrTransportClosed = runtime.ErrTransportClosed
+	// ErrUnknownNode reports a Send to an unroutable node.
+	ErrUnknownNode = runtime.ErrUnknownNode
+	// ErrBackpressure reports an envelope dropped on a full queue.
+	ErrBackpressure = runtime.ErrBackpressure
 )
 
 // Protocol selects a k-dissemination protocol for Run. It lives in
@@ -213,10 +253,4 @@ func NewRand(seed uint64) *rand.Rand { return core.NewRand(seed) }
 func RandomMessages(k, r int, seed uint64) []Message {
 	cfg := rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
 	return algebraic.RandomMessages(cfg, core.NewRand(seed))
-}
-
-// RLNCConfig returns the codec configuration for a payload-mode GF(256)
-// deployment with k messages of r symbols — what NewCluster expects.
-func RLNCConfig(k, r int) rlnc.Config {
-	return rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
 }

@@ -1,0 +1,207 @@
+// Gossipctl drives gossipd deployments over their HTTP control planes.
+//
+// Subcommands against a single daemon (-ctl host:port):
+//
+//	gossipctl status   -ctl 127.0.0.1:8080
+//	gossipctl metrics  -ctl 127.0.0.1:8080
+//	gossipctl seed     -ctl 127.0.0.1:8080 -node 0 -index 2 [-payload hex]
+//	gossipctl start    -ctl 127.0.0.1:8080
+//	gossipctl topology -ctl 127.0.0.1:8080 -graph ring -n 48 -graph-seed 1
+//	gossipctl kill     -ctl 127.0.0.1:8080 -node 3
+//	gossipctl drain    -ctl 127.0.0.1:8080
+//
+// And the one-shot orchestrator (the CI smoke job):
+//
+//	gossipctl run -procs 48 -graph ring -n 48 -k 8 -loss 0.1 -timeout 120s
+//
+// which builds gossipd, spawns the processes, seeds round-robin, starts,
+// waits for convergence, drains, and reports the stopping tick.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"algossip/internal/core"
+	"algossip/internal/livectl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "gossipctl: usage: gossipctl {run|status|metrics|seed|start|topology|kill|drain} [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runDeployment(os.Args[2:])
+	case "status", "metrics", "seed", "start", "topology", "kill", "drain":
+		err = runSingle(os.Args[1], os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gossipctl:", err)
+		os.Exit(1)
+	}
+}
+
+// runDeployment is the one-shot orchestrator: spawn, seed, start, wait,
+// drain — exit 0 only if every process converged and drained cleanly.
+func runDeployment(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		procs     = fs.Int("procs", 2, "daemon process count")
+		transport = fs.String("transport", "tcp", "gossip transport: tcp or udp")
+		graphName = fs.String("graph", "ring", "topology family")
+		graphN    = fs.Int("n", 8, "topology node count")
+		graphSeed = fs.Uint64("graph-seed", 1, "topology rng seed")
+		k         = fs.Int("k", 4, "number of initial messages")
+		q         = fs.Int("q", 256, "field order")
+		payload   = fs.Int("payload", 0, "payload symbols per message (0 = rank-only)")
+		gen       = fs.Int("gen", 0, "generation size")
+		interval  = fs.Duration("interval", time.Millisecond, "per-node gossip period")
+		seed      = fs.Uint64("seed", 1, "protocol randomness seed")
+		loss      = fs.Float64("loss", 0, "injected packet-loss probability")
+		timeout   = fs.Duration("timeout", 120*time.Second, "overall deadline")
+		bin       = fs.String("bin", "", "pre-built gossipd binary (default: go build)")
+	)
+	_ = fs.Parse(args)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	c, err := livectl.Launch(ctx, livectl.Options{
+		Bin: *bin, Procs: *procs, Transport: *transport,
+		GraphName: *graphName, GraphN: *graphN, GraphSeed: *graphSeed,
+		K: *k, Q: *q, PayloadLen: *payload, GenSize: *gen,
+		Interval: *interval, Seed: *seed, LossRate: *loss,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+	if err := c.WaitHealthy(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("gossipctl: %d processes hosting %d nodes healthy in %v\n",
+		c.Procs(), c.N(), time.Since(start).Round(time.Millisecond))
+
+	var payloads [][]byte
+	if *payload > 0 {
+		rng := core.NewRand(core.SplitSeed(*seed, 50))
+		payloads = make([][]byte, *k)
+		for i := range payloads {
+			payloads[i] = make([]byte, *payload)
+			for j := range payloads[i] {
+				payloads[i][j] = byte(rng.Uint64())
+			}
+		}
+	}
+	if err := c.SeedRoundRobin(ctx, payloads); err != nil {
+		return err
+	}
+	if err := c.Start(ctx); err != nil {
+		return err
+	}
+	tick, err := c.WaitConverged(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gossipctl: converged at tick %d (%v wall)\n", tick, time.Since(start).Round(time.Millisecond))
+	if err := c.Drain(ctx); err != nil {
+		return err
+	}
+	fmt.Println("gossipctl: all processes drained cleanly")
+	return nil
+}
+
+// runSingle sends one control-plane request to one daemon.
+func runSingle(sub string, args []string) error {
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	var (
+		ctl       = fs.String("ctl", "", "daemon control address host:port (required)")
+		node      = fs.Int("node", 0, "node id (seed, kill)")
+		index     = fs.Int("index", 0, "message index (seed)")
+		payload   = fs.String("payload", "", "hex payload symbols (seed)")
+		graphName = fs.String("graph", "ring", "topology family (topology)")
+		graphN    = fs.Int("n", 0, "topology node count (topology)")
+		graphSeed = fs.Uint64("graph-seed", 1, "topology rng seed (topology)")
+	)
+	_ = fs.Parse(args)
+	if *ctl == "" {
+		return fmt.Errorf("%s: -ctl is required", sub)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	base := "http://" + *ctl
+
+	do := func(method, path string, body any) (string, error) {
+		var rd io.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				return "", err
+			}
+			rd = strings.NewReader(string(b))
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			return "", err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(out)))
+		}
+		return string(out), nil
+	}
+
+	var out string
+	var err error
+	switch sub {
+	case "status":
+		out, err = do(http.MethodGet, "/status", nil)
+	case "metrics":
+		out, err = do(http.MethodGet, "/metrics", nil)
+	case "start":
+		out, err = do(http.MethodPost, "/start", nil)
+	case "drain":
+		out, err = do(http.MethodPost, "/drain", nil)
+	case "kill":
+		out, err = do(http.MethodPost, "/kill", map[string]any{"node": *node})
+	case "topology":
+		out, err = do(http.MethodPost, "/topology",
+			map[string]any{"family": *graphName, "n": *graphN, "seed": *graphSeed})
+	case "seed":
+		body := map[string]any{"node": *node, "index": *index}
+		if *payload != "" {
+			raw, derr := hex.DecodeString(*payload)
+			if derr != nil {
+				return fmt.Errorf("seed: bad -payload hex: %w", derr)
+			}
+			body["payload"] = raw
+		}
+		out, err = do(http.MethodPost, "/seed", body)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

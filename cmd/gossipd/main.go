@@ -1,0 +1,92 @@
+// Gossipd is the network-runtime daemon: it hosts one or more nodes of an
+// algebraic-gossip cluster over real TCP or UDP sockets and exposes an
+// HTTP control plane (health, Prometheus metrics, seed/start/topology/
+// kill/drain). A multi-process deployment runs N gossipd processes with
+// disjoint -nodes sets and a shared -peers map; drive them with
+// cmd/gossipctl. SIGTERM (or SIGINT, or POST /drain) drains gracefully:
+// node goroutines stop, sockets close, exit status 0.
+//
+// Example — a two-process 4-node ring under 10% loss:
+//
+//	gossipd -nodes 0,1 -peers 0=127.0.0.1:9000,1=127.0.0.1:9001,2=127.0.0.1:9002,3=127.0.0.1:9003 \
+//	        -graph ring -n 4 -k 2 -loss 0.1 -http 127.0.0.1:8080 &
+//	gossipd -nodes 2,3 -peers 0=127.0.0.1:9000,1=127.0.0.1:9001,2=127.0.0.1:9002,3=127.0.0.1:9003 \
+//	        -graph ring -n 4 -k 2 -loss 0.1 -http 127.0.0.1:8081 &
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"algossip/internal/daemon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		httpAddr  = flag.String("http", "127.0.0.1:0", "control/metrics listen address")
+		transport = flag.String("transport", "tcp", "gossip transport: tcp or udp")
+		nodes     = flag.String("nodes", "", "comma-separated local node ids (required)")
+		peers     = flag.String("peers", "", "node address map: id=host:port,... (all nodes of the deployment)")
+		graphName = flag.String("graph", "ring", "topology family (see graph.FromName)")
+		graphN    = flag.Int("n", 0, "topology node count (required)")
+		graphSeed = flag.Uint64("graph-seed", 1, "rng seed for random topology families")
+		k         = flag.Int("k", 0, "number of initial messages (required)")
+		q         = flag.Int("q", 256, "field order")
+		payload   = flag.Int("payload", 0, "payload symbols per message (0 = rank-only)")
+		gen       = flag.Int("gen", 0, "generation size (0 = classic whole-k coding)")
+		interval  = flag.Duration("interval", time.Millisecond, "per-node gossip period")
+		seed      = flag.Uint64("seed", 1, "protocol randomness seed (shared across processes)")
+		loss      = flag.Float64("loss", 0, "injected i.i.d. packet-loss probability")
+		lossSeed  = flag.Uint64("loss-seed", 7, "loss injection seed")
+	)
+	flag.Parse()
+
+	local, err := daemon.ParseNodeList(*nodes)
+	if err != nil {
+		return err
+	}
+	peerMap, err := daemon.ParsePeerMap(*peers)
+	if err != nil {
+		return err
+	}
+
+	d, err := daemon.New(daemon.Options{
+		HTTPAddr:   *httpAddr,
+		Transport:  *transport,
+		Local:      local,
+		Peers:      peerMap,
+		GraphName:  *graphName,
+		GraphN:     *graphN,
+		GraphSeed:  *graphSeed,
+		K:          *k,
+		Q:          *q,
+		PayloadLen: *payload,
+		GenSize:    *gen,
+		Interval:   *interval,
+		Seed:       *seed,
+		LossRate:   *loss,
+		LossSeed:   *lossSeed,
+	})
+	if err != nil {
+		return err
+	}
+	// The control address line is the process's handshake with its
+	// controller (livectl scrapes it when -http was :0).
+	fmt.Printf("gossipd: control http://%s nodes %s\n", d.ControlAddr(), *nodes)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	return d.Run(ctx)
+}

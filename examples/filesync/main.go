@@ -45,18 +45,18 @@ func run() error {
 	tr := algossip.NewTCPTransport()
 	defer func() { _ = tr.Close() }()
 
-	cluster, err := algossip.NewCluster(algossip.ClusterConfig{
-		Graph:    g,
-		RLNC:     algossip.RLNCConfig(k, payloadLen),
-		Interval: 300 * time.Microsecond,
-		Seed:     77,
-	}, tr)
+	cluster, err := algossip.NewCluster(tr, g, k,
+		algossip.WithPayload(payloadLen),
+		algossip.WithInterval(300*time.Microsecond),
+		algossip.WithSeed(77))
 	if err != nil {
 		return err
 	}
 	// Chunk i starts at node i — no node has the whole file.
 	for i, m := range msgs {
-		cluster.Seed(algossip.NodeID(i), m)
+		if err := cluster.Seed(algossip.NodeID(i), m); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("replicating %d bytes as k=%d coded chunks over %s via TCP...\n",

@@ -30,18 +30,18 @@ const (
 
 func buildCluster(tr algossip.Transport, seed uint64) (*algossip.Cluster, []algossip.Message, error) {
 	g := algossip.Grid(3, 3)
-	c, err := algossip.NewCluster(algossip.ClusterConfig{
-		Graph:    g,
-		RLNC:     algossip.RLNCConfig(k, payloadLen),
-		Interval: 200 * time.Microsecond,
-		Seed:     seed,
-	}, tr)
+	c, err := algossip.NewCluster(tr, g, k,
+		algossip.WithPayload(payloadLen),
+		algossip.WithInterval(200*time.Microsecond),
+		algossip.WithSeed(seed))
 	if err != nil {
 		return nil, nil, err
 	}
 	msgs := algossip.RandomMessages(k, payloadLen, seed)
 	for i, m := range msgs {
-		c.Seed(algossip.NodeID(i), m)
+		if err := c.Seed(algossip.NodeID(i), m); err != nil {
+			return nil, nil, err
+		}
 	}
 	return c, msgs, nil
 }
@@ -102,9 +102,9 @@ func run() error {
 	if err := verify(c2, msgs2, 9); err != nil {
 		return err
 	}
-	delivered, dropped := lossy.Stats()
+	stats := lossy.Stats()
 	fmt.Printf("30%% packet loss:  9/9 nodes decoded in %v (%d delivered, %d dropped — no retransmissions)\n",
-		lossTime.Round(time.Millisecond), delivered, dropped)
+		lossTime.Round(time.Millisecond), stats.Total.Sent, stats.Total.Dropped)
 
 	// Scenario 3: crash a corner node mid-run.
 	churn := algossip.NewChanTransport()

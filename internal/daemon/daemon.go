@@ -1,0 +1,449 @@
+// Package daemon is the long-running network-runtime process behind
+// cmd/gossipd: it hosts a subset of a gossip cluster's nodes over a real
+// (TCP or UDP) transport and exposes an HTTP control plane — health,
+// Prometheus-text metrics, seeding, start gating, topology swaps, kill
+// injection, and graceful drain. A multi-process deployment is N daemons
+// with disjoint Local sets and a shared peer address map; a controller
+// (internal/livectl, cmd/gossipctl) drives them over HTTP.
+package daemon
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/runtime"
+)
+
+// Options configures one daemon process. The graph-shaped fields must be
+// identical across every process of a deployment (each process rebuilds
+// the same topology from the same family, size and seed).
+type Options struct {
+	// HTTPAddr is the control/metrics listen address ("127.0.0.1:0" picks
+	// an ephemeral port; read it back from Daemon.ControlAddr).
+	HTTPAddr string
+	// Transport picks the wire transport: "tcp" (default) or "udp".
+	Transport string
+	// Local are the graph nodes hosted by this process.
+	Local []core.NodeID
+	// Peers maps every node of the deployment (local and remote) to its
+	// gossip listen address.
+	Peers map[core.NodeID]string
+	// GraphName, GraphN and GraphSeed rebuild the shared topology via
+	// graph.FromName (GraphSeed feeds the rng of random families).
+	GraphName string
+	GraphN    int
+	GraphSeed uint64
+	// K is the number of initial messages; Q the field order (default 256).
+	K int
+	Q int
+	// PayloadLen is symbols per message (0 = rank-only).
+	PayloadLen int
+	// GenSize, when positive, enables generation coding.
+	GenSize int
+	// Interval is the per-node gossip period (default 1ms).
+	Interval time.Duration
+	// Seed roots the deployment's protocol randomness (shared by all
+	// processes; per-node streams are split from it).
+	Seed uint64
+	// LossRate, when positive, wraps the transport with i.i.d. drop
+	// injection seeded by LossSeed.
+	LossRate float64
+	LossSeed uint64
+}
+
+// Daemon hosts a cluster slice plus its HTTP control plane.
+type Daemon struct {
+	opts      Options
+	graph     *graph.Graph
+	transport runtime.Transport
+	cluster   *runtime.Cluster
+	httpLn    net.Listener
+	server    *http.Server
+
+	drainOnce sync.Once
+	drainCh   chan struct{}
+}
+
+// New validates the options and builds the transport, cluster and control
+// mux. The gossip and HTTP listeners are bound here, so peers can connect
+// as soon as New returns; gossiping starts when Run (and then Start, or
+// POST /start) is called.
+func New(opts Options) (*Daemon, error) {
+	if opts.Q == 0 {
+		opts.Q = 256
+	}
+	field, err := gf.New(opts.Q)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: field: %w", err)
+	}
+	if opts.HTTPAddr == "" {
+		opts.HTTPAddr = "127.0.0.1:0"
+	}
+	g, err := graph.FromName(opts.GraphName, opts.GraphN, core.NewRand(opts.GraphSeed))
+	if err != nil {
+		return nil, fmt.Errorf("daemon: graph: %w", err)
+	}
+
+	var transport runtime.Transport
+	switch opts.Transport {
+	case "", "tcp":
+		t := runtime.NewTCPTransport()
+		t.SetPeers(opts.Peers)
+		transport = t
+	case "udp":
+		t, err := runtime.NewUDPTransport()
+		if err != nil {
+			return nil, fmt.Errorf("daemon: %w", err)
+		}
+		t.SetPeers(opts.Peers)
+		transport = t
+	default:
+		return nil, fmt.Errorf("daemon: unknown transport %q (tcp or udp)", opts.Transport)
+	}
+	if opts.LossRate > 0 {
+		transport, err = runtime.NewLossyTransport(transport, opts.LossRate, opts.LossSeed)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: %w", err)
+		}
+	}
+
+	clusterOpts := []runtime.Option{
+		runtime.WithField(field),
+		runtime.WithSeed(opts.Seed),
+		runtime.WithLocalNodes(opts.Local...),
+		runtime.WithStartGate(),
+		runtime.WithServeAfterDone(),
+	}
+	if opts.PayloadLen > 0 {
+		clusterOpts = append(clusterOpts, runtime.WithPayload(opts.PayloadLen))
+	}
+	if opts.GenSize > 0 {
+		clusterOpts = append(clusterOpts, runtime.WithGenerations(opts.GenSize))
+	}
+	if opts.Interval > 0 {
+		clusterOpts = append(clusterOpts, runtime.WithInterval(opts.Interval))
+	}
+	cluster, err := runtime.NewCluster(transport, g, opts.K, clusterOpts...)
+	if err != nil {
+		_ = transport.Close()
+		return nil, fmt.Errorf("daemon: cluster: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", opts.HTTPAddr)
+	if err != nil {
+		_ = transport.Close()
+		return nil, fmt.Errorf("daemon: control listen: %w", err)
+	}
+
+	d := &Daemon{
+		opts:      opts,
+		graph:     g,
+		transport: transport,
+		cluster:   cluster,
+		httpLn:    ln,
+		drainCh:   make(chan struct{}),
+	}
+	d.server = &http.Server{Handler: d.mux(), ReadHeaderTimeout: 5 * time.Second}
+	return d, nil
+}
+
+// ControlAddr is the bound HTTP control address.
+func (d *Daemon) ControlAddr() string { return d.httpLn.Addr().String() }
+
+// GossipAddr returns the bound gossip address of a local node.
+func (d *Daemon) GossipAddr(id core.NodeID) (string, bool) {
+	switch t := d.transport.(type) {
+	case *runtime.TCPTransport:
+		return t.Addr(id)
+	case *runtime.UDPTransport:
+		return t.Addr(id)
+	}
+	return "", false
+}
+
+// Run serves gossip and the control plane until ctx is cancelled or a
+// drain is requested, then shuts both down. Interruption by ctx or drain
+// is the intended shutdown path and returns nil — convergence state at
+// that moment is observable via Status, not the error.
+func (d *Daemon) Run(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- d.server.Serve(d.httpLn) }()
+
+	clusterErr := make(chan error, 1)
+	go func() {
+		_, err := d.cluster.Run(runCtx)
+		clusterErr <- err
+	}()
+
+	var err error
+	select {
+	case <-ctx.Done():
+	case <-d.drainCh:
+	case err = <-clusterErr:
+		clusterErr = nil
+	case err = <-httpErr:
+		httpErr = nil
+		if err != nil {
+			err = fmt.Errorf("daemon: control plane: %w", err)
+		}
+	}
+
+	// Drain: stop the node goroutines, then the control plane, then the
+	// sockets. A post-cancel "cluster interrupted" is the normal drain
+	// path, not a failure.
+	cancel()
+	if clusterErr != nil {
+		<-clusterErr
+	}
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = d.server.Shutdown(shutdownCtx)
+	stop()
+	if httpErr != nil {
+		<-httpErr // http.ErrServerClosed after Shutdown
+	}
+	if cerr := d.transport.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("daemon: transport close: %w", cerr)
+	}
+	return err
+}
+
+// drain requests shutdown (idempotent).
+func (d *Daemon) drain() { d.drainOnce.Do(func() { close(d.drainCh) }) }
+
+// nodeStatusJSON is the wire form of runtime.NodeStatus.
+type nodeStatusJSON struct {
+	ID       int  `json:"id"`
+	Rank     int  `json:"rank"`
+	K        int  `json:"k"`
+	Done     bool `json:"done"`
+	DoneTick int  `json:"doneTick"`
+	Ticks    int  `json:"ticks"`
+}
+
+// statusJSON is the GET /status response.
+type statusJSON struct {
+	Nodes []nodeStatusJSON `json:"nodes"`
+	Done  bool             `json:"done"`
+}
+
+func (d *Daemon) statusSnapshot() statusJSON {
+	st := d.cluster.Status()
+	out := statusJSON{Nodes: make([]nodeStatusJSON, 0, len(st)), Done: true}
+	for _, s := range st {
+		out.Nodes = append(out.Nodes, nodeStatusJSON{
+			ID: int(s.ID), Rank: s.Rank, K: s.K,
+			Done: s.Done, DoneTick: s.DoneTick, Ticks: s.Ticks,
+		})
+		if !s.Done {
+			out.Done = false
+		}
+	}
+	return out
+}
+
+// seedRequest is the POST /seed body. Payload is base64-encoded symbols
+// (empty in rank-only mode).
+type seedRequest struct {
+	Node    int    `json:"node"`
+	Index   int    `json:"index"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// topologyRequest is the POST /topology body; the new graph must have the
+// same node count and be built identically by every process.
+type topologyRequest struct {
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	Seed   uint64 `json:"seed"`
+}
+
+// killRequest is the POST /kill body.
+type killRequest struct {
+	Node int `json:"node"`
+}
+
+func (d *Daemon) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		d.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.statusSnapshot())
+	})
+	mux.HandleFunc("POST /seed", func(w http.ResponseWriter, r *http.Request) {
+		var req seedRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var payload []byte
+		if req.Payload != "" {
+			var err error
+			payload, err = base64.StdEncoding.DecodeString(req.Payload)
+			if err != nil {
+				http.Error(w, "payload: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if req.Index < 0 || req.Index >= d.opts.K {
+			http.Error(w, fmt.Sprintf("index %d outside [0,%d)", req.Index, d.opts.K), http.StatusBadRequest)
+			return
+		}
+		err := d.cluster.Seed(core.NodeID(req.Node), rlnc.Message{Index: req.Index, Payload: payload})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, "seeded")
+	})
+	mux.HandleFunc("POST /start", func(w http.ResponseWriter, r *http.Request) {
+		d.cluster.Start()
+		fmt.Fprintln(w, "started")
+	})
+	mux.HandleFunc("POST /topology", func(w http.ResponseWriter, r *http.Request) {
+		var req topologyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		g, err := graph.FromName(req.Family, req.N, core.NewRand(req.Seed))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := d.cluster.ApplyTopology(g); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, "applied")
+	})
+	mux.HandleFunc("POST /kill", func(w http.ResponseWriter, r *http.Request) {
+		var req killRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		d.cluster.Kill(core.NodeID(req.Node))
+		fmt.Fprintln(w, "killed")
+	})
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "draining")
+		d.drain()
+	})
+	return mux
+}
+
+// writeMetrics renders the Prometheus text exposition: transport counters
+// (sends, drops, redials — totals and per destination) and per-node
+// protocol progress (rank, done, ticks ≈ rounds).
+func (d *Daemon) writeMetrics(w http.ResponseWriter) {
+	s := d.transport.Stats()
+	fmt.Fprintln(w, "# HELP algossip_sends_total Envelopes handed to the medium.")
+	fmt.Fprintln(w, "# TYPE algossip_sends_total counter")
+	fmt.Fprintf(w, "algossip_sends_total %d\n", s.Total.Sent)
+	fmt.Fprintln(w, "# HELP algossip_drops_total Envelopes dropped (backpressure, loss, dead peers).")
+	fmt.Fprintln(w, "# TYPE algossip_drops_total counter")
+	fmt.Fprintf(w, "algossip_drops_total %d\n", s.Total.Dropped)
+	fmt.Fprintln(w, "# HELP algossip_redials_total Connection re-establishment attempts.")
+	fmt.Fprintln(w, "# TYPE algossip_redials_total counter")
+	fmt.Fprintf(w, "algossip_redials_total %d\n", s.Total.Redials)
+
+	ids := make([]core.NodeID, 0, len(s.PerNode))
+	for id := range s.PerNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Fprintln(w, "# HELP algossip_peer_sends_total Envelopes sent toward one destination.")
+	fmt.Fprintln(w, "# TYPE algossip_peer_sends_total counter")
+	for _, id := range ids {
+		fmt.Fprintf(w, "algossip_peer_sends_total{peer=%q} %d\n", fmt.Sprint(id), s.PerNode[id].Sent)
+	}
+	fmt.Fprintln(w, "# HELP algossip_peer_drops_total Envelopes dropped toward one destination.")
+	fmt.Fprintln(w, "# TYPE algossip_peer_drops_total counter")
+	for _, id := range ids {
+		fmt.Fprintf(w, "algossip_peer_drops_total{peer=%q} %d\n", fmt.Sprint(id), s.PerNode[id].Dropped)
+	}
+	fmt.Fprintln(w, "# HELP algossip_peer_redials_total Redials toward one destination.")
+	fmt.Fprintln(w, "# TYPE algossip_peer_redials_total counter")
+	for _, id := range ids {
+		fmt.Fprintf(w, "algossip_peer_redials_total{peer=%q} %d\n", fmt.Sprint(id), s.PerNode[id].Redials)
+	}
+
+	st := d.cluster.Status()
+	fmt.Fprintln(w, "# HELP algossip_node_rank Current decoder rank of a local node.")
+	fmt.Fprintln(w, "# TYPE algossip_node_rank gauge")
+	for _, n := range st {
+		fmt.Fprintf(w, "algossip_node_rank{node=%q} %d\n", fmt.Sprint(n.ID), n.Rank)
+	}
+	fmt.Fprintln(w, "# HELP algossip_node_done Whether a local node reached full rank.")
+	fmt.Fprintln(w, "# TYPE algossip_node_done gauge")
+	for _, n := range st {
+		done := 0
+		if n.Done {
+			done = 1
+		}
+		fmt.Fprintf(w, "algossip_node_done{node=%q} %d\n", fmt.Sprint(n.ID), done)
+	}
+	fmt.Fprintln(w, "# HELP algossip_node_rounds Gossip ticks elapsed at a local node (one tick approximates one synchronous round).")
+	fmt.Fprintln(w, "# TYPE algossip_node_rounds counter")
+	for _, n := range st {
+		fmt.Fprintf(w, "algossip_node_rounds{node=%q} %d\n", fmt.Sprint(n.ID), n.Ticks)
+	}
+}
+
+// ParseNodeList parses "0,3,17" into node ids.
+func ParseNodeList(s string) ([]core.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("daemon: empty node list")
+	}
+	var out []core.NodeID
+	for _, part := range strings.Split(s, ",") {
+		var id int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &id); err != nil || id < 0 {
+			return nil, fmt.Errorf("daemon: bad node id %q", part)
+		}
+		out = append(out, core.NodeID(id))
+	}
+	return out, nil
+}
+
+// ParsePeerMap parses "0=127.0.0.1:9000,1=127.0.0.1:9001" into the peer
+// address map.
+func ParsePeerMap(s string) (map[core.NodeID]string, error) {
+	out := make(map[core.NodeID]string)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("daemon: bad peer entry %q (want id=addr)", part)
+		}
+		var v int
+		if _, err := fmt.Sscanf(id, "%d", &v); err != nil || v < 0 {
+			return nil, fmt.Errorf("daemon: bad peer id %q", id)
+		}
+		out[core.NodeID(v)] = addr
+	}
+	return out, nil
+}

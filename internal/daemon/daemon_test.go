@@ -1,0 +1,225 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"algossip/internal/core"
+)
+
+// reserveAddrs grabs n loopback addresses, holding the listeners open
+// until all are assigned.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+func post(t *testing.T, ctl, path string, body any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post("http://"+ctl+path, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: %s: %s", path, resp.Status, msg.String())
+	}
+}
+
+func getJSON(t *testing.T, ctl, path string, out any) {
+	t.Helper()
+	resp, err := http.Get("http://" + ctl + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+}
+
+// TestDaemonConvergeAndDrain runs a two-daemon six-node deployment fully
+// in-process (so -race sees every goroutine), drives it over the HTTP
+// control plane, and checks that cancellation drains cleanly with no
+// leaked goroutines — the in-process twin of gossipd's SIGTERM path.
+func TestDaemonConvergeAndDrain(t *testing.T) {
+	const n, k = 6, 3
+	gossip := reserveAddrs(t, n)
+	peers := make(map[core.NodeID]string, n)
+	for v, a := range gossip {
+		peers[core.NodeID(v)] = a
+	}
+
+	mk := func(local []core.NodeID) *Daemon {
+		d, err := New(Options{
+			Local: local, Peers: peers,
+			GraphName: "ring", GraphN: n, GraphSeed: 1,
+			K: k, Interval: 2 * time.Millisecond, Seed: 7,
+			LossRate: 0.05, LossSeed: 3,
+		})
+		if err != nil {
+			t.Fatalf("daemon: %v", err)
+		}
+		return d
+	}
+	d1 := mk([]core.NodeID{0, 1, 2})
+	d2 := mk([]core.NodeID{3, 4, 5})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 2)
+	go func() { errs <- d1.Run(ctx) }()
+	go func() { errs <- d2.Run(ctx) }()
+
+	// Seed round-robin (message i at node i), release both start gates.
+	for i := 0; i < k; i++ {
+		d := d1
+		if i >= 3 {
+			d = d2
+		}
+		post(t, d.ControlAddr(), "/seed", map[string]any{"node": i, "index": i})
+	}
+	post(t, d1.ControlAddr(), "/start", nil)
+	post(t, d2.ControlAddr(), "/start", nil)
+
+	// Poll both control planes until every node reports full rank.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := true
+		for _, d := range []*Daemon{d1, d2} {
+			var st struct {
+				Done bool `json:"done"`
+			}
+			getJSON(t, d.ControlAddr(), "/status", &st)
+			done = done && st.Done
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deployment never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Metrics exposition sanity.
+	resp, err := http.Get("http://" + d1.ControlAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	_, _ = metrics.ReadFrom(resp.Body)
+	_ = resp.Body.Close()
+	for _, want := range []string{"algossip_sends_total", "algossip_node_rank", "algossip_node_rounds"} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics missing %s:\n%s", want, metrics.String())
+		}
+	}
+
+	// Drain: post-convergence cancellation must be clean on both daemons.
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Errorf("daemon run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never drained")
+		}
+	}
+	checkNoRuntimeGoroutines(t)
+}
+
+// TestDaemonDrainEndpoint covers POST /drain: the daemon shuts itself
+// down without external cancellation.
+func TestDaemonDrainEndpoint(t *testing.T) {
+	gossip := reserveAddrs(t, 2)
+	d, err := New(Options{
+		Local:     []core.NodeID{0, 1},
+		Peers:     map[core.NodeID]string{0: gossip[0], 1: gossip[1]},
+		GraphName: "ring", GraphN: 2, GraphSeed: 1,
+		K: 1, Interval: 2 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.Run(context.Background()) }()
+	post(t, d.ControlAddr(), "/seed", map[string]any{"node": 0, "index": 0})
+	post(t, d.ControlAddr(), "/start", nil)
+	post(t, d.ControlAddr(), "/drain", nil)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("drain was not clean: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	checkNoRuntimeGoroutines(t)
+}
+
+// checkNoRuntimeGoroutines fails if gossip goroutines (node loops,
+// transport senders, accept/read loops, daemon runners) outlive the
+// drain. HTTP keep-alive and test goroutines are not counted.
+func checkNoRuntimeGoroutines(t *testing.T) {
+	t.Helper()
+	markers := []string{
+		"algossip/internal/runtime.(*",
+		"algossip/internal/daemon.(*Daemon).Run",
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked []string
+	for {
+		leaked = leaked[:0]
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		for _, g := range strings.Split(stacks, "\n\n") {
+			for _, m := range markers {
+				if strings.Contains(g, m) {
+					leaked = append(leaked, g)
+					break
+				}
+			}
+		}
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d gossip goroutines leaked after drain:\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"algossip/internal/core"
+)
+
+// TestE17LiveGate is the full network-runtime conformance gate: a
+// 48-process gossipd deployment on a 48-node ring over loopback TCP with
+// 10% injected loss must stop within 3σ of the simulator prediction for
+// the identical spec, and every process must drain cleanly (exit 0). The
+// quick-mode E17 table (exercised by TestAllExperimentsQuick) covers the
+// same gate at 6 processes; this is the one that runs at deployment
+// scale, so it skips in -short and under the race detector (the raced
+// controller's polling cadence would distort the live tick measurement).
+func TestE17LiveGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process gate skipped in -short")
+	}
+	if core.RaceEnabled {
+		t.Skip("multi-process gate skipped under the race detector")
+	}
+	var sb strings.Builder
+	if err := E17LiveCluster(&sb, Options{Seed: 42}); err != nil {
+		t.Fatalf("E17: %v", err)
+	}
+	out := sb.String()
+	t.Log("\n" + out)
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("live cluster outside 3σ of simulator prediction:\n%s", out)
+	}
+}

@@ -61,6 +61,18 @@ func (c GenConfig) genBounds(g int) (lo, hi int) {
 	return lo, hi
 }
 
+// GenK returns the message count of generation g — GenSize for all but
+// possibly the last generation, 0 outside [0, Generations()). Wire codecs
+// need it to size the one-coefficient-per-symbol expansion of a tagged
+// packet.
+func (c GenConfig) GenK(g int) int {
+	if g < 0 || g >= c.Generations() {
+		return 0
+	}
+	lo, hi := c.genBounds(g)
+	return hi - lo
+}
+
 // GenPacket is a coded packet tagged with its generation.
 type GenPacket struct {
 	// Gen identifies the generation the coefficients refer to.
@@ -201,6 +213,25 @@ func (n *GenNode) ReceiveOwned(p *GenPacket) bool {
 	helpful := n.subs[p.Gen].ReceiveOwned(p.Packet)
 	n.bumped(p.Gen, before)
 	return helpful
+}
+
+// Adapt converts a wire-format packet (one coefficient per symbol,
+// lengths matching the tagged generation) into the generation's native
+// backend, mirroring Node.Adapt. Malformed packets — nil, out-of-range
+// generation tag, wrong lengths — return nil instead of panicking:
+// generation tags arrive from the wire.
+func (n *GenNode) Adapt(p *GenPacket) *GenPacket {
+	if p == nil || p.Packet == nil || p.Gen < 0 || p.Gen >= len(n.subs) {
+		return nil
+	}
+	inner := n.subs[p.Gen].Adapt(p.Packet)
+	if inner == nil {
+		return nil
+	}
+	if inner == p.Packet {
+		return p
+	}
+	return &GenPacket{Gen: p.Gen, Packet: inner}
 }
 
 // screen rejects packets whose generation tag or backend shape cannot be

@@ -4,88 +4,315 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
 	"algossip/internal/core"
+	"algossip/internal/gf"
 	"algossip/internal/graph"
 	"algossip/internal/rlnc"
+	"algossip/internal/sim"
 )
 
-// ClusterConfig describes a concurrent gossip deployment.
-type ClusterConfig struct {
+// Observer receives completion callbacks from a running cluster; it is
+// the simulator's observer contract (internal/sim) applied to live
+// deployments, with the node's tick count in the round slot — the staged
+// tick loop below makes one tick comparable to one synchronous round.
+type Observer = sim.Observer
+
+// Config describes a concurrent gossip deployment — the one validated
+// configuration shared by NewCluster and NewTAGCluster. Construct it
+// through the functional options on those constructors; zero fields pick
+// the documented defaults.
+type Config struct {
 	// Graph is the communication topology.
 	Graph *graph.Graph
-	// RLNC configures the codec (usually payload mode with GF(256)).
-	RLNC rlnc.Config
-	// Interval is each node's mean gossip period (default 1ms). Every tick
-	// the node initiates one EXCHANGE with a uniformly random neighbor.
+	// Field is the coefficient field (default GF(256)).
+	Field gf.Field
+	// K is the number of initial messages.
+	K int
+	// PayloadLen is the payload length in field symbols; 0 runs rank-only
+	// (no payloads, no Decode — the stopping-time measurement mode).
+	PayloadLen int
+	// GenSize, when positive, codes the k messages in generations of this
+	// size (classic whole-k coding otherwise). TAG clusters reject it.
+	GenSize int
+	// Interval is each node's gossip period (default 1ms). Every tick the
+	// node ingests staged traffic and initiates one EXCHANGE with a
+	// uniformly random neighbor.
 	Interval time.Duration
 	// Seed roots per-node randomness.
 	Seed uint64
+	// Local selects which graph nodes run in this process (default all).
+	// A multi-process cluster gives each daemon a disjoint Local set and
+	// routes the rest through transport peer declarations.
+	Local []core.NodeID
+	// Observer, when set, receives NodeDone(v, tick) as local nodes reach
+	// full rank.
+	Observer Observer
+	// ServeAfterDone keeps node goroutines gossiping after Run's local
+	// completion target is met, until the Run context is cancelled —
+	// required in multi-process deployments where remote nodes still need
+	// this process's packets.
+	ServeAfterDone bool
+	// StartGated holds every node's tick loop until Start is called
+	// (inbound traffic is still served), so a controller can seed all
+	// processes before any of them begins counting ticks.
+	StartGated bool
+}
+
+// Option mutates a Config under construction.
+type Option func(*Config)
+
+// WithPayload enables payload mode with r symbols per message (Decode
+// becomes available after completion).
+func WithPayload(r int) Option { return func(c *Config) { c.PayloadLen = r } }
+
+// WithGenerations codes the k messages in generations of size genSize.
+func WithGenerations(genSize int) Option { return func(c *Config) { c.GenSize = genSize } }
+
+// WithObserver registers a completion observer.
+func WithObserver(obs Observer) Option { return func(c *Config) { c.Observer = obs } }
+
+// WithField selects the coefficient field (default GF(256)).
+func WithField(f gf.Field) Option { return func(c *Config) { c.Field = f } }
+
+// WithInterval sets the per-node gossip period.
+func WithInterval(d time.Duration) Option { return func(c *Config) { c.Interval = d } }
+
+// WithSeed roots the deployment's randomness.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithLocalNodes restricts this process to the given graph nodes.
+func WithLocalNodes(ids ...core.NodeID) Option {
+	return func(c *Config) { c.Local = append([]core.NodeID(nil), ids...) }
+}
+
+// WithServeAfterDone keeps nodes serving peers after local completion.
+func WithServeAfterDone() Option { return func(c *Config) { c.ServeAfterDone = true } }
+
+// WithStartGate defers tick loops until Start is called.
+func WithStartGate() Option { return func(c *Config) { c.StartGated = true } }
+
+// build applies defaults and options and validates the result.
+func (c Config) build(opts ...Option) (Config, error) {
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.Graph == nil {
+		return c, fmt.Errorf("runtime: nil graph")
+	}
+	if c.K <= 0 {
+		return c, fmt.Errorf("runtime: k must be positive, got %d", c.K)
+	}
+	if c.Field == nil {
+		c.Field = gf.MustNew(256)
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.PayloadLen < 0 {
+		return c, fmt.Errorf("runtime: negative payload length %d", c.PayloadLen)
+	}
+	if c.GenSize < 0 || c.GenSize > c.K {
+		return c, fmt.Errorf("runtime: generation size %d outside [0, %d]", c.GenSize, c.K)
+	}
+	if c.Local == nil {
+		c.Local = make([]core.NodeID, c.Graph.N())
+		for v := range c.Local {
+			c.Local[v] = core.NodeID(v)
+		}
+	} else {
+		seen := make(map[core.NodeID]bool, len(c.Local))
+		for _, id := range c.Local {
+			if int(id) < 0 || int(id) >= c.Graph.N() {
+				return c, fmt.Errorf("runtime: local node %d outside graph of %d", id, c.Graph.N())
+			}
+			if seen[id] {
+				return c, fmt.Errorf("runtime: duplicate local node %d", id)
+			}
+			seen[id] = true
+		}
+		sort.Slice(c.Local, func(i, j int) bool { return c.Local[i] < c.Local[j] })
+	}
+	return c, nil
+}
+
+// rlncConfig derives the inner codec configuration.
+func (c Config) rlncConfig() rlnc.Config {
+	return rlnc.Config{Field: c.Field, K: c.K, PayloadLen: c.PayloadLen, RankOnly: c.PayloadLen == 0}
+}
+
+// codec is the cluster's view of an RLNC decoder: classic whole-k and
+// generation-coded nodes behind one emit/ingest seam that speaks the
+// one-coefficient-per-symbol wire format.
+type codec interface {
+	seed(msg rlnc.Message)
+	rank() int
+	canDecode() bool
+	decode() ([]rlnc.Message, error)
+	// emit fills env with a fresh random combination; false when the node
+	// stores nothing yet.
+	emit(rng *rand.Rand, env *Envelope) bool
+	// ingest adapts a wire envelope to the native backend and receives
+	// it, screening malformed shapes.
+	ingest(env *Envelope)
+}
+
+type classicCodec struct{ n *rlnc.Node }
+
+func (c classicCodec) seed(msg rlnc.Message)           { c.n.Seed(msg) }
+func (c classicCodec) rank() int                       { return c.n.Rank() }
+func (c classicCodec) canDecode() bool                 { return c.n.CanDecode() }
+func (c classicCodec) decode() ([]rlnc.Message, error) { return c.n.Decode() }
+func (c classicCodec) emit(rng *rand.Rand, env *Envelope) bool {
+	pkt := c.n.Emit(rng)
+	if pkt == nil {
+		return false
+	}
+	cfg := c.n.Config()
+	// The wire format is one coefficient per symbol regardless of the
+	// codec's internal representation: bit and sliced packets expand here.
+	env.Coeffs = pkt.ExpandCoeffs(cfg.K)
+	env.Payload = pkt.ExpandPayload(cfg.PayloadLen)
+	return true
+}
+func (c classicCodec) ingest(env *Envelope) {
+	if len(env.Coeffs) == 0 {
+		return
+	}
+	c.n.Receive(c.n.Adapt(&rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload}))
+}
+
+type genCodec struct{ n *rlnc.GenNode }
+
+func (c genCodec) seed(msg rlnc.Message)           { c.n.Seed(msg) }
+func (c genCodec) rank() int                       { return c.n.Rank() }
+func (c genCodec) canDecode() bool                 { return c.n.CanDecode() }
+func (c genCodec) decode() ([]rlnc.Message, error) { return c.n.Decode() }
+func (c genCodec) emit(rng *rand.Rand, env *Envelope) bool {
+	gp := c.n.Emit(rng)
+	if gp == nil {
+		return false
+	}
+	cfg := c.n.Config()
+	env.Gen = gp.Gen
+	env.Coeffs = gp.Packet.ExpandCoeffs(cfg.GenK(gp.Gen))
+	env.Payload = gp.Packet.ExpandPayload(cfg.Inner.PayloadLen)
+	return true
+}
+func (c genCodec) ingest(env *Envelope) {
+	if len(env.Coeffs) == 0 {
+		return
+	}
+	c.n.Receive(c.n.Adapt(&rlnc.GenPacket{
+		Gen:    env.Gen,
+		Packet: &rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload},
+	}))
+}
+
+// newCodec builds the configured codec for one node.
+func (c Config) newCodec() (codec, error) {
+	if c.GenSize > 0 {
+		gn, err := rlnc.NewGenNode(rlnc.GenConfig{Inner: c.rlncConfig(), K: c.K, GenSize: c.GenSize})
+		if err != nil {
+			return nil, err
+		}
+		return genCodec{gn}, nil
+	}
+	n, err := rlnc.NewNode(c.rlncConfig())
+	if err != nil {
+		return nil, err
+	}
+	return classicCodec{n}, nil
+}
+
+// NodeStatus is one local node's progress snapshot.
+type NodeStatus struct {
+	// ID is the node.
+	ID core.NodeID
+	// Rank and K are the decoder's current and target rank.
+	Rank, K int
+	// Done reports full rank; DoneTick is the tick at which it happened
+	// (0 for nodes seeded to completion before ticking began).
+	Done     bool
+	DoneTick int
+	// Ticks counts gossip periods elapsed at this node.
+	Ticks int
 }
 
 // Cluster is a running set of gossip nodes over a Transport.
 type Cluster struct {
-	cfg       ClusterConfig
+	cfg       Config
 	transport Transport
-	nodes     []*clusterNode
+	nodes     map[core.NodeID]*clusterNode
+	order     []core.NodeID
 	doneCh    chan core.NodeID
 	killCh    chan core.NodeID
+	startCh   chan struct{}
+	startOnce sync.Once
 }
 
 // clusterNode is the per-goroutine state.
 type clusterNode struct {
 	id        core.NodeID
-	neighbors []core.NodeID // guarded by mu: ApplyTopology swaps it mid-run
 	inbox     <-chan Envelope
 	transport Transport
 	interval  time.Duration
 	seed      uint64
+	observer  Observer
+	k         int
 
-	mu       sync.Mutex
-	codec    *rlnc.Node
-	rng      *rand.Rand // guarded by mu; drives packet emission
-	finished bool
+	mu        sync.Mutex
+	neighbors []core.NodeID // guarded by mu: ApplyTopology swaps it mid-run
+	codec     codec
+	rng       *rand.Rand // guarded by mu; drives packet emission
+	pending   []Envelope // staged envelopes, ingested at the next tick
+	ticks     int
+	doneTick  int
+	finished  bool
 
 	doneCh chan<- core.NodeID
 }
 
-// NewCluster builds a cluster over the given transport. Seed initial
-// messages with Seed before calling Run.
-func NewCluster(cfg ClusterConfig, transport Transport) (*Cluster, error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("runtime: nil graph")
+// NewCluster builds a cluster of k-message algebraic gossip over the
+// given transport and topology. Seed initial messages with Seed before
+// calling Run (or before Start when the start gate is on).
+func NewCluster(transport Transport, g *graph.Graph, k int, opts ...Option) (*Cluster, error) {
+	cfg, err := Config{Graph: g, K: k}.build(opts...)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Interval <= 0 {
-		cfg.Interval = time.Millisecond
-	}
-	n := cfg.Graph.N()
 	c := &Cluster{
 		cfg:       cfg,
 		transport: transport,
-		nodes:     make([]*clusterNode, n),
-		doneCh:    make(chan core.NodeID, n),
-		killCh:    make(chan core.NodeID, n),
+		nodes:     make(map[core.NodeID]*clusterNode, len(cfg.Local)),
+		order:     cfg.Local,
+		doneCh:    make(chan core.NodeID, len(cfg.Local)),
+		killCh:    make(chan core.NodeID, len(cfg.Local)),
+		startCh:   make(chan struct{}),
 	}
-	for v := 0; v < n; v++ {
-		codec, err := rlnc.NewNode(cfg.RLNC)
+	for _, v := range cfg.Local {
+		cdc, err := cfg.newCodec()
 		if err != nil {
 			return nil, fmt.Errorf("runtime: node %d codec: %w", v, err)
 		}
-		inbox, err := transport.Register(core.NodeID(v))
+		inbox, err := transport.Register(v)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: node %d register: %w", v, err)
 		}
 		seed := core.SplitSeed(cfg.Seed, uint64(v))
 		c.nodes[v] = &clusterNode{
-			id:        core.NodeID(v),
-			neighbors: cfg.Graph.Neighbors(core.NodeID(v)),
+			id:        v,
+			neighbors: cfg.Graph.Neighbors(v),
 			inbox:     inbox,
 			transport: transport,
 			interval:  cfg.Interval,
 			seed:      seed,
-			codec:     codec,
+			observer:  cfg.Observer,
+			k:         cfg.K,
+			codec:     cdc,
 			rng:       core.NewRand(core.SplitSeed(seed, 1)),
 			doneCh:    c.doneCh,
 		}
@@ -93,29 +320,71 @@ func NewCluster(cfg ClusterConfig, transport Transport) (*Cluster, error) {
 	return c, nil
 }
 
-// Seed places an initial message at node v.
-func (c *Cluster) Seed(v core.NodeID, msg rlnc.Message) {
-	node := c.nodes[v]
-	node.mu.Lock()
-	defer node.mu.Unlock()
-	node.codec.Seed(msg)
-	node.checkDoneLocked()
+// Config returns the validated deployment configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// node fetches a local node or fails.
+func (c *Cluster) node(v core.NodeID) (*clusterNode, error) {
+	n, ok := c.nodes[v]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d not local to this cluster", ErrUnknownNode, v)
+	}
+	return n, nil
 }
 
-// Rank returns node v's current rank.
+// Seed places an initial message at local node v.
+func (c *Cluster) Seed(v core.NodeID, msg rlnc.Message) error {
+	node, err := c.node(v)
+	if err != nil {
+		return err
+	}
+	node.mu.Lock()
+	node.codec.seed(msg)
+	just := node.checkDoneLocked()
+	node.mu.Unlock()
+	node.notifyDone(just)
+	return nil
+}
+
+// Rank returns local node v's current rank (-1 for non-local nodes).
 func (c *Cluster) Rank(v core.NodeID) int {
-	node := c.nodes[v]
+	node, err := c.node(v)
+	if err != nil {
+		return -1
+	}
 	node.mu.Lock()
 	defer node.mu.Unlock()
-	return node.codec.Rank()
+	return node.codec.rank()
 }
 
-// Decode decodes node v's messages (payload mode, after completion).
+// Decode decodes local node v's messages (payload mode, after completion).
 func (c *Cluster) Decode(v core.NodeID) ([]rlnc.Message, error) {
-	node := c.nodes[v]
+	node, err := c.node(v)
+	if err != nil {
+		return nil, err
+	}
 	node.mu.Lock()
 	defer node.mu.Unlock()
-	return node.codec.Decode()
+	return node.codec.decode()
+}
+
+// Status snapshots every local node's progress, in ascending node order.
+func (c *Cluster) Status() []NodeStatus {
+	out := make([]NodeStatus, 0, len(c.order))
+	for _, v := range c.order {
+		n := c.nodes[v]
+		n.mu.Lock()
+		out = append(out, NodeStatus{
+			ID:       n.id,
+			Rank:     n.codec.rank(),
+			K:        n.k,
+			Done:     n.finished,
+			DoneTick: n.doneTick,
+			Ticks:    n.ticks,
+		})
+		n.mu.Unlock()
+	}
+	return out
 }
 
 // ApplyTopology swaps the cluster's communication topology for g, which
@@ -127,21 +396,21 @@ func (c *Cluster) Decode(v core.NodeID) ([]rlnc.Message, error) {
 // re-wired), mirroring the simulator's drop-undeliverable-sends rule
 // only approximately — real networks drain in-flight traffic too.
 func (c *Cluster) ApplyTopology(g *graph.Graph) error {
-	if g.N() != len(c.nodes) {
-		return fmt.Errorf("runtime: topology has %d nodes, cluster has %d", g.N(), len(c.nodes))
+	if g.N() != c.cfg.Graph.N() {
+		return fmt.Errorf("runtime: topology has %d nodes, cluster graph has %d", g.N(), c.cfg.Graph.N())
 	}
 	for v, node := range c.nodes {
 		node.mu.Lock()
-		node.neighbors = g.Neighbors(core.NodeID(v))
+		node.neighbors = g.Neighbors(v)
 		node.mu.Unlock()
 	}
 	return nil
 }
 
-// Kill crashes node v: its goroutine stops gossiping and the cluster no
-// longer waits for it to complete (churn / failure injection). Any
-// information held only by v is lost unless it already spread. Kill is
-// asynchronous and only takes effect while Run is active.
+// Kill crashes local node v: its goroutine stops gossiping and the
+// cluster no longer waits for it to complete (churn / failure injection).
+// Any information held only by v is lost unless it already spread. Kill
+// is asynchronous and only takes effect while Run is active.
 func (c *Cluster) Kill(v core.NodeID) {
 	select {
 	case c.killCh <- v:
@@ -149,24 +418,35 @@ func (c *Cluster) Kill(v core.NodeID) {
 	}
 }
 
-// Run starts all node goroutines and blocks until every live node can
-// decode or ctx is cancelled. Nodes keep gossiping until every node has
-// finished (early finishers still serve their neighbors). It returns the
-// number of nodes that completed.
+// Start releases the start gate (idempotent). Without WithStartGate, Run
+// calls it automatically.
+func (c *Cluster) Start() {
+	c.startOnce.Do(func() { close(c.startCh) })
+}
+
+// Run starts all local node goroutines and blocks until every live local
+// node can decode or ctx is cancelled. Nodes keep gossiping until every
+// local node has finished (early finishers still serve their neighbors);
+// with ServeAfterDone they keep serving until ctx is cancelled, and a
+// post-completion cancellation is a clean drain, not an error. It returns
+// the number of local nodes that completed.
 func (c *Cluster) Run(ctx context.Context) (int, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var wg sync.WaitGroup
-	nodeCancels := make([]context.CancelFunc, len(c.nodes))
-	for i, node := range c.nodes {
+	nodeCancels := make(map[core.NodeID]context.CancelFunc, len(c.nodes))
+	for _, v := range c.order {
 		nodeCtx, nodeCancel := context.WithCancel(runCtx)
-		nodeCancels[i] = nodeCancel
+		nodeCancels[v] = nodeCancel
 		wg.Add(1)
 		go func(n *clusterNode) {
 			defer wg.Done()
-			n.run(nodeCtx)
-		}(node)
+			n.run(nodeCtx, c.startCh)
+		}(c.nodes[v])
+	}
+	if !c.cfg.StartGated {
+		c.Start()
 	}
 
 	finished := 0
@@ -185,8 +465,12 @@ func (c *Cluster) Run(ctx context.Context) (int, error) {
 			if dead[v] {
 				continue
 			}
+			cancelNode, ok := nodeCancels[v]
+			if !ok {
+				continue // not local
+			}
 			dead[v] = true
-			nodeCancels[v]()
+			cancelNode()
 			if !completed[v] {
 				target--
 			}
@@ -197,15 +481,37 @@ func (c *Cluster) Run(ctx context.Context) (int, error) {
 				finished, target, ctx.Err())
 		}
 	}
+	if c.cfg.ServeAfterDone {
+		<-ctx.Done()
+	}
 	cancel()
 	wg.Wait()
 	return finished, nil
 }
 
-// run is the node's event loop: react to incoming packets, and initiate an
-// EXCHANGE with a random neighbor on every tick.
-func (n *clusterNode) run(ctx context.Context) {
+// run is the node's event loop: stage incoming packets, and on every tick
+// ingest the staged batch then initiate an EXCHANGE with a random
+// neighbor. Staged ingestion makes one tick behave like one synchronous
+// simulator round — information received during a tick interval becomes
+// usable at the next tick, not instantly — which is what lets live
+// stopping ticks be gated against simulator round predictions (E17).
+func (n *clusterNode) run(ctx context.Context, start <-chan struct{}) {
 	rng := core.NewRand(n.seed)
+	// Gated phase: serve inbound traffic (staging + replies) but do not
+	// tick, so a controller can seed every process before time starts.
+	for gated := true; gated; {
+		select {
+		case <-ctx.Done():
+			return
+		case env, ok := <-n.inbox:
+			if !ok {
+				return
+			}
+			n.handle(ctx, env)
+		case <-start:
+			gated = false
+		}
+	}
 	ticker := time.NewTicker(n.interval)
 	defer ticker.Stop()
 	for {
@@ -216,60 +522,78 @@ func (n *clusterNode) run(ctx context.Context) {
 			if !ok {
 				return
 			}
-			n.handle(env)
+			n.handle(ctx, env)
 		case <-ticker.C:
-			n.mu.Lock()
-			nbrs := n.neighbors
-			n.mu.Unlock()
-			if len(nbrs) == 0 {
-				continue
-			}
-			peer := nbrs[rng.IntN(len(nbrs))]
-			n.sendPacket(peer, true)
+			n.tick(ctx, rng)
 		}
 	}
 }
 
-// handle ingests a packet and serves the EXCHANGE reply leg. The wire
-// format carries one coefficient per symbol; Adapt re-packs it for
-// bit-mode (GF(2)) and sliced (GF(2^m)) codecs and rejects malformed
-// vectors as nil.
-func (n *clusterNode) handle(env Envelope) {
-	pkt := &rlnc.Packet{Coeffs: env.Coeffs, Payload: env.Payload}
-	n.mu.Lock()
-	if len(env.Coeffs) > 0 {
-		n.codec.Receive(n.codec.Adapt(pkt))
-		n.checkDoneLocked()
+// handle stages an incoming packet for the next tick and serves the
+// EXCHANGE reply leg immediately — the reply is drawn from pre-ingest
+// state, exactly like the simulator's simultaneous exchange.
+func (n *clusterNode) handle(ctx context.Context, env Envelope) {
+	if env.Kind == EnvelopePacket && len(env.Coeffs) > 0 {
+		n.mu.Lock()
+		n.pending = append(n.pending, env)
+		n.mu.Unlock()
 	}
-	n.mu.Unlock()
 	if env.WantReply {
-		n.sendPacket(env.From, false)
+		n.sendPacket(ctx, env.From, false)
 	}
 }
 
-// sendPacket emits one random combination toward peer. Transport errors are
-// ignored: gossip is redundant and the next tick retries elsewhere.
-func (n *clusterNode) sendPacket(peer core.NodeID, wantReply bool) {
+// tick ingests the staged batch and initiates one EXCHANGE.
+func (n *clusterNode) tick(ctx context.Context, rng *rand.Rand) {
 	n.mu.Lock()
-	pkt := n.codec.Emit(n.rng)
-	cfg := n.codec.Config()
+	n.ticks++
+	for i := range n.pending {
+		n.codec.ingest(&n.pending[i])
+	}
+	n.pending = n.pending[:0]
+	just := n.checkDoneLocked()
+	nbrs := n.neighbors
 	n.mu.Unlock()
-	env := Envelope{From: n.id, WantReply: wantReply}
-	if pkt != nil {
-		// The wire format is one coefficient per symbol regardless of the
-		// codec's internal representation: bit and sliced packets expand here.
-		env.Coeffs = pkt.ExpandCoeffs(cfg.K)
-		env.Payload = pkt.ExpandPayload(cfg.PayloadLen)
-	} else if !wantReply {
+	n.notifyDone(just)
+	if len(nbrs) == 0 {
+		return
+	}
+	peer := nbrs[rng.IntN(len(nbrs))]
+	n.sendPacket(ctx, peer, true)
+}
+
+// sendPacket emits one random combination toward peer. Transport errors
+// (backpressure included) are ignored: gossip is redundant and the next
+// tick retries elsewhere.
+func (n *clusterNode) sendPacket(ctx context.Context, peer core.NodeID, wantReply bool) {
+	env := Envelope{Kind: EnvelopePacket, From: n.id, WantReply: wantReply}
+	n.mu.Lock()
+	ok := n.codec.emit(n.rng, &env)
+	n.mu.Unlock()
+	if !ok && !wantReply {
 		return // nothing to say and nobody waiting
 	}
-	_ = n.transport.Send(peer, env)
+	if !ok {
+		env.Coeffs, env.Payload = nil, nil
+	}
+	_ = n.transport.Send(ctx, peer, env)
 }
 
-// checkDoneLocked signals completion exactly once. Callers hold n.mu.
-func (n *clusterNode) checkDoneLocked() {
-	if !n.finished && n.codec.CanDecode() {
+// checkDoneLocked marks completion exactly once, reporting whether it
+// just happened. Callers hold n.mu and invoke notifyDone after unlocking.
+func (n *clusterNode) checkDoneLocked() bool {
+	if !n.finished && n.codec.canDecode() {
 		n.finished = true
+		n.doneTick = n.ticks
 		n.doneCh <- n.id
+		return true
+	}
+	return false
+}
+
+// notifyDone delivers the observer callback outside the node lock.
+func (n *clusterNode) notifyDone(just bool) {
+	if just && n.observer != nil {
+		n.observer.NodeDone(n.id, n.doneTick)
 	}
 }

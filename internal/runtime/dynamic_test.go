@@ -14,14 +14,13 @@ import (
 // locking under -race) and the cluster still completes and decodes.
 func TestClusterApplyTopology(t *testing.T) {
 	base := graph.Torus(3, 3)
-	cfg := testRLNC(4, 6)
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: base, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 7}, tr)
+	c, err := NewCluster(tr, base, 4, WithPayload(6), WithInterval(200*time.Microsecond), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs := seedMessages(t, c, cfg, base.N())
+	msgs := seedMessages(t, c, 4, 6, base.N())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -65,7 +64,7 @@ func TestClusterApplyTopology(t *testing.T) {
 func TestApplyTopologyRejectsSizeMismatch(t *testing.T) {
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: graph.Ring(6), RLNC: testRLNC(2, 4), Seed: 1}, tr)
+	c, err := NewCluster(tr, graph.Ring(6), 2, WithPayload(4), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}

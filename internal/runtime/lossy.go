@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -19,8 +20,7 @@ type LossyTransport struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	dropped uint64
-	sent    uint64
+	stats *counters
 }
 
 var _ Transport = (*LossyTransport)(nil)
@@ -30,7 +30,12 @@ func NewLossyTransport(inner Transport, rate float64, seed uint64) (*LossyTransp
 	if rate < 0 || rate >= 1 {
 		return nil, fmt.Errorf("runtime: loss rate %v outside [0, 1)", rate)
 	}
-	return &LossyTransport{inner: inner, rate: rate, rng: core.NewRand(seed)}, nil
+	return &LossyTransport{
+		inner: inner,
+		rate:  rate,
+		rng:   core.NewRand(seed),
+		stats: newCounters(),
+	}, nil
 }
 
 // Register implements Transport.
@@ -39,29 +44,35 @@ func (t *LossyTransport) Register(id core.NodeID) (<-chan Envelope, error) {
 }
 
 // Send implements Transport, dropping the envelope with the configured
-// probability. Drops are reported as success to the caller — exactly like
-// a lossy wire.
-func (t *LossyTransport) Send(to core.NodeID, env Envelope) error {
+// probability. Injected drops are reported as success to the caller —
+// exactly like a lossy wire — and show up only in Stats.
+func (t *LossyTransport) Send(ctx context.Context, to core.NodeID, env Envelope) error {
 	t.mu.Lock()
 	drop := t.rng.Float64() < t.rate
-	if drop {
-		t.dropped++
-	} else {
-		t.sent++
-	}
 	t.mu.Unlock()
 	if drop {
+		t.stats.dropped(to)
 		return nil
 	}
-	return t.inner.Send(to, env)
+	t.stats.sent(to)
+	return t.inner.Send(ctx, to, env)
 }
 
 // Close implements Transport.
 func (t *LossyTransport) Close() error { return t.inner.Close() }
 
-// Stats returns (delivered, dropped) counts.
-func (t *LossyTransport) Stats() (delivered, dropped uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.sent, t.dropped
+// Stats implements Transport: this layer's own counters (Sent = passed
+// through, Dropped = injected drops) merged with the inner transport's
+// redial counts. Inner-layer drops (backpressure under the loss layer)
+// remain visible on the inner transport's own Stats.
+func (t *LossyTransport) Stats() TransportStats {
+	s := t.stats.snapshot()
+	inner := t.inner.Stats()
+	s.Total.Redials = inner.Total.Redials
+	for id, ins := range inner.PerNode {
+		ns := s.PerNode[id]
+		ns.Redials = ins.Redials
+		s.PerNode[id] = ns
+	}
+	return s
 }

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,17 +13,16 @@ import (
 	"algossip/internal/rlnc"
 )
 
-func testRLNC(k, r int) rlnc.Config {
-	return rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: r}
-}
-
-func seedMessages(t *testing.T, c *Cluster, cfg rlnc.Config, n int) []rlnc.Message {
+func seedMessages(t *testing.T, c *Cluster, k, r, n int) []rlnc.Message {
 	t.Helper()
 	rng := core.NewRand(99)
-	msgs := make([]rlnc.Message, cfg.K)
+	field := gf.MustNew(256)
+	msgs := make([]rlnc.Message, k)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
-		c.Seed(core.NodeID(i%n), msgs[i])
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(field, r, rng)}
+		if err := c.Seed(core.NodeID(i%n), msgs[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return msgs
 }
@@ -45,14 +46,13 @@ func verifyDecode(t *testing.T, c *Cluster, msgs []rlnc.Message, n int) {
 
 func TestClusterChanTransport(t *testing.T) {
 	g := graph.Grid(3, 3)
-	cfg := testRLNC(5, 8)
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 1}, tr)
+	c, err := NewCluster(tr, g, 5, WithPayload(8), WithInterval(200*time.Microsecond), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs := seedMessages(t, c, cfg, g.N())
+	msgs := seedMessages(t, c, 5, 8, g.N())
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	done, err := c.Run(ctx)
@@ -63,18 +63,23 @@ func TestClusterChanTransport(t *testing.T) {
 		t.Fatalf("completed %d/%d nodes", done, g.N())
 	}
 	verifyDecode(t, c, msgs, g.N())
+	// Status reflects completion for every node.
+	for _, st := range c.Status() {
+		if !st.Done || st.Rank != st.K {
+			t.Fatalf("node %d status %+v after completed run", st.ID, st)
+		}
+	}
 }
 
 func TestClusterTCPTransport(t *testing.T) {
 	g := graph.Ring(6)
-	cfg := testRLNC(4, 6)
 	tr := NewTCPTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 500 * time.Microsecond, Seed: 2}, tr)
+	c, err := NewCluster(tr, g, 4, WithPayload(6), WithInterval(500*time.Microsecond), WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs := seedMessages(t, c, cfg, g.N())
+	msgs := seedMessages(t, c, 4, 6, g.N())
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	done, err := c.Run(ctx)
@@ -88,19 +93,72 @@ func TestClusterTCPTransport(t *testing.T) {
 	if _, ok := tr.Addr(0); !ok {
 		t.Error("Addr lookup failed for registered node")
 	}
+	if s := tr.Stats(); s.Total.Sent == 0 {
+		t.Error("TCP transport reported zero sends after a completed run")
+	}
+}
+
+func TestClusterUDPTransport(t *testing.T) {
+	g := graph.Ring(6)
+	tr, err := NewUDPTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(tr, g, 4, WithPayload(6), WithInterval(500*time.Microsecond), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := seedMessages(t, c, 4, 6, g.N())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.N() {
+		t.Fatalf("completed %d/%d nodes", done, g.N())
+	}
+	verifyDecode(t, c, msgs, g.N())
+}
+
+// TestClusterGenerationMode runs a generation-coded cluster end to end:
+// envelopes carry per-generation coefficient vectors plus the Gen tag,
+// exercising GenNode.Adapt on the receive path and full decode.
+func TestClusterGenerationMode(t *testing.T) {
+	g := graph.Grid(3, 3)
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(tr, g, 6, WithPayload(4), WithGenerations(2),
+		WithInterval(200*time.Microsecond), WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := seedMessages(t, c, 6, 4, g.N())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != g.N() {
+		t.Fatalf("completed %d/%d nodes", done, g.N())
+	}
+	verifyDecode(t, c, msgs, g.N())
 }
 
 func TestClusterContextCancel(t *testing.T) {
 	g := graph.Line(4)
-	cfg := testRLNC(3, 4)
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: time.Hour, Seed: 3}, tr)
+	c, err := NewCluster(tr, g, 3, WithPayload(4), WithInterval(time.Hour), WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Seed only one message so the cluster cannot finish; then cancel.
-	c.Seed(0, rlnc.Message{Index: 0, Payload: make([]byte, 4)})
+	if err := c.Seed(0, rlnc.Message{Index: 0, Payload: make([]byte, 4)}); err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	done, err := c.Run(ctx)
@@ -112,7 +170,51 @@ func TestClusterContextCancel(t *testing.T) {
 	}
 }
 
+func TestClusterConfigValidation(t *testing.T) {
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	if _, err := NewCluster(tr, nil, 3); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewCluster(tr, graph.Ring(4), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewCluster(tr, graph.Ring(4), 3, WithGenerations(9)); err == nil {
+		t.Error("generation size above k accepted")
+	}
+	if _, err := NewCluster(tr, graph.Ring(4), 3, WithLocalNodes(0, 9)); err == nil {
+		t.Error("out-of-range local node accepted")
+	}
+	if _, err := NewCluster(tr, graph.Ring(4), 3, WithLocalNodes(0, 0)); err == nil {
+		t.Error("duplicate local node accepted")
+	}
+}
+
+// TestClusterLocalSubsetAccessors: non-local nodes are rejected by the
+// per-node accessors instead of panicking.
+func TestClusterLocalSubsetAccessors(t *testing.T) {
+	tr := NewChanTransport()
+	defer func() { _ = tr.Close() }()
+	c, err := NewCluster(tr, graph.Ring(4), 2, WithPayload(2), WithLocalNodes(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seed(3, rlnc.Message{Index: 0, Payload: make([]byte, 2)}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("seed at non-local node: %v", err)
+	}
+	if r := c.Rank(3); r != -1 {
+		t.Errorf("rank of non-local node = %d, want -1", r)
+	}
+	if _, err := c.Decode(3); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("decode at non-local node: %v", err)
+	}
+	if got := len(c.Status()); got != 2 {
+		t.Errorf("status has %d entries, want 2", got)
+	}
+}
+
 func TestChanTransportErrors(t *testing.T) {
+	ctx := context.Background()
 	tr := NewChanTransport()
 	if _, err := tr.Register(1); err != nil {
 		t.Fatal(err)
@@ -120,66 +222,181 @@ func TestChanTransportErrors(t *testing.T) {
 	if _, err := tr.Register(1); err == nil {
 		t.Error("duplicate registration accepted")
 	}
-	if err := tr.Send(2, Envelope{}); err == nil {
-		t.Error("send to unknown node accepted")
+	if err := tr.Send(ctx, 2, Envelope{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("send to unknown node: %v", err)
 	}
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Send(1, Envelope{}); err == nil {
-		t.Error("send after close accepted")
+	if err := tr.Send(ctx, 1, Envelope{}); !errors.Is(err, ErrTransportClosed) {
+		t.Errorf("send after close: %v", err)
 	}
-	if _, err := tr.Register(3); err == nil {
-		t.Error("register after close accepted")
+	if _, err := tr.Register(3); !errors.Is(err, ErrTransportClosed) {
+		t.Errorf("register after close: %v", err)
 	}
 	if err := tr.Close(); err != nil {
 		t.Error("double close must be nil")
 	}
 }
 
+// TestChanTransportBackpressureDrops forces backpressure and checks the
+// typed error plus the drop counters: the inbox holds inboxSize
+// envelopes, every further Send must fail fast with ErrBackpressure and
+// show up in Stats.
 func TestChanTransportBackpressureDrops(t *testing.T) {
+	ctx := context.Background()
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
 	if _, err := tr.Register(0); err != nil {
 		t.Fatal(err)
 	}
-	// Overfill the inbox; Send must not block.
+	var backpressured int
 	doneCh := make(chan struct{})
 	go func() {
+		defer close(doneCh)
 		for i := 0; i < inboxSize*3; i++ {
-			_ = tr.Send(0, Envelope{From: 1})
+			if err := tr.Send(ctx, 0, Envelope{From: 1}); errors.Is(err, ErrBackpressure) {
+				backpressured++
+			} else if err != nil {
+				t.Errorf("unexpected send error: %v", err)
+				return
+			}
 		}
-		close(doneCh)
 	}()
 	select {
 	case <-doneCh:
 	case <-time.After(5 * time.Second):
 		t.Fatal("Send blocked on full inbox")
 	}
+	if backpressured != inboxSize*2 {
+		t.Errorf("%d sends backpressured, want %d", backpressured, inboxSize*2)
+	}
+	s := tr.Stats()
+	if s.Total.Sent != inboxSize || s.Total.Dropped != inboxSize*2 {
+		t.Errorf("stats %+v, want sent=%d dropped=%d", s.Total, inboxSize, inboxSize*2)
+	}
+	if per := s.PerNode[0]; per.Dropped != inboxSize*2 {
+		t.Errorf("per-node drops %d, want %d", per.Dropped, inboxSize*2)
+	}
 }
 
 func TestTCPTransportSendUnknown(t *testing.T) {
 	tr := NewTCPTransport()
 	defer func() { _ = tr.Close() }()
-	if err := tr.Send(9, Envelope{}); err == nil {
-		t.Error("send to unknown node accepted")
+	if err := tr.Send(context.Background(), 9, Envelope{}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("send to unknown node: %v", err)
 	}
+}
+
+// TestTCPTransportPeersRoute checks the multi-process seam: two separate
+// transports, each with one registered node, exchanging envelopes purely
+// through declared peer addresses.
+func TestTCPTransportPeersRoute(t *testing.T) {
+	ctx := context.Background()
+	a := NewTCPTransport()
+	defer func() { _ = a.Close() }()
+	b := NewTCPTransport()
+	defer func() { _ = b.Close() }()
+	if _, err := a.Register(0); err != nil {
+		t.Fatal(err)
+	}
+	inboxB, err := b.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, _ := b.Addr(1)
+	a.AddPeer(1, addrB)
+	env := Envelope{From: 0, WantReply: true, Coeffs: []gf.Elem{7, 8, 9}}
+	if err := a.Send(ctx, 1, env); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-inboxB:
+		if got.From != 0 || !got.WantReply || len(got.Coeffs) != 3 || got.Coeffs[2] != 9 {
+			t.Fatalf("received %+v", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cross-transport envelope never arrived")
+	}
+}
+
+// TestTCPTransportUnreachablePeerDoesNotStall pins the singleflight dial
+// fix: Sends toward a dead peer must return immediately (queued or
+// backpressured) while Sends to healthy peers proceed — the dial happens
+// in the destination's sender goroutine, not under the transport lock.
+func TestTCPTransportUnreachablePeerDoesNotStall(t *testing.T) {
+	ctx := context.Background()
+	tr := NewTCPTransportOpts(TCPOptions{QueueSize: 4, DialAttempts: 2, DialBackoff: time.Millisecond})
+	defer func() { _ = tr.Close() }()
+	inbox, err := tr.Register(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddPeer(1, "127.0.0.1:1") // reserved port: connection refused
+
+	// Drain node 0's inbox as envelopes arrive (it is only QueueSize deep).
+	var arrived atomic.Int64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range inbox {
+			arrived.Add(1)
+		}
+	}()
+
+	start := time.Now()
+	healthy := 0
+	for i := 0; i < 32; i++ {
+		_ = tr.Send(ctx, 1, Envelope{From: 0}) // dead peer: queue then drop
+		// Healthy sends may backpressure while the sender is still
+		// dialing (the queue is tiny), but must never block or fail
+		// otherwise.
+		err := tr.Send(ctx, 0, Envelope{From: 1})
+		switch {
+		case err == nil:
+			healthy++
+		case errors.Is(err, ErrBackpressure):
+		default:
+			t.Fatalf("send to healthy local node failed: %v", err)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sends stalled %v behind a dead peer", elapsed)
+	}
+	if healthy == 0 {
+		t.Fatal("every healthy send backpressured")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for arrived.Load() < int64(healthy) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := arrived.Load(); got < int64(healthy) {
+		t.Fatalf("only %d/%d local envelopes arrived", got, healthy)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	<-drained
 }
 
 func TestClusterSingleSourceAllMessagesAtOneNode(t *testing.T) {
 	g := graph.Star(5)
-	cfg := testRLNC(6, 4)
+	const k, r = 6, 4
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 7}, tr)
+	c, err := NewCluster(tr, g, k, WithPayload(r), WithInterval(200*time.Microsecond), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := core.NewRand(5)
-	msgs := make([]rlnc.Message, cfg.K)
+	field := gf.MustNew(256)
+	msgs := make([]rlnc.Message, k)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
-		c.Seed(0, msgs[i]) // all at the hub
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(field, r, rng)}
+		if err := c.Seed(0, msgs[i]); err != nil { // all at the hub
+			t.Fatal(err)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -194,18 +411,21 @@ func TestClusterSingleSourceAllMessagesAtOneNode(t *testing.T) {
 // redundancy makes single-node crashes harmless.
 func TestClusterChurn(t *testing.T) {
 	g := graph.Grid(3, 3) // killing corner node 8 keeps the rest connected
-	cfg := testRLNC(4, 4)
+	const k, r = 4, 4
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 12}, tr)
+	c, err := NewCluster(tr, g, k, WithPayload(r), WithInterval(200*time.Microsecond), WithSeed(12))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := core.NewRand(9)
-	msgs := make([]rlnc.Message, cfg.K)
+	field := gf.MustNew(256)
+	msgs := make([]rlnc.Message, k)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
-		c.Seed(core.NodeID(i), msgs[i]) // seeds at nodes 0..3, far from node 8
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(field, r, rng)}
+		if err := c.Seed(core.NodeID(i), msgs[i]); err != nil { // seeds at nodes 0..3, far from node 8
+			t.Fatal(err)
+		}
 	}
 
 	go func() {
@@ -247,14 +467,14 @@ func TestClusterChurn(t *testing.T) {
 // receive), including full decode at every node.
 func TestClusterGF2BitMode(t *testing.T) {
 	g := graph.Grid(3, 3)
-	cfg := rlnc.Config{Field: gf.MustNew(2), K: 5, PayloadLen: 8}
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 7}, tr)
+	c, err := NewCluster(tr, g, 5, WithPayload(8), WithField(gf.MustNew(2)),
+		WithInterval(200*time.Microsecond), WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs := seedMessages(t, c, cfg, g.N())
+	msgs := seedMessagesField(t, c, gf.MustNew(2), 5, 8, g.N())
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	done, err := c.Run(ctx)
@@ -267,6 +487,19 @@ func TestClusterGF2BitMode(t *testing.T) {
 	verifyDecode(t, c, msgs, g.N())
 }
 
+func seedMessagesField(t *testing.T, c *Cluster, field gf.Field, k, r, n int) []rlnc.Message {
+	t.Helper()
+	rng := core.NewRand(99)
+	msgs := make([]rlnc.Message, k)
+	for i := range msgs {
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(field, r, rng)}
+		if err := c.Seed(core.NodeID(i%n), msgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return msgs
+}
+
 // TestClusterGF16SlicedMode runs a payload-carrying GF(16) cluster end to
 // end: the codecs use the bit-sliced backend internally while the wire
 // format still carries one coefficient per symbol, so the Adapt /
@@ -274,14 +507,14 @@ func TestClusterGF2BitMode(t *testing.T) {
 // for a sub-byte symbol width, including full decode at every node.
 func TestClusterGF16SlicedMode(t *testing.T) {
 	g := graph.Grid(3, 3)
-	cfg := rlnc.Config{Field: gf.MustNew(16), K: 5, PayloadLen: 8}
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 11}, tr)
+	c, err := NewCluster(tr, g, 5, WithPayload(8), WithField(gf.MustNew(16)),
+		WithInterval(200*time.Microsecond), WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
-	msgs := seedMessages(t, c, cfg, g.N())
+	msgs := seedMessagesField(t, c, gf.MustNew(16), 5, 8, g.N())
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	done, err := c.Run(ctx)

@@ -19,7 +19,7 @@ import (
 // tree when it receives its first announcement, adopting the sender as its
 // parent — the broadcast-as-STP construction of Section 4.1.
 type TAGCluster struct {
-	cfg       ClusterConfig
+	cfg       Config
 	transport Transport
 	nodes     []*tagNode
 	doneCh    chan core.NodeID
@@ -46,19 +46,25 @@ type tagNode struct {
 	doneCh chan<- core.NodeID
 }
 
-// NewTAGCluster builds a TAG deployment; the spanning tree grows from
-// origin. Seed initial messages with Seed before calling Run.
-func NewTAGCluster(cfg ClusterConfig, origin core.NodeID, transport Transport) (*TAGCluster, error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("runtime: nil graph")
+// NewTAGCluster builds a TAG deployment of k-message gossip; the spanning
+// tree grows from origin. Seed initial messages with Seed before calling
+// Run. TAG is single-process and classic-coded: generation and
+// local-subset options are rejected.
+func NewTAGCluster(transport Transport, g *graph.Graph, origin core.NodeID, k int, opts ...Option) (*TAGCluster, error) {
+	cfg, err := Config{Graph: g, K: k}.build(opts...)
+	if err != nil {
+		return nil, err
 	}
-	if int(origin) < 0 || int(origin) >= cfg.Graph.N() {
+	if cfg.GenSize > 0 {
+		return nil, fmt.Errorf("runtime: TAG does not support generation coding")
+	}
+	if len(cfg.Local) != g.N() {
+		return nil, fmt.Errorf("runtime: TAG does not support local-subset deployment")
+	}
+	if int(origin) < 0 || int(origin) >= g.N() {
 		return nil, fmt.Errorf("runtime: origin %d out of range", origin)
 	}
-	if cfg.Interval <= 0 {
-		cfg.Interval = time.Millisecond
-	}
-	n := cfg.Graph.N()
+	n := g.N()
 	c := &TAGCluster{
 		cfg:       cfg,
 		transport: transport,
@@ -66,7 +72,7 @@ func NewTAGCluster(cfg ClusterConfig, origin core.NodeID, transport Transport) (
 		doneCh:    make(chan core.NodeID, n),
 	}
 	for v := 0; v < n; v++ {
-		codec, err := rlnc.NewNode(cfg.RLNC)
+		codec, err := rlnc.NewNode(cfg.rlncConfig())
 		if err != nil {
 			return nil, fmt.Errorf("runtime: node %d codec: %w", v, err)
 		}
@@ -99,12 +105,16 @@ func NewTAGCluster(cfg ClusterConfig, origin core.NodeID, transport Transport) (
 }
 
 // Seed places an initial message at node v.
-func (c *TAGCluster) Seed(v core.NodeID, msg rlnc.Message) {
+func (c *TAGCluster) Seed(v core.NodeID, msg rlnc.Message) error {
+	if int(v) < 0 || int(v) >= len(c.nodes) {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, v)
+	}
 	nd := c.nodes[v]
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.codec.Seed(msg)
 	nd.checkDoneLocked()
+	return nil
 }
 
 // Rank returns node v's current rank.
@@ -197,14 +207,14 @@ func (n *tagNode) run(ctx context.Context) {
 			if !ok {
 				return
 			}
-			n.handle(env)
+			n.handle(ctx, env)
 		case <-ticker.C:
-			n.onTick()
+			n.onTick(ctx)
 		}
 	}
 }
 
-func (n *tagNode) onTick() {
+func (n *tagNode) onTick(ctx context.Context) {
 	n.mu.Lock()
 	n.tick++
 	phase1 := n.tick%2 == 1
@@ -219,16 +229,16 @@ func (n *tagNode) onTick() {
 
 	if phase1 {
 		if announceTo != core.NilNode {
-			_ = n.transport.Send(announceTo, Envelope{Kind: EnvelopeAnnounce, From: n.id})
+			_ = n.transport.Send(ctx, announceTo, Envelope{Kind: EnvelopeAnnounce, From: n.id})
 		}
 		return
 	}
 	if parent != core.NilNode {
-		n.sendPacket(parent, true)
+		n.sendPacket(ctx, parent, true)
 	}
 }
 
-func (n *tagNode) handle(env Envelope) {
+func (n *tagNode) handle(ctx context.Context, env Envelope) {
 	switch env.Kind {
 	case EnvelopeAnnounce:
 		n.mu.Lock()
@@ -247,12 +257,12 @@ func (n *tagNode) handle(env Envelope) {
 		}
 		n.mu.Unlock()
 		if env.WantReply {
-			n.sendPacket(env.From, false)
+			n.sendPacket(ctx, env.From, false)
 		}
 	}
 }
 
-func (n *tagNode) sendPacket(peer core.NodeID, wantReply bool) {
+func (n *tagNode) sendPacket(ctx context.Context, peer core.NodeID, wantReply bool) {
 	n.mu.Lock()
 	pkt := n.codec.Emit(n.rng)
 	cfg := n.codec.Config()
@@ -266,7 +276,7 @@ func (n *tagNode) sendPacket(peer core.NodeID, wantReply bool) {
 	} else if !wantReply {
 		return
 	}
-	_ = n.transport.Send(peer, env)
+	_ = n.transport.Send(ctx, peer, env)
 }
 
 // checkDoneLocked signals completion exactly once; callers hold n.mu.

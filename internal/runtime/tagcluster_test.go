@@ -13,20 +13,21 @@ import (
 
 func TestTAGClusterChanTransport(t *testing.T) {
 	g := graph.Barbell(10)
-	cfg := testRLNC(5, 6)
+	const k, r = 5, 6
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewTAGCluster(ClusterConfig{
-		Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 4,
-	}, 0, tr)
+	c, err := NewTAGCluster(tr, g, 0, k, WithPayload(r), WithInterval(200*time.Microsecond), WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := core.NewRand(55)
-	msgs := make([]rlnc.Message, cfg.K)
+	field := gf.MustNew(256)
+	msgs := make([]rlnc.Message, k)
 	for i := range msgs {
-		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)}
-		c.Seed(core.NodeID(i), msgs[i])
+		msgs[i] = rlnc.Message{Index: i, Payload: gf.RandBytes(field, r, rng)}
+		if err := c.Seed(core.NodeID(i), msgs[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -68,18 +69,19 @@ func TestTAGClusterChanTransport(t *testing.T) {
 
 func TestTAGClusterTCP(t *testing.T) {
 	g := graph.CliqueChain(2, 4)
-	cfg := testRLNC(4, 4)
+	const k, r = 4, 4
 	tr := NewTCPTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewTAGCluster(ClusterConfig{
-		Graph: g, RLNC: cfg, Interval: 500 * time.Microsecond, Seed: 6,
-	}, 0, tr)
+	c, err := NewTAGCluster(tr, g, 0, k, WithPayload(r), WithInterval(500*time.Microsecond), WithSeed(6))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := core.NewRand(7)
-	for i := 0; i < cfg.K; i++ {
-		c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)})
+	field := gf.MustNew(256)
+	for i := 0; i < k; i++ {
+		if err := c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandBytes(field, r, rng)}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -91,11 +93,17 @@ func TestTAGClusterTCP(t *testing.T) {
 func TestTAGClusterValidation(t *testing.T) {
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	if _, err := NewTAGCluster(ClusterConfig{RLNC: testRLNC(2, 2)}, 0, tr); err == nil {
+	if _, err := NewTAGCluster(tr, nil, 0, 2, WithPayload(2)); err == nil {
 		t.Error("nil graph accepted")
 	}
-	if _, err := NewTAGCluster(ClusterConfig{Graph: graph.Line(3), RLNC: testRLNC(2, 2)}, 5, tr); err == nil {
+	if _, err := NewTAGCluster(tr, graph.Line(3), 5, 2, WithPayload(2)); err == nil {
 		t.Error("out-of-range origin accepted")
+	}
+	if _, err := NewTAGCluster(tr, graph.Line(3), 0, 4, WithGenerations(2)); err == nil {
+		t.Error("generation coding accepted by TAG")
+	}
+	if _, err := NewTAGCluster(tr, graph.Line(3), 0, 2, WithLocalNodes(0, 1)); err == nil {
+		t.Error("local subset accepted by TAG")
 	}
 }
 
@@ -103,7 +111,7 @@ func TestTAGClusterParentAccessors(t *testing.T) {
 	g := graph.Line(3)
 	tr := NewChanTransport()
 	defer func() { _ = tr.Close() }()
-	c, err := NewTAGCluster(ClusterConfig{Graph: g, RLNC: testRLNC(2, 2), Interval: time.Hour, Seed: 1}, 1, tr)
+	c, err := NewTAGCluster(tr, g, 1, 2, WithPayload(2), WithInterval(time.Hour), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,20 +132,23 @@ func TestTAGClusterParentAccessors(t *testing.T) {
 // equally useful).
 func TestClusterUnderPacketLoss(t *testing.T) {
 	g := graph.Grid(3, 3)
-	cfg := testRLNC(4, 4)
+	const k, r = 4, 4
 	base := NewChanTransport()
 	lossy, err := NewLossyTransport(base, 0.3, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = lossy.Close() }()
-	c, err := NewCluster(ClusterConfig{Graph: g, RLNC: cfg, Interval: 200 * time.Microsecond, Seed: 8}, lossy)
+	c, err := NewCluster(lossy, g, k, WithPayload(r), WithInterval(200*time.Microsecond), WithSeed(8))
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := core.NewRand(3)
-	for i := 0; i < cfg.K; i++ {
-		c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandBytes(cfg.Field, cfg.PayloadLen, rng)})
+	field := gf.MustNew(256)
+	for i := 0; i < k; i++ {
+		if err := c.Seed(core.NodeID(i), rlnc.Message{Index: i, Payload: gf.RandBytes(field, r, rng)}); err != nil {
+			t.Fatal(err)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -148,11 +159,11 @@ func TestClusterUnderPacketLoss(t *testing.T) {
 	if done != g.N() {
 		t.Fatalf("completed %d/%d under loss", done, g.N())
 	}
-	delivered, dropped := lossy.Stats()
-	if dropped == 0 {
+	s := lossy.Stats()
+	if s.Total.Dropped == 0 {
 		t.Error("loss injection did not drop anything")
 	}
-	ratio := float64(dropped) / float64(delivered+dropped)
+	ratio := float64(s.Total.Dropped) / float64(s.Total.Sent+s.Total.Dropped)
 	if ratio < 0.2 || ratio > 0.4 {
 		t.Errorf("drop ratio %.2f, want ~0.3", ratio)
 	}

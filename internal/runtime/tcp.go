@@ -1,0 +1,366 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"algossip/internal/core"
+	"algossip/internal/wire"
+)
+
+// TCPOptions tunes TCPTransport's connection management. The zero value
+// selects the defaults below.
+type TCPOptions struct {
+	// QueueSize bounds each destination's send queue (default 256). A
+	// full queue drops the frame with ErrBackpressure — senders are never
+	// stalled by one slow peer.
+	QueueSize int
+	// DialAttempts is how many times one frame's dial burst retries an
+	// unreachable peer before dropping the frame (default 5). Later
+	// frames start fresh bursts, so a restarting peer is re-found.
+	DialAttempts int
+	// DialBackoff is the first retry delay; it doubles per attempt with
+	// ±50% jitter (default 5ms).
+	DialBackoff time.Duration
+	// SendTimeout bounds each dial and each frame write (default 2s).
+	SendTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.QueueSize <= 0 {
+		o.QueueSize = inboxSize
+	}
+	if o.DialAttempts <= 0 {
+		o.DialAttempts = 5
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 5 * time.Millisecond
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// TCPTransport carries wire-framed envelopes over TCP. Each registered
+// node gets its own listener (inbound frames are demuxed by the frame's
+// destination field, so one listener can also serve a whole co-located
+// node set); each destination gets one persistent connection owned by a
+// dedicated sender goroutine — dialing happens there, never under the
+// transport mutex, so one unreachable peer cannot stall other senders
+// (and concurrent Sends to the same peer coalesce onto the one dial, the
+// singleflight this layer needs).
+type TCPTransport struct {
+	opts TCPOptions
+
+	mu        sync.Mutex
+	peers     map[core.NodeID]string // declared remote addresses
+	addrs     map[core.NodeID]string // bound addresses of local listeners
+	listeners map[core.NodeID]net.Listener
+	inbound   map[net.Conn]struct{}
+	boxes     map[core.NodeID]chan Envelope
+	senders   map[core.NodeID]*tcpSender
+	closed    bool
+
+	stop   chan struct{}
+	stats  *counters
+	wg     sync.WaitGroup // accept + read loops
+	sendWg sync.WaitGroup // sender loops
+}
+
+type tcpSender struct {
+	to    core.NodeID
+	queue chan Envelope
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport returns a TCP transport with default options; nodes
+// listen on loopback ports assigned by the kernel unless SetPeers
+// declared an address for them.
+func NewTCPTransport() *TCPTransport {
+	return NewTCPTransportOpts(TCPOptions{})
+}
+
+// NewTCPTransportOpts returns a TCP transport with explicit options.
+func NewTCPTransportOpts(opts TCPOptions) *TCPTransport {
+	return &TCPTransport{
+		opts:      opts.withDefaults(),
+		peers:     make(map[core.NodeID]string),
+		addrs:     make(map[core.NodeID]string),
+		listeners: make(map[core.NodeID]net.Listener),
+		inbound:   make(map[net.Conn]struct{}),
+		boxes:     make(map[core.NodeID]chan Envelope),
+		senders:   make(map[core.NodeID]*tcpSender),
+		stop:      make(chan struct{}),
+		stats:     newCounters(),
+	}
+}
+
+// SetPeers declares node → address routes: Sends to an unregistered node
+// dial the declared address (multi-process clusters), and a subsequent
+// local Register of a declared node binds that address instead of an
+// ephemeral port.
+func (t *TCPTransport) SetPeers(peers map[core.NodeID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, addr := range peers {
+		t.peers[id] = addr
+	}
+}
+
+// AddPeer declares a single node → address route.
+func (t *TCPTransport) AddPeer(id core.NodeID, addr string) {
+	t.SetPeers(map[core.NodeID]string{id: addr})
+}
+
+// Register implements Transport: it starts a listener for the node and an
+// accept loop funneling decoded frames into local inboxes.
+func (t *TCPTransport) Register(id core.NodeID) (<-chan Envelope, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrTransportClosed
+	}
+	if _, ok := t.boxes[id]; ok {
+		return nil, fmt.Errorf("runtime: node %d already registered", id)
+	}
+	bind := "127.0.0.1:0"
+	if a, ok := t.peers[id]; ok {
+		bind = a
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: listen for node %d: %w", id, err)
+	}
+	ch := make(chan Envelope, t.opts.QueueSize)
+	t.listeners[id] = ln
+	t.addrs[id] = ln.Addr().String()
+	t.boxes[id] = ch
+
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return ch, nil
+}
+
+func (t *TCPTransport) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes inbound frames and demuxes them onto local inboxes by
+// the frame's destination field. A malformed frame (bad magic, version,
+// lengths — anything the wire screens catch) closes the connection: a
+// corrupted or hostile stream costs its sender a redial, never a crash.
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := wire.NewReader(conn)
+	for {
+		to, env, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		ch, ok := t.boxes[to]
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if !ok {
+			t.stats.dropped(to) // misrouted: not a local node
+			continue
+		}
+		select {
+		case ch <- env:
+		default:
+			t.stats.dropped(to)
+		}
+	}
+}
+
+// Addr returns the listen address of a registered node (for diagnostics
+// and peer-map construction).
+func (t *TCPTransport) Addr(id core.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[id]
+	return a, ok
+}
+
+// addrOf resolves a destination at dial time — local listener first, then
+// declared peers — so peers declared after the sender spun up still take
+// effect on the next dial.
+func (t *TCPTransport) addrOf(to core.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a, ok := t.addrs[to]; ok {
+		return a, true
+	}
+	a, ok := t.peers[to]
+	return a, ok
+}
+
+// Send implements Transport: it enqueues the frame on the destination's
+// sender goroutine, creating it on first use. A full queue drops the
+// frame with ErrBackpressure — the caller is never blocked on a slow or
+// unreachable peer.
+func (t *TCPTransport) Send(ctx context.Context, to core.NodeID, env Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrTransportClosed
+	}
+	s, ok := t.senders[to]
+	if !ok {
+		if _, local := t.addrs[to]; !local {
+			if _, peer := t.peers[to]; !peer {
+				t.mu.Unlock()
+				return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+			}
+		}
+		s = &tcpSender{to: to, queue: make(chan Envelope, t.opts.QueueSize)}
+		t.senders[to] = s
+		t.sendWg.Add(1)
+		go t.runSender(s)
+	}
+	t.mu.Unlock()
+
+	select {
+	case s.queue <- env:
+		return nil
+	default:
+		t.stats.dropped(to)
+		return fmt.Errorf("%w: send queue for node %d full", ErrBackpressure, to)
+	}
+}
+
+// runSender owns one destination's connection: it drains the send queue,
+// (re)dialing with exponential backoff + jitter as needed and writing
+// each frame under a deadline. Frames that outlive the dial burst or hit
+// a write error are dropped and counted — coded gossip recovers through
+// redundancy, so a sender never retries a stale frame.
+func (t *TCPTransport) runSender(s *tcpSender) {
+	defer t.sendWg.Done()
+	var conn net.Conn
+	var w *wire.Writer
+	dialedOnce := false
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		var env Envelope
+		select {
+		case <-t.stop:
+			return
+		case env = <-s.queue:
+		}
+		if conn == nil {
+			conn = t.dialBurst(s.to, &dialedOnce)
+			if conn == nil {
+				t.stats.dropped(s.to)
+				continue
+			}
+			w = wire.NewWriter(conn)
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(t.opts.SendTimeout))
+		if err := w.WriteFrame(s.to, &env); err != nil {
+			_ = conn.Close()
+			conn, w = nil, nil
+			t.stats.dropped(s.to)
+			continue
+		}
+		t.stats.sent(s.to)
+	}
+}
+
+// dialBurst tries DialAttempts dials with exponential backoff + jitter,
+// returning nil if the peer stayed unreachable. Every attempt after the
+// destination's first-ever dial counts as a redial.
+func (t *TCPTransport) dialBurst(to core.NodeID, dialedOnce *bool) net.Conn {
+	backoff := t.opts.DialBackoff
+	for attempt := 0; attempt < t.opts.DialAttempts; attempt++ {
+		addr, ok := t.addrOf(to)
+		if !ok {
+			return nil
+		}
+		if *dialedOnce {
+			t.stats.redial(to)
+		}
+		*dialedOnce = true
+		conn, err := net.DialTimeout("tcp", addr, t.opts.SendTimeout)
+		if err == nil {
+			return conn
+		}
+		// Jittered exponential backoff: sleep in [0.5, 1.5)·backoff, then
+		// double. Jitter decorrelates the redial storms of many senders
+		// re-finding one restarted peer.
+		sleep := time.Duration((0.5 + rand.Float64()) * float64(backoff))
+		select {
+		case <-t.stop:
+			return nil
+		case <-time.After(sleep):
+		}
+		backoff *= 2
+	}
+	return nil
+}
+
+// Stats implements Transport.
+func (t *TCPTransport) Stats() TransportStats { return t.stats.snapshot() }
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.stop)
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	for conn := range t.inbound {
+		_ = conn.Close()
+	}
+	boxes := t.boxes
+	t.mu.Unlock()
+
+	t.sendWg.Wait()
+	t.wg.Wait()
+	for _, ch := range boxes {
+		close(ch)
+	}
+	return nil
+}

@@ -2,52 +2,55 @@
 // processes: one goroutine per node, communicating through a pluggable
 // Transport. This is the "production" face of the library — the simulator
 // (internal/sim) measures round complexity deterministically, while this
-// package runs the same RLNC exchange over channels or TCP sockets, with
+// package runs the same RLNC exchange over channels or real sockets, with
 // payloads, decoding, and graceful shutdown.
 //
-// Two transports ship with the package: ChanTransport (in-process, used by
-// examples and tests) and TCPTransport (gob-framed messages over loopback
-// or a real network).
+// Four transports ship with the package: ChanTransport (in-process, used
+// by examples and tests), TCPTransport and UDPTransport (wire-framed
+// frames over loopback or a real network, see internal/wire), and
+// LossyTransport (i.i.d. drop injection wrapping any of the others).
 package runtime
 
 import (
-	"encoding/gob"
+	"context"
 	"errors"
 	"fmt"
-	"net"
 	"sync"
 
 	"algossip/internal/core"
-	"algossip/internal/gf"
-)
-
-// EnvelopeKind distinguishes wire message types.
-type EnvelopeKind int
-
-const (
-	// EnvelopePacket carries one RLNC coded packet (the default).
-	EnvelopePacket EnvelopeKind = iota
-	// EnvelopeAnnounce is a spanning-tree broadcast message: "I am part of
-	// the tree; adopt me as your parent if you have none" (distributed
-	// TAG's Phase 1).
-	EnvelopeAnnounce
+	"algossip/internal/wire"
 )
 
 // Envelope is the wire message: one coded packet plus exchange metadata.
-type Envelope struct {
-	// Kind selects the message type.
-	Kind EnvelopeKind
-	// From is the sending node.
-	From core.NodeID
-	// WantReply marks the first leg of an EXCHANGE: the receiver answers
-	// with one packet of its own (with WantReply unset).
-	WantReply bool
-	// Coeffs is the k-length coefficient vector.
-	Coeffs []gf.Elem
-	// Payload is the combined payload row, one byte-encoded field symbol
-	// per byte (may be empty in rank-only runs).
-	Payload []byte
-}
+// It is defined in internal/wire — the codec package owns the layout —
+// and aliased here so transport users need not import wire.
+type Envelope = wire.Envelope
+
+// EnvelopeKind distinguishes wire message types.
+type EnvelopeKind = wire.Kind
+
+const (
+	// EnvelopePacket carries one RLNC coded packet (the default).
+	EnvelopePacket = wire.KindPacket
+	// EnvelopeAnnounce is a spanning-tree broadcast message: "I am part of
+	// the tree; adopt me as your parent if you have none" (distributed
+	// TAG's Phase 1).
+	EnvelopeAnnounce = wire.KindAnnounce
+)
+
+// Typed transport errors. Wrapped with context at return sites; match
+// with errors.Is.
+var (
+	// ErrTransportClosed reports an operation on a closed transport.
+	ErrTransportClosed = errors.New("runtime: transport closed")
+	// ErrUnknownNode reports a Send to a node the transport cannot route
+	// to (not registered and no declared peer address).
+	ErrUnknownNode = errors.New("runtime: unknown node")
+	// ErrBackpressure reports an envelope dropped because a bounded inbox
+	// or send queue was full. Gossip is loss-tolerant: callers on the hot
+	// path treat it as a counted drop, not a failure.
+	ErrBackpressure = errors.New("runtime: dropped on backpressure")
+)
 
 // Transport moves envelopes between nodes. Implementations must be safe
 // for concurrent use.
@@ -55,11 +58,84 @@ type Transport interface {
 	// Register allocates the inbox for node id. It must be called once per
 	// node before Send targets it.
 	Register(id core.NodeID) (<-chan Envelope, error)
-	// Send delivers env to node to. Delivery may be asynchronous; Send
-	// must not block indefinitely once the receiver is closed.
-	Send(to core.NodeID, env Envelope) error
+	// Send delivers env to node to. Delivery may be asynchronous and may
+	// be dropped under backpressure (reported as ErrBackpressure after
+	// counting the drop); Send must not block past ctx.
+	Send(ctx context.Context, to core.NodeID, env Envelope) error
+	// Stats snapshots the transport's send/drop/redial counters.
+	Stats() TransportStats
 	// Close releases all resources; subsequent Sends fail.
 	Close() error
+}
+
+// NodeStats counts one destination's traffic as seen by a sender.
+type NodeStats struct {
+	// Sent counts envelopes handed to the underlying medium.
+	Sent uint64
+	// Dropped counts envelopes discarded before delivery (full inbox or
+	// send queue, injected loss, undialable peer).
+	Dropped uint64
+	// Redials counts connection re-establishment attempts after the
+	// first dial (broken connections and backoff retries).
+	Redials uint64
+}
+
+// TransportStats is a point-in-time snapshot of a transport's counters,
+// totalled and broken down per destination node.
+type TransportStats struct {
+	Total   NodeStats
+	PerNode map[core.NodeID]NodeStats
+}
+
+// counters is the shared per-destination counter set behind every
+// Transport.Stats implementation.
+type counters struct {
+	mu  sync.Mutex
+	per map[core.NodeID]*NodeStats
+}
+
+func newCounters() *counters {
+	return &counters{per: make(map[core.NodeID]*NodeStats)}
+}
+
+func (c *counters) node(id core.NodeID) *NodeStats {
+	ns, ok := c.per[id]
+	if !ok {
+		ns = &NodeStats{}
+		c.per[id] = ns
+	}
+	return ns
+}
+
+func (c *counters) sent(id core.NodeID) {
+	c.mu.Lock()
+	c.node(id).Sent++
+	c.mu.Unlock()
+}
+
+func (c *counters) dropped(id core.NodeID) {
+	c.mu.Lock()
+	c.node(id).Dropped++
+	c.mu.Unlock()
+}
+
+func (c *counters) redial(id core.NodeID) {
+	c.mu.Lock()
+	c.node(id).Redials++
+	c.mu.Unlock()
+}
+
+func (c *counters) snapshot() TransportStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := TransportStats{PerNode: make(map[core.NodeID]NodeStats, len(c.per))}
+	for id, ns := range c.per {
+		s.PerNode[id] = *ns
+		s.Total.Sent += ns.Sent
+		s.Total.Dropped += ns.Dropped
+		s.Total.Redials += ns.Redials
+	}
+	return s
 }
 
 // inboxSize buffers bursts without unbounded growth; gossip tolerates drops
@@ -72,13 +148,17 @@ type ChanTransport struct {
 	mu     sync.RWMutex
 	boxes  map[core.NodeID]chan Envelope
 	closed bool
+	stats  *counters
 }
 
 var _ Transport = (*ChanTransport)(nil)
 
 // NewChanTransport returns an empty in-process transport.
 func NewChanTransport() *ChanTransport {
-	return &ChanTransport{boxes: make(map[core.NodeID]chan Envelope)}
+	return &ChanTransport{
+		boxes: make(map[core.NodeID]chan Envelope),
+		stats: newCounters(),
+	}
 }
 
 // Register implements Transport.
@@ -86,7 +166,7 @@ func (t *ChanTransport) Register(id core.NodeID) (<-chan Envelope, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return nil, errors.New("runtime: transport closed")
+		return nil, ErrTransportClosed
 	}
 	if _, ok := t.boxes[id]; ok {
 		return nil, fmt.Errorf("runtime: node %d already registered", id)
@@ -96,25 +176,35 @@ func (t *ChanTransport) Register(id core.NodeID) (<-chan Envelope, error) {
 	return ch, nil
 }
 
-// Send implements Transport. When the receiver's inbox is full the envelope
-// is dropped — gossip is loss-tolerant by design, and unhelpful packets are
+// Send implements Transport. When the receiver's inbox is full the
+// envelope is dropped, the drop is counted, and ErrBackpressure is
+// returned — gossip is loss-tolerant by design, and unhelpful packets are
 // redundant anyway.
-func (t *ChanTransport) Send(to core.NodeID, env Envelope) error {
+func (t *ChanTransport) Send(ctx context.Context, to core.NodeID, env Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.closed {
-		return errors.New("runtime: transport closed")
+		return ErrTransportClosed
 	}
 	ch, ok := t.boxes[to]
 	if !ok {
-		return fmt.Errorf("runtime: unknown node %d", to)
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
 	}
 	select {
 	case ch <- env:
-	default: // drop on backpressure
+		t.stats.sent(to)
+		return nil
+	default:
+		t.stats.dropped(to)
+		return fmt.Errorf("%w: inbox of node %d full", ErrBackpressure, to)
 	}
-	return nil
 }
+
+// Stats implements Transport.
+func (t *ChanTransport) Stats() TransportStats { return t.stats.snapshot() }
 
 // Close implements Transport.
 func (t *ChanTransport) Close() error {
@@ -125,158 +215,6 @@ func (t *ChanTransport) Close() error {
 	}
 	t.closed = true
 	for _, ch := range t.boxes {
-		close(ch)
-	}
-	return nil
-}
-
-// TCPTransport carries envelopes as gob-encoded frames over TCP. Each
-// registered node gets its own listener; senders keep one persistent
-// connection per destination.
-type TCPTransport struct {
-	mu        sync.Mutex
-	addrs     map[core.NodeID]string
-	listeners map[core.NodeID]net.Listener
-	boxes     map[core.NodeID]chan Envelope
-	conns     map[core.NodeID]*gobConn
-	wg        sync.WaitGroup
-	closed    bool
-}
-
-type gobConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-}
-
-var _ Transport = (*TCPTransport)(nil)
-
-// NewTCPTransport returns a TCP transport; nodes listen on loopback ports
-// assigned by the kernel.
-func NewTCPTransport() *TCPTransport {
-	return &TCPTransport{
-		addrs:     make(map[core.NodeID]string),
-		listeners: make(map[core.NodeID]net.Listener),
-		boxes:     make(map[core.NodeID]chan Envelope),
-		conns:     make(map[core.NodeID]*gobConn),
-	}
-}
-
-// Register implements Transport: it starts a listener for the node and a
-// goroutine funneling decoded envelopes into the inbox.
-func (t *TCPTransport) Register(id core.NodeID) (<-chan Envelope, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return nil, errors.New("runtime: transport closed")
-	}
-	if _, ok := t.boxes[id]; ok {
-		return nil, fmt.Errorf("runtime: node %d already registered", id)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("runtime: listen for node %d: %w", id, err)
-	}
-	ch := make(chan Envelope, inboxSize)
-	t.listeners[id] = ln
-	t.addrs[id] = ln.Addr().String()
-	t.boxes[id] = ch
-
-	t.wg.Add(1)
-	go func() {
-		defer t.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			t.wg.Add(1)
-			go func() {
-				defer t.wg.Done()
-				defer func() { _ = conn.Close() }()
-				dec := gob.NewDecoder(conn)
-				for {
-					var env Envelope
-					if err := dec.Decode(&env); err != nil {
-						return
-					}
-					select {
-					case ch <- env:
-					default: // drop on backpressure
-					}
-				}
-			}()
-		}
-	}()
-	return ch, nil
-}
-
-// Addr returns the listen address of a registered node (for diagnostics).
-func (t *TCPTransport) Addr(id core.NodeID) (string, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	a, ok := t.addrs[id]
-	return a, ok
-}
-
-// Send implements Transport.
-func (t *TCPTransport) Send(to core.NodeID, env Envelope) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return errors.New("runtime: transport closed")
-	}
-	gc, ok := t.conns[to]
-	if !ok {
-		addr, known := t.addrs[to]
-		if !known {
-			t.mu.Unlock()
-			return fmt.Errorf("runtime: unknown node %d", to)
-		}
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			t.mu.Unlock()
-			return fmt.Errorf("runtime: dial node %d: %w", to, err)
-		}
-		gc = &gobConn{conn: conn, enc: gob.NewEncoder(conn)}
-		t.conns[to] = gc
-	}
-	t.mu.Unlock()
-
-	gc.mu.Lock()
-	defer gc.mu.Unlock()
-	if err := gc.enc.Encode(env); err != nil {
-		// Connection broke; forget it so the next Send redials.
-		t.mu.Lock()
-		if t.conns[to] == gc {
-			delete(t.conns, to)
-		}
-		t.mu.Unlock()
-		_ = gc.conn.Close()
-		return fmt.Errorf("runtime: send to node %d: %w", to, err)
-	}
-	return nil
-}
-
-// Close implements Transport.
-func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil
-	}
-	t.closed = true
-	for _, ln := range t.listeners {
-		_ = ln.Close()
-	}
-	for _, gc := range t.conns {
-		_ = gc.conn.Close()
-	}
-	boxes := t.boxes
-	t.mu.Unlock()
-
-	t.wg.Wait()
-	for _, ch := range boxes {
 		close(ch)
 	}
 	return nil

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"testing"
+
+	"algossip/internal/gf"
+)
+
+// benchEnvelope mirrors the E17 live-cluster shape: k=16 coefficients
+// over GF(256) with a 64-byte payload row.
+func benchEnvelope() Envelope {
+	coeffs := make([]gf.Elem, 16)
+	for i := range coeffs {
+		coeffs[i] = gf.Elem(i*17 + 1)
+	}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	return Envelope{Kind: KindPacket, From: 12, WantReply: true, Gen: 0,
+		Coeffs: coeffs, Payload: payload}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	env := benchEnvelope()
+	buf := make([]byte, 0, FrameLen(&env))
+	b.SetBytes(int64(FrameLen(&env)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], 3, &env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	env := benchEnvelope()
+	frame, err := AppendFrame(nil, 3, &env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := DecodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
