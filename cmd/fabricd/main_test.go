@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenCSV is the pinned `sweep -graph line -protocol ag -sizes 8,12
+// -trials 2 -seed 5` output (see cmd/sweep's golden table): the fabric
+// CLI must reproduce it byte for byte through a real coordinator and
+// worker.
+const goldenCSV = "graph,protocol,model,n,k,trial,rounds\n" +
+	"line-8,uniform-ag,synchronous,8,4,0,20\n" +
+	"line-8,uniform-ag,synchronous,8,4,1,20\n" +
+	"line-12,uniform-ag,synchronous,12,6,0,28\n" +
+	"line-12,uniform-ag,synchronous,12,6,1,24\n"
+
+// freeAddr reserves an ephemeral port and releases it for the
+// coordinator to rebind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+func waitServing(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/status")
+		if err == nil {
+			_ = resp.Body.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("coordinator at %s never started serving", base)
+}
+
+func TestFabricdEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	addr := freeAddr(t)
+	out := filepath.Join(dir, "fab.csv")
+	storePath := filepath.Join(dir, "results.jsonl")
+	ckpt := filepath.Join(dir, "fab.ckpt")
+
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- runCoordinator([]string{
+			"-graph", "line", "-protocol", "ag", "-sizes", "8,12",
+			"-trials", "2", "-seed", "5", "-session", "ci",
+			"-listen", addr, "-checkpoint", ckpt,
+			"-store", storePath, "-out", out, "-lease-chunk", "2",
+		}, io.Discard)
+	}()
+	waitServing(t, "http://"+addr)
+
+	var wbuf bytes.Buffer
+	if err := runWorker([]string{
+		"-coordinator", "http://" + addr, "-parallel", "2", "-name", "w0",
+	}, &wbuf); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if !strings.Contains(wbuf.String(), "executed 4 trials") {
+		t.Fatalf("worker summary = %q", wbuf.String())
+	}
+
+	// The coordinator lingers after completion; status must report the
+	// finished counters while it does.
+	var sbuf bytes.Buffer
+	if err := runStatus([]string{"-coordinator", "http://" + addr}, &sbuf); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(sbuf.String(), `"done":4`) {
+		t.Fatalf("status = %q", sbuf.String())
+	}
+
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != goldenCSV {
+		t.Fatalf("fabric CSV differs from the sweep golden:\ngot:\n%swant:\n%s", data, goldenCSV)
+	}
+
+	// The store answers the tail query without touching the CSV.
+	var qbuf bytes.Buffer
+	if err := runQuery([]string{
+		"-store", storePath, "-spec", "sweep", "-graph", "line", "-n", "8",
+	}, &qbuf); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if q := qbuf.String(); !strings.Contains(q, "trials=2") || !strings.Contains(q, "p99=20.0") {
+		t.Fatalf("query output = %q", q)
+	}
+	var cbuf bytes.Buffer
+	if err := runQuery([]string{"-store", storePath, "-cells"}, &cbuf); err != nil {
+		t.Fatalf("query -cells: %v", err)
+	}
+	if lines := strings.Count(cbuf.String(), "\n"); lines != 2 {
+		t.Fatalf("query -cells printed %d cells, want 2:\n%s", lines, cbuf.String())
+	}
+}
+
+func TestFabricdRejectsBadFlags(t *testing.T) {
+	if err := runCoordinator([]string{"-protocol", "bogus"}, io.Discard); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+	if err := runCoordinator([]string{"-resume"}, io.Discard); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := runWorker([]string{}, io.Discard); err == nil {
+		t.Error("worker without -coordinator accepted")
+	}
+	if err := runStatus([]string{}, io.Discard); err == nil {
+		t.Error("status without -coordinator accepted")
+	}
+	if err := runQuery([]string{}, io.Discard); err == nil {
+		t.Error("query without -store accepted")
+	}
+}

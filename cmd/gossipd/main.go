@@ -50,6 +50,7 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "protocol randomness seed (shared across processes)")
 		loss      = flag.Float64("loss", 0, "injected i.i.d. packet-loss probability")
 		lossSeed  = flag.Uint64("loss-seed", 7, "loss injection seed")
+		shutdown  = flag.Duration("shutdown-timeout", 0, "drain bound for in-flight control requests (0 = 5s default)")
 	)
 	flag.Parse()
 
@@ -63,21 +64,22 @@ func run() error {
 	}
 
 	d, err := daemon.New(daemon.Options{
-		HTTPAddr:   *httpAddr,
-		Transport:  *transport,
-		Local:      local,
-		Peers:      peerMap,
-		GraphName:  *graphName,
-		GraphN:     *graphN,
-		GraphSeed:  *graphSeed,
-		K:          *k,
-		Q:          *q,
-		PayloadLen: *payload,
-		GenSize:    *gen,
-		Interval:   *interval,
-		Seed:       *seed,
-		LossRate:   *loss,
-		LossSeed:   *lossSeed,
+		HTTPAddr:        *httpAddr,
+		Transport:       *transport,
+		Local:           local,
+		Peers:           peerMap,
+		GraphName:       *graphName,
+		GraphN:          *graphN,
+		GraphSeed:       *graphSeed,
+		K:               *k,
+		Q:               *q,
+		PayloadLen:      *payload,
+		GenSize:         *gen,
+		Interval:        *interval,
+		Seed:            *seed,
+		LossRate:        *loss,
+		LossSeed:        *lossSeed,
+		ShutdownTimeout: *shutdown,
 	})
 	if err != nil {
 		return err

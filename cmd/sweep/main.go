@@ -30,6 +30,7 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/harness"
+	"algossip/internal/resultstore"
 	"algossip/internal/stats"
 )
 
@@ -59,6 +60,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		timeout    = fs.Duration("timeout", 0, "per-trial timeout (0 = none)")
 		checkpoint = fs.String("checkpoint", "", "record finished trials to this file")
 		resume     = fs.Bool("resume", false, "resume from -checkpoint instead of restarting it")
+		storePath  = fs.String("store", "", "also ingest results into this result store (query with fabricd query)")
 		progress   = fs.Bool("progress", false, "report per-trial progress on stderr")
 		jsonOut    = fs.Bool("json", false, "write JSON instead of CSV")
 		out        = fs.String("out", "", "output path (default stdout)")
@@ -163,6 +165,19 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	if err != nil {
 		return err
+	}
+	if *storePath != "" {
+		store, serr := resultstore.Open(*storePath)
+		if serr != nil {
+			return serr
+		}
+		if serr := store.Append(resultstore.FromResultSet(rs)...); serr != nil {
+			_ = store.Close()
+			return serr
+		}
+		if serr := store.Close(); serr != nil {
+			return serr
+		}
 	}
 	for ci, c := range rs.Cells {
 		fmt.Fprintf(os.Stderr, "n=%-5d k=%-5d %s\n",

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"algossip/internal/resultstore"
 )
 
 // goldenSweeps pins the exact CSV bytes the pre-harness cmd/sweep
@@ -206,6 +208,33 @@ func TestSweepRejectsBadFlags(t *testing.T) {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("run(%v) accepted", args)
 		}
+	}
+}
+
+// TestSweepStoreIngest: -store mirrors the CSV rows into the result
+// store, queryable by cell with tail quantiles and no CSV re-parsing.
+func TestSweepStoreIngest(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "results.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-graph", "line", "-protocol", "ag", "-sizes", "8,12",
+		"-trials", "2", "-seed", "5", "-store", storePath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	store, err := resultstore.Open(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ts, err := store.Tail(resultstore.Filter{Spec: "sweep", Graph: "line", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden rows for this seed: n=8 trials are 20,20.
+	if ts.Trials != 2 || ts.Mean != 20 || ts.P99 != 20 || ts.Max != 20 {
+		t.Fatalf("store tail = %+v", ts)
+	}
+	if cells := store.Cells(); len(cells) != 2 {
+		t.Fatalf("store has %d cells, want 2", len(cells))
 	}
 }
 

@@ -61,7 +61,15 @@ type Options struct {
 	// injection seeded by LossSeed.
 	LossRate float64
 	LossSeed uint64
+	// ShutdownTimeout bounds how long a drain waits for in-flight control
+	// requests before cutting their connections (0 = the 5s default).
+	// Raise it for deployments whose drains run slower than 5s under
+	// load — a too-small value truncates active scrapes mid-response.
+	ShutdownTimeout time.Duration
 }
+
+// defaultShutdownTimeout is the historical hardcoded drain bound.
+const defaultShutdownTimeout = 5 * time.Second
 
 // Daemon hosts a cluster slice plus its HTTP control plane.
 type Daemon struct {
@@ -210,7 +218,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 	if clusterErr != nil {
 		<-clusterErr
 	}
-	shutdownCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	shutdownCtx, stop := context.WithTimeout(context.Background(), d.shutdownTimeout())
 	_ = d.server.Shutdown(shutdownCtx)
 	stop()
 	if httpErr != nil {
@@ -224,6 +232,14 @@ func (d *Daemon) Run(ctx context.Context) error {
 
 // drain requests shutdown (idempotent).
 func (d *Daemon) drain() { d.drainOnce.Do(func() { close(d.drainCh) }) }
+
+// shutdownTimeout resolves the configured drain bound.
+func (d *Daemon) shutdownTimeout() time.Duration {
+	if d.opts.ShutdownTimeout > 0 {
+		return d.opts.ShutdownTimeout
+	}
+	return defaultShutdownTimeout
+}
 
 // nodeStatusJSON is the wire form of runtime.NodeStatus.
 type nodeStatusJSON struct {

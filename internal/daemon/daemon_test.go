@@ -190,6 +190,62 @@ func TestDaemonDrainEndpoint(t *testing.T) {
 	checkNoRuntimeGoroutines(t)
 }
 
+// TestDaemonShutdownTimeoutPlumbed is the slow-drain regression test for
+// the hardcoded 5s shutdown bound: a connection that has sent part of a
+// request is "active" to net/http, so Shutdown waits for it until the
+// drain deadline. With the bound plumbed through Options, a drain against
+// such a connection must take about the configured timeout — neither
+// cutting it instantly nor sitting out the old hardcoded 5s.
+func TestDaemonShutdownTimeoutPlumbed(t *testing.T) {
+	for _, timeout := range []time.Duration{300 * time.Millisecond, 1200 * time.Millisecond} {
+		gossip := reserveAddrs(t, 2)
+		d, err := New(Options{
+			Local:     []core.NodeID{0, 1},
+			Peers:     map[core.NodeID]string{0: gossip[0], 1: gossip[1]},
+			GraphName: "ring", GraphN: 2, GraphSeed: 1,
+			K: 1, Interval: 2 * time.Millisecond, Seed: 7,
+			ShutdownTimeout: timeout,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errCh := make(chan error, 1)
+		go func() { errCh <- d.Run(context.Background()) }()
+
+		// A half-sent request parks the connection in the active state:
+		// the server has read bytes but cannot answer, the slow-drain
+		// shape that used to be cut (or stall) at exactly 5s.
+		conn, err := net.Dial("tcp", d.ControlAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte("GET /status HTTP/1.1\r\nHost: x\r\n")); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(50 * time.Millisecond) // let the server read the partial request
+
+		start := time.Now()
+		post(t, d.ControlAddr(), "/drain", nil)
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Errorf("drain was not clean: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never drained")
+		}
+		elapsed := time.Since(start)
+		if elapsed < timeout-50*time.Millisecond {
+			t.Errorf("drain with a stuck connection returned after %v, before the %v bound", elapsed, timeout)
+		}
+		if elapsed > timeout+2*time.Second {
+			t.Errorf("drain took %v, far beyond the configured %v bound (hardcoded timeout regression?)", elapsed, timeout)
+		}
+		_ = conn.Close()
+		checkNoRuntimeGoroutines(t)
+	}
+}
+
 // checkNoRuntimeGoroutines fails if gossip goroutines (node loops,
 // transport senders, accept/read loops, daemon runners) outlive the
 // drain. HTTP keep-alive and test goroutines are not counted.

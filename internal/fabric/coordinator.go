@@ -1,0 +1,339 @@
+package fabric
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"algossip/internal/harness"
+	"algossip/internal/resultstore"
+)
+
+// CoordinatorOptions configures one fabric coordinator.
+type CoordinatorOptions struct {
+	// Spec is the experiment to distribute. It must be name-based
+	// (Graph + Sizes, no pre-built Graphs, no custom TrialSeed): workers
+	// rebuild the work-list from the spec's JSON form, and the
+	// fingerprint handshake rejects anything that would not round-trip.
+	Spec *harness.Spec
+	// Listen is the HTTP listen address (default 127.0.0.1:0).
+	Listen string
+	// Checkpoint, when non-empty, durably records every accepted trial
+	// in the harness checkpoint format; with Resume, a restarted
+	// coordinator replays it and re-leases only what is missing.
+	Checkpoint string
+	Resume     bool
+	// LeaseChunk is the number of trials per lease (default 32).
+	LeaseChunk int
+	// LeaseTTL is how long a worker may sit on a lease without renewing
+	// before its range is requeued (default 30s).
+	LeaseTTL time.Duration
+	// Linger is how long the coordinator keeps answering Done after the
+	// last trial completes, so every polling worker observes completion
+	// rather than a refused connection (default 2s).
+	Linger time.Duration
+	// Store, when set, ingests the merged results on completion.
+	Store *resultstore.Store
+	// Progress, when set, is called serially after every accepted trial.
+	Progress func(done, total int)
+	// now overrides the lease clock (tests only).
+	now func() time.Time
+}
+
+// Coordinator owns a run's work-list and serves it to workers.
+type Coordinator struct {
+	opts        CoordinatorOptions
+	spec        *harness.Spec
+	fingerprint string
+	cells       []harness.Cell
+	trials      []harness.Trial
+	table       *harness.LeaseTable
+
+	mu       sync.Mutex
+	outcomes []harness.Outcome
+	have     []bool
+	resumed  int
+	ck       *harness.CheckpointFile
+
+	ln     net.Listener
+	server *http.Server
+	doneCh chan struct{}
+	done   sync.Once
+}
+
+// NewCoordinator validates the options, expands the work-list, replays
+// the checkpoint (when resuming), and binds the listener — workers can
+// connect as soon as it returns; serving starts with Run.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Spec == nil {
+		return nil, fmt.Errorf("fabric: nil spec")
+	}
+	if len(opts.Spec.Graphs) > 0 {
+		return nil, fmt.Errorf("fabric: pre-built Graphs do not serialize; use a name-based spec (Graph + Sizes)")
+	}
+	if opts.Spec.TrialSeed != nil {
+		return nil, fmt.Errorf("fabric: custom TrialSeed functions do not serialize; use the default derivation")
+	}
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	if opts.LeaseChunk <= 0 {
+		opts.LeaseChunk = defaultLeaseChunk
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = defaultLeaseTTL
+	}
+	if opts.Linger <= 0 {
+		opts.Linger = defaultDoneLinger
+	}
+	cells, trials, err := opts.Spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	table, err := harness.NewLeaseTable(len(trials), opts.LeaseChunk, opts.LeaseTTL, opts.now)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opts: opts, spec: opts.Spec, fingerprint: opts.Spec.Fingerprint(),
+		cells: cells, trials: trials, table: table,
+		outcomes: make([]harness.Outcome, len(trials)),
+		have:     make([]bool, len(trials)),
+		doneCh:   make(chan struct{}),
+	}
+	if opts.Checkpoint != "" {
+		ck, err := harness.OpenCheckpointFile(opts.Checkpoint, opts.Spec, len(trials), opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		c.ck = ck
+		for i, o := range ck.Loaded() {
+			c.outcomes[i] = o
+			c.have[i] = true
+			c.table.MarkDone(i)
+			c.resumed++
+		}
+	}
+	if c.table.Done() {
+		c.done.Do(func() { close(c.doneCh) })
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		if c.ck != nil {
+			_ = c.ck.Close()
+		}
+		return nil, fmt.Errorf("fabric: listen: %w", err)
+	}
+	c.ln = ln
+	c.server = &http.Server{Handler: c.mux(), ReadHeaderTimeout: 5 * time.Second}
+	return c, nil
+}
+
+// Addr is the bound coordinator address (host:port).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// URL is the base URL workers dial.
+func (c *Coordinator) URL() string { return "http://" + c.Addr() }
+
+// Run serves workers until every trial has completed or ctx is
+// cancelled. On completion it returns the merged ResultSet — identical
+// to a local Runner.Run of the same spec — after ingesting it into the
+// configured store. On cancellation it returns ctx's error; accepted
+// trials are already durable in the checkpoint, so a successor resumes
+// where this coordinator stopped.
+func (c *Coordinator) Run(ctx context.Context) (*harness.ResultSet, error) {
+	start := time.Now()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- c.server.Serve(c.ln) }()
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	case <-c.doneCh:
+		// Keep answering Done for a beat so polling workers learn the
+		// run finished instead of hitting a closed port.
+		select {
+		case <-ctx.Done():
+		case <-time.After(c.opts.Linger):
+		}
+	case err := <-serveErr:
+		serveErr = nil
+		runErr = fmt.Errorf("fabric: serve: %w", err)
+	}
+
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = c.server.Shutdown(shutdownCtx)
+	stop()
+	if serveErr != nil {
+		<-serveErr // http.ErrServerClosed after Shutdown
+	}
+	if c.ck != nil {
+		if err := c.ck.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	c.mu.Lock()
+	rs := &harness.ResultSet{
+		Spec: c.spec, Cells: c.cells, Trials: c.trials,
+		Outcomes: append([]harness.Outcome(nil), c.outcomes...),
+		Elapsed:  time.Since(start), Executed: len(c.trials) - c.resumed,
+	}
+	c.mu.Unlock()
+	if c.opts.Store != nil {
+		if err := c.opts.Store.Append(resultstore.FromResultSet(rs)...); err != nil {
+			return nil, fmt.Errorf("fabric: store ingest: %w", err)
+		}
+		if err := c.opts.Store.Flush(); err != nil {
+			return nil, fmt.Errorf("fabric: store flush: %w", err)
+		}
+	}
+	return rs, nil
+}
+
+func (c *Coordinator) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /spec", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(specEnvelope{
+			Spec: c.spec, Fingerprint: c.fingerprint, Total: len(c.trials),
+		})
+	})
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := leaseResponse{RetryMillis: defaultPollInterval.Milliseconds()}
+		if c.table.Done() {
+			resp.Done = true
+		} else if l, ok := c.table.Lease(req.Worker); ok {
+			resp.Lease = &l
+			resp.RenewMillis = (c.opts.LeaseTTL / 3).Milliseconds()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("POST /renew", func(w http.ResponseWriter, r *http.Request) {
+		var req renewRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !c.table.Renew(req.Lease) {
+			http.Error(w, "unknown or expired lease", http.StatusGone)
+			return
+		}
+		fmt.Fprintln(w, "renewed")
+	})
+	mux.HandleFunc("POST /results", c.handleResults)
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		done, leased, free := c.table.Counts()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(statusResponse{
+			Name: c.spec.Name, Total: len(c.trials),
+			Done: done, Leased: leased, Free: free,
+		})
+	})
+	return mux
+}
+
+// handleResults validates a fingerprinted JSONL result stream in full
+// before committing any of it: a garbage or foreign-spec body is
+// rejected with 400 and neither the checkpoint nor the in-memory merge
+// sees a single entry from it. Duplicates (a late report racing the
+// re-leased range) are idempotently ignored — both copies carry the same
+// deterministic outcome.
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		http.Error(w, "empty results stream", http.StatusBadRequest)
+		return
+	}
+	var hdr resultsHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		http.Error(w, "results header: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if hdr.Fingerprint != c.fingerprint {
+		http.Error(w, "results from a different spec (fingerprint mismatch)", http.StatusBadRequest)
+		return
+	}
+	var entries []resultEntry
+	for sc.Scan() {
+		var e resultEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			http.Error(w, fmt.Sprintf("results entry %d: %v", len(entries), err), http.StatusBadRequest)
+			return
+		}
+		if e.I < 0 || e.I >= len(c.trials) {
+			http.Error(w, fmt.Sprintf("results entry index %d outside [0,%d)", e.I, len(c.trials)), http.StatusBadRequest)
+			return
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, "results stream: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	accepted := 0
+	for _, e := range entries {
+		fresh, err := c.commit(e)
+		if err != nil {
+			// A checkpoint write failure is the coordinator's problem,
+			// not the worker's: 500 so the worker retries later.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if fresh {
+			accepted++
+		}
+	}
+	if hdr.Lease != 0 {
+		c.table.Renew(hdr.Lease)
+	}
+	if c.table.Done() {
+		c.done.Do(func() { close(c.doneCh) })
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resultsResponse{Accepted: accepted, Done: c.table.Done()})
+}
+
+// commit durably records one validated entry (checkpoint first, merge
+// second) and marks it complete. Returns whether the trial was new.
+func (c *Coordinator) commit(e resultEntry) (bool, error) {
+	c.mu.Lock()
+	if c.have[e.I] {
+		c.mu.Unlock()
+		c.table.Complete(e.I)
+		return false, nil
+	}
+	if c.ck != nil {
+		if err := c.ck.Append(e.I, e.O); err != nil {
+			c.mu.Unlock()
+			return false, err
+		}
+	}
+	c.outcomes[e.I] = e.O
+	c.have[e.I] = true
+	c.table.Complete(e.I)
+	if c.opts.Progress != nil {
+		// Still under c.mu, so Progress callbacks are serial.
+		done, _, _ := c.table.Counts()
+		c.opts.Progress(done, len(c.trials))
+	}
+	c.mu.Unlock()
+	return true, nil
+}

@@ -1,0 +1,279 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"algossip/internal/harness"
+)
+
+// WorkerOptions configures one fabric worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:port).
+	Coordinator string
+	// Name labels this worker in leases and logs.
+	Name string
+	// Parallel bounds concurrent trials within a lease (<=0: all cores).
+	Parallel int
+	// PollInterval is the idle wait when every free trial is out on a
+	// live lease (default 200ms, overridden by the coordinator's hint).
+	PollInterval time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Worker pulls leases from a coordinator and runs them.
+type Worker struct {
+	opts        WorkerOptions
+	client      *http.Client
+	spec        *harness.Spec
+	fingerprint string
+	trials      []harness.Trial
+}
+
+// RunWorker is the one-call worker loop: fetch and verify the spec, then
+// lease, execute, and stream results until the coordinator reports the
+// run complete or ctx is cancelled. It returns the number of trials this
+// worker executed.
+func RunWorker(ctx context.Context, opts WorkerOptions) (int, error) {
+	w, err := NewWorker(ctx, opts)
+	if err != nil {
+		return 0, err
+	}
+	return w.Run(ctx)
+}
+
+// NewWorker fetches the coordinator's spec, expands the work-list
+// locally, and verifies the fingerprint round-trips — the guarantee that
+// this worker will compute exactly the trials the coordinator is
+// merging.
+func NewWorker(ctx context.Context, opts WorkerOptions) (*Worker, error) {
+	if opts.Coordinator == "" {
+		return nil, fmt.Errorf("fabric: no coordinator URL")
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = defaultPollInterval
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	w := &Worker{opts: opts, client: client}
+
+	var env specEnvelope
+	if err := w.getJSON(ctx, "/spec", &env); err != nil {
+		return nil, fmt.Errorf("fabric: fetch spec: %w", err)
+	}
+	if env.Spec == nil {
+		return nil, fmt.Errorf("fabric: coordinator sent no spec")
+	}
+	_, trials, err := env.Spec.Expand()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: expand spec: %w", err)
+	}
+	if fp := env.Spec.Fingerprint(); fp != env.Fingerprint {
+		return nil, fmt.Errorf("fabric: spec did not survive the wire: local fingerprint %s, coordinator %s", fp, env.Fingerprint)
+	}
+	if len(trials) != env.Total {
+		return nil, fmt.Errorf("fabric: work-list size mismatch: local %d, coordinator %d", len(trials), env.Total)
+	}
+	w.spec, w.fingerprint, w.trials = env.Spec, env.Fingerprint, trials
+	return w, nil
+}
+
+// Run leases, executes, and reports until done or cancelled.
+func (w *Worker) Run(ctx context.Context) (int, error) {
+	executed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return executed, err
+		}
+		var resp leaseResponse
+		err := w.leaseWithRetry(ctx, &resp)
+		if err != nil {
+			return executed, fmt.Errorf("fabric: lease: %w", err)
+		}
+		switch {
+		case resp.Done:
+			return executed, nil
+		case resp.Lease == nil:
+			wait := w.opts.PollInterval
+			if resp.RetryMillis > 0 {
+				wait = time.Duration(resp.RetryMillis) * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return executed, ctx.Err()
+			case <-time.After(wait):
+			}
+		default:
+			n, done, err := w.runLease(ctx, *resp.Lease, resp.RenewMillis)
+			executed += n
+			if err != nil {
+				return executed, err
+			}
+			if done {
+				return executed, nil
+			}
+		}
+	}
+}
+
+// leaseWithRetry asks for a lease, retrying transient transport errors
+// (a coordinator mid-restart) with backoff before giving up.
+func (w *Worker) leaseWithRetry(ctx context.Context, resp *leaseResponse) error {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := w.postJSON(ctx, "/lease", leaseRequest{Worker: w.opts.Name}, resp)
+		if err == nil {
+			return nil
+		}
+		var se *statusError
+		if asStatusError(err, &se) || attempt >= 4 {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// runLease executes one lease's trials across the local pool, renewing
+// the lease while it works, then streams the batch back, retrying
+// transient coordinator failures (a restart mid-upload) until ctx ends.
+// The returned done flag mirrors the coordinator's: true when this batch
+// completed the run, so the worker can exit without another poll.
+func (w *Worker) runLease(ctx context.Context, l harness.Lease, renewMillis int64) (int, bool, error) {
+	// Renewal heartbeat: proves liveness for leases that run longer than
+	// the TTL. A failed renew is harmless — worst case the range is
+	// re-leased and the duplicate results are ignored.
+	renewCtx, stopRenew := context.WithCancel(ctx)
+	defer stopRenew()
+	if renewMillis > 0 {
+		go func() {
+			tick := time.NewTicker(time.Duration(renewMillis) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-renewCtx.Done():
+					return
+				case <-tick.C:
+					_ = w.postJSON(renewCtx, "/renew", renewRequest{Lease: l.ID}, nil)
+				}
+			}
+		}()
+	}
+
+	outcomes, err := harness.ParallelMap(len(l.Indices), w.opts.Parallel, func(i int) (harness.Outcome, error) {
+		return w.spec.ExecuteTrial(w.trials[l.Indices[i]])
+	})
+	if err != nil {
+		return 0, false, fmt.Errorf("fabric: trial execution: %w", err)
+	}
+	stopRenew()
+
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	if err := enc.Encode(resultsHeader{Fingerprint: w.fingerprint, Lease: l.ID, Worker: w.opts.Name}); err != nil {
+		return 0, false, err
+	}
+	for i, o := range outcomes {
+		if err := enc.Encode(resultEntry{I: l.Indices[i], O: o}); err != nil {
+			return 0, false, err
+		}
+	}
+
+	// Stream the batch back. Transient errors (coordinator restarting)
+	// retry with backoff; a 4xx is a protocol violation and fatal.
+	backoff := 100 * time.Millisecond
+	for {
+		var resp resultsResponse
+		err := w.postBytes(ctx, "/results", body.Bytes(), &resp)
+		if err == nil {
+			return len(outcomes), resp.Done, nil
+		}
+		var se *statusError
+		if ok := asStatusError(err, &se); ok && se.code >= 400 && se.code < 500 {
+			return 0, false, fmt.Errorf("fabric: results rejected: %w", err)
+		}
+		select {
+		case <-ctx.Done():
+			return 0, false, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// statusError carries a non-2xx response.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("%d: %s", e.code, e.body) }
+
+func asStatusError(err error, out **statusError) bool {
+	se, ok := err.(*statusError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func (w *Worker) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.opts.Coordinator+path, nil)
+	if err != nil {
+		return err
+	}
+	return w.do(req, out)
+}
+
+func (w *Worker) postJSON(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.do(req, out)
+}
+
+func (w *Worker) postBytes(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/jsonl")
+	return w.do(req, out)
+}
+
+func (w *Worker) do(req *http.Request, out any) error {
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -61,6 +61,12 @@ func (s *Spec) Fingerprint() string {
 	if s.Shards > 0 {
 		fmt.Fprintf(&sb, "|sharded=1")
 	}
+	// The fabric session label binds a coordinator's checkpoint and its
+	// workers to one distributed run; same append-only idiom, so
+	// non-fabric checkpoints keep their historical fingerprints.
+	if s.Fabric != "" {
+		fmt.Fprintf(&sb, "|fabric=%s", s.Fabric)
+	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -132,6 +138,36 @@ func (ck *checkpoint) append(i int, o Outcome) error {
 }
 
 func (ck *checkpoint) close() error { return ck.f.Close() }
+
+// CheckpointFile is the exported handle over the checkpoint substrate
+// for out-of-process coordinators (internal/fabric): the same header
+// validation, fsync-per-line appends, and torn-tail recovery the local
+// Runner uses, so a fabric coordinator's on-disk state is an ordinary
+// checkpoint — resumable, foreign-spec-rejecting, kill-tolerant.
+type CheckpointFile struct {
+	ck     *checkpoint
+	loaded map[int]Outcome
+}
+
+// OpenCheckpointFile opens (resuming if asked) a checkpoint for the
+// spec's expanded work-list of the given total size. Loaded returns the
+// outcomes replayed from disk.
+func OpenCheckpointFile(path string, spec *Spec, total int, resume bool) (*CheckpointFile, error) {
+	ck, err := openCheckpoint(path, spec, total, resume)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointFile{ck: ck, loaded: ck.loaded}, nil
+}
+
+// Loaded is the set of trial outcomes replayed from disk on open.
+func (c *CheckpointFile) Loaded() map[int]Outcome { return c.loaded }
+
+// Append durably records one completed trial (safe for concurrent use).
+func (c *CheckpointFile) Append(i int, o Outcome) error { return c.ck.append(i, o) }
+
+// Close closes the underlying file.
+func (c *CheckpointFile) Close() error { return c.ck.close() }
 
 // readCheckpoint replays a checkpoint file, validating the header against
 // the spec. It returns the completed outcomes and the byte offset of the

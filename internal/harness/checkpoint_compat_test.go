@@ -55,6 +55,25 @@ func TestFingerprintGenerationsAndShards(t *testing.T) {
 	}
 }
 
+// TestFingerprintFabricTag: the fabric session label follows the same
+// append-only idiom — unset leaves the historical preimage untouched
+// (TestFingerprintBackwardCompat covers the hash), distinct labels bind
+// to distinct sessions.
+func TestFingerprintFabricTag(t *testing.T) {
+	fp := func(mut func(*Spec)) string {
+		s := lineSpec()
+		mut(&s)
+		return s.Fingerprint()
+	}
+	plain := fp(func(*Spec) {})
+	if fp(func(s *Spec) { s.Fabric = "run-a" }) == plain {
+		t.Error("fabric label did not change the fingerprint")
+	}
+	if fp(func(s *Spec) { s.Fabric = "run-a" }) == fp(func(s *Spec) { s.Fabric = "run-b" }) {
+		t.Error("different fabric sessions share a fingerprint")
+	}
+}
+
 // TestResumeGenerationCheckpoint: a generation-mode sweep checkpoints and
 // resumes like any other, and a checkpoint from a different generation
 // size is foreign (fingerprint mismatch), not silently merged.

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Lease is a batch of trial indices handed to one worker for a bounded
+// time. Indices are ascending; after expiry requeues they need not be
+// contiguous, so the explicit list (not a [start,end) range) is the
+// wire-safe representation.
+type Lease struct {
+	ID      int64     `json:"id"`
+	Worker  string    `json:"worker,omitempty"`
+	Indices []int     `json:"indices"`
+	Expires time.Time `json:"expires"`
+}
+
+// LeaseTable is the coordination substrate of a distributed run: it
+// tracks which trials of an expanded work-list are done, which are out
+// on a lease, and which are free, and it requeues the incomplete part of
+// any lease that outlives its TTL — a killed worker's range simply goes
+// back in the pool. All methods are safe for concurrent use.
+//
+// Completion is idempotent and lease-agnostic: a trial's outcome is a
+// pure function of its seed, so a late report from an expired lease is
+// accepted (and a duplicate from the re-leased worker ignored) without
+// affecting the merged output.
+type LeaseTable struct {
+	mu     sync.Mutex
+	total  int
+	chunk  int
+	ttl    time.Duration
+	now    func() time.Time
+	done   []bool
+	nDone  int
+	free   []int // ascending indices neither done nor leased
+	leases map[int64]*Lease
+	nextID int64
+}
+
+// NewLeaseTable builds a table over total trials, handing out at most
+// chunk indices per lease, each expiring ttl after issue. now overrides
+// the clock (tests); nil means time.Now.
+func NewLeaseTable(total, chunk int, ttl time.Duration, now func() time.Time) (*LeaseTable, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("harness: negative lease-table size %d", total)
+	}
+	if chunk < 1 {
+		return nil, fmt.Errorf("harness: lease chunk must be positive, got %d", chunk)
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("harness: lease ttl must be positive, got %v", ttl)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	lt := &LeaseTable{
+		total: total, chunk: chunk, ttl: ttl, now: now,
+		done:   make([]bool, total),
+		free:   make([]int, 0, total),
+		leases: make(map[int64]*Lease),
+	}
+	for i := 0; i < total; i++ {
+		lt.free = append(lt.free, i)
+	}
+	return lt, nil
+}
+
+// MarkDone records trials completed outside any lease (a resumed
+// checkpoint's replayed outcomes). Out-of-range and repeated indices are
+// ignored.
+func (lt *LeaseTable) MarkDone(indices ...int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for _, i := range indices {
+		lt.completeLocked(i)
+	}
+}
+
+// Lease hands out up to chunk free trials to worker. The second return
+// is false when nothing is free right now — either everything is done
+// (check Done) or every remaining trial is out on a live lease and the
+// worker should poll again.
+func (lt *LeaseTable) Lease(worker string) (Lease, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.expireLocked()
+	if len(lt.free) == 0 {
+		return Lease{}, false
+	}
+	n := lt.chunk
+	if n > len(lt.free) {
+		n = len(lt.free)
+	}
+	lt.nextID++
+	l := &Lease{
+		ID: lt.nextID, Worker: worker,
+		Indices: append([]int(nil), lt.free[:n]...),
+		Expires: lt.now().Add(lt.ttl),
+	}
+	lt.free = lt.free[n:]
+	lt.leases[l.ID] = l
+	// The caller's copy must not alias the internal index list, which
+	// shrinks as completions land.
+	out := *l
+	out.Indices = append([]int(nil), l.Indices...)
+	return out, true
+}
+
+// Renew extends a live lease's expiry (a worker streaming partial
+// results proves liveness). Renewing an expired or unknown lease is a
+// no-op returning false.
+func (lt *LeaseTable) Renew(id int64) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.expireLocked()
+	l, ok := lt.leases[id]
+	if !ok {
+		return false
+	}
+	l.Expires = lt.now().Add(lt.ttl)
+	return true
+}
+
+// Complete marks one trial done, releasing it from whatever lease holds
+// it. It returns false for out-of-range indices and true otherwise
+// (idempotently for repeats).
+func (lt *LeaseTable) Complete(i int) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.completeLocked(i)
+}
+
+func (lt *LeaseTable) completeLocked(i int) bool {
+	if i < 0 || i >= lt.total {
+		return false
+	}
+	if !lt.done[i] {
+		lt.done[i] = true
+		lt.nDone++
+		// Drop it from the free pool if an expiry already requeued it.
+		for fi, v := range lt.free {
+			if v == i {
+				lt.free = append(lt.free[:fi], lt.free[fi+1:]...)
+				break
+			}
+		}
+	}
+	for id, l := range lt.leases {
+		for li, v := range l.Indices {
+			if v == i {
+				l.Indices = append(l.Indices[:li], l.Indices[li+1:]...)
+				break
+			}
+		}
+		if len(l.Indices) == 0 {
+			delete(lt.leases, id)
+		}
+	}
+	return true
+}
+
+// expireLocked requeues the incomplete indices of every expired lease.
+func (lt *LeaseTable) expireLocked() {
+	now := lt.now()
+	for id, l := range lt.leases {
+		if now.Before(l.Expires) {
+			continue
+		}
+		lt.free = append(lt.free, l.Indices...)
+		delete(lt.leases, id)
+	}
+	sort.Ints(lt.free)
+}
+
+// Done reports whether every trial has completed.
+func (lt *LeaseTable) Done() bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.nDone == lt.total
+}
+
+// Counts returns (done, live-leased, free) trial counts, expiring stale
+// leases first — the coordinator's /status observables.
+func (lt *LeaseTable) Counts() (done, leased, free int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.expireLocked()
+	for _, l := range lt.leases {
+		leased += len(l.Indices)
+	}
+	return lt.nDone, leased, len(lt.free)
+}

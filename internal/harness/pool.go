@@ -113,7 +113,7 @@ func (r Runner) Run(spec *Spec) (*ResultSet, error) {
 	exec := r.execute
 	if exec == nil {
 		exec = func(s *Spec, t Trial) (Outcome, error) {
-			return Execute(s.gossipSpec(t), s.Protocol, t.Seed)
+			return s.ExecuteTrial(t)
 		}
 	}
 	completed := len(trials) - len(pending)

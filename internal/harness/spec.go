@@ -73,6 +73,15 @@ type Spec struct {
 	// therefore the checkpoint fingerprint) are unaffected.
 	Lean bool
 
+	// Fabric optionally names the distributed-fabric session this spec is
+	// coordinated under (internal/fabric). It never influences the
+	// work-list or any trajectory — merged fabric output is byte-identical
+	// to a single-process run of the same spec — but it is recorded in the
+	// fingerprint (appended as |fabric=<name> only when set, so every
+	// pre-fabric checkpoint still resumes), which pins a coordinator's
+	// checkpoint and its workers' result streams to one named session.
+	Fabric string
+
 	// Trials is the number of trials per cell (required, >= 1).
 	Trials int
 	// Seed roots all derived randomness. Identical (Spec, Seed) pairs
@@ -210,6 +219,13 @@ func (s *Spec) Expand() ([]Cell, []Trial, error) {
 		}
 	}
 	return cells, trials, nil
+}
+
+// ExecuteTrial runs one expanded trial of the spec through Execute — the
+// single entry point remote fabric workers share with the local pool, so
+// a trial's outcome is identical no matter which process runs it.
+func (s *Spec) ExecuteTrial(t Trial) (Outcome, error) {
+	return Execute(s.gossipSpec(t), s.Protocol, t.Seed)
 }
 
 // gossipSpec binds a trial to its per-simulation protocol configuration.

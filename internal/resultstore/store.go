@@ -1,0 +1,456 @@
+// Package resultstore is the queryable on-disk home of sweep results: an
+// append-only JSONL data file paired with a sidecar offset index keyed by
+// experiment cell (topology × n × k × field × rate × dynamics ×
+// generation size), so million-trial sweeps answer "which cell
+// regressed, and what are its P99/P99.9 stopping times" by reading only
+// that cell's lines — no CSV re-parsing, no full-file scan.
+//
+// Pure Go, no external database: the index is rebuilt from the data file
+// whenever the sidecar is missing or stale (size mismatch), and a torn
+// trailing line from a kill mid-append is truncated on open, the same
+// recovery contract as the harness checkpoint.
+package resultstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"algossip/internal/harness"
+	"algossip/internal/stats"
+)
+
+// storeVersion guards the on-disk format of both files.
+const storeVersion = 1
+
+// Record is one trial's result row. The cell-identifying fields
+// (everything except Trial, Seed and Rounds) key the index.
+type Record struct {
+	// Spec labels the sweep that produced the row.
+	Spec string `json:"spec,omitempty"`
+	// Graph, N, K and Q identify the topology × message-count × field
+	// cell.
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	Q     int    `json:"q"`
+	// Protocol is the dissemination protocol name.
+	Protocol string `json:"protocol"`
+	// Rate is the loss/failure rate (0 for lossless).
+	Rate float64 `json:"rate,omitempty"`
+	// Dynamics is the canonical schedule string ("" for static).
+	Dynamics string `json:"dyn,omitempty"`
+	// GenSize is the generation size (0 for full-span coding).
+	GenSize int `json:"gens,omitempty"`
+	// Trial, Seed and Rounds are the measurement itself.
+	Trial  int    `json:"trial"`
+	Seed   uint64 `json:"seed"`
+	Rounds int    `json:"rounds"`
+}
+
+// cellOf strips a record to its index cell.
+func cellOf(r Record) Cell {
+	return Cell{Graph: r.Graph, N: r.N, K: r.K, Q: r.Q, Protocol: r.Protocol,
+		Rate: r.Rate, Dynamics: r.Dynamics, GenSize: r.GenSize}
+}
+
+// Cell identifies one experiment grid cell in the index.
+type Cell struct {
+	Graph    string  `json:"graph"`
+	N        int     `json:"n"`
+	K        int     `json:"k"`
+	Q        int     `json:"q"`
+	Protocol string  `json:"protocol"`
+	Rate     float64 `json:"rate,omitempty"`
+	Dynamics string  `json:"dyn,omitempty"`
+	GenSize  int     `json:"gens,omitempty"`
+}
+
+// Filter selects cells. Zero-valued fields are wildcards, except Rate,
+// which only participates when HasRate is set (0 is a meaningful rate).
+type Filter struct {
+	Spec     string
+	Graph    string
+	N        int
+	K        int
+	Q        int
+	Protocol string
+	Dynamics string
+	GenSize  int
+	Rate     float64
+	HasRate  bool
+}
+
+// matches reports whether the filter's non-wildcard fields all equal the
+// cell's.
+func (f Filter) matches(c Cell) bool {
+	switch {
+	case f.Graph != "" && f.Graph != c.Graph,
+		f.N != 0 && f.N != c.N,
+		f.K != 0 && f.K != c.K,
+		f.Q != 0 && f.Q != c.Q,
+		f.Protocol != "" && f.Protocol != c.Protocol,
+		f.Dynamics != "" && f.Dynamics != c.Dynamics,
+		f.GenSize != 0 && f.GenSize != c.GenSize,
+		f.HasRate && f.Rate != c.Rate:
+		return false
+	}
+	return true
+}
+
+// dataHeader is the data file's first line.
+type dataHeader struct {
+	V int `json:"v"`
+}
+
+// idxCell is one cell's entry in the sidecar index.
+type idxCell struct {
+	Cell    Cell    `json:"cell"`
+	Offsets []int64 `json:"offsets"`
+}
+
+// idxFile is the sidecar index layout.
+type idxFile struct {
+	V int `json:"v"`
+	// Size is the data-file byte count the index covers; a mismatch on
+	// open means the index is stale and the data file is rescanned.
+	Size  int64     `json:"size"`
+	Cells []idxCell `json:"cells"`
+}
+
+// Store is an open result store. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	size  int64
+	cells map[Cell]*idxCell
+	order []Cell // insertion order, for deterministic Cells/queries
+	dirty bool
+}
+
+// Open opens (creating if needed) the store at path and loads or
+// rebuilds its index.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{path: path, f: f, cells: map[Cell]*idxCell{}}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load validates the data file, truncating a torn tail, and loads the
+// sidecar index when fresh or rebuilds it from the data lines.
+func (s *Store) load() error {
+	st, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() == 0 {
+		// Fresh store: write the header.
+		data, _ := json.Marshal(dataHeader{V: storeVersion})
+		n, err := s.f.Write(append(data, '\n'))
+		if err != nil {
+			return err
+		}
+		s.size = int64(n)
+		s.dirty = true
+		return nil
+	}
+
+	// Try the sidecar first; a fresh one saves the full scan.
+	if idx, err := s.loadSidecar(); err == nil && idx.Size == st.Size() {
+		s.size = idx.Size
+		for i := range idx.Cells {
+			c := idx.Cells[i]
+			s.cells[c.Cell] = &idxCell{Cell: c.Cell, Offsets: c.Offsets}
+			s.order = append(s.order, c.Cell)
+		}
+		if _, err := s.f.Seek(s.size, io.SeekStart); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	// Stale or missing index: rebuild by scanning the data file.
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var offset, valid int64
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineStart := offset
+		end := lineStart + int64(len(line))
+		// A final line with no trailing newline is a torn append: never
+		// index it, and truncate so the next append stays line-aligned.
+		hasNL := end < st.Size()
+		offset = end
+		if hasNL {
+			offset++
+		}
+		if first {
+			first = false
+			var h dataHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return fmt.Errorf("resultstore: corrupt header in %s: %w", s.path, err)
+			}
+			if h.V != storeVersion {
+				return fmt.Errorf("resultstore: %s has version %d, want %d", s.path, h.V, storeVersion)
+			}
+			if !hasNL {
+				break
+			}
+			valid = offset
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || !hasNL {
+			// Torn tail from a kill mid-append: keep everything before it.
+			break
+		}
+		s.indexLocked(r, lineStart)
+		valid = offset
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := s.f.Truncate(valid); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(valid, io.SeekStart); err != nil {
+		return err
+	}
+	s.size = valid
+	s.dirty = true
+	return nil
+}
+
+func (s *Store) loadSidecar() (*idxFile, error) {
+	data, err := os.ReadFile(s.path + ".idx")
+	if err != nil {
+		return nil, err
+	}
+	var idx idxFile
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, err
+	}
+	if idx.V != storeVersion {
+		return nil, fmt.Errorf("resultstore: index version %d, want %d", idx.V, storeVersion)
+	}
+	return &idx, nil
+}
+
+// indexLocked adds one record's offset to the in-memory index.
+func (s *Store) indexLocked(r Record, offset int64) {
+	c := cellOf(r)
+	ic, ok := s.cells[c]
+	if !ok {
+		ic = &idxCell{Cell: c}
+		s.cells[c] = ic
+		s.order = append(s.order, c)
+	}
+	ic.Offsets = append(ic.Offsets, offset)
+}
+
+// Append durably adds records to the store and indexes them.
+func (s *Store) Append(recs ...Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		data, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		n, err := s.f.Write(append(data, '\n'))
+		if err != nil {
+			return err
+		}
+		s.indexLocked(r, s.size)
+		s.size += int64(n)
+	}
+	s.dirty = true
+	return s.f.Sync()
+}
+
+// Cells lists every indexed cell with its trial count, in first-seen
+// order.
+func (s *Store) Cells() []CellCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CellCount, 0, len(s.order))
+	for _, c := range s.order {
+		out = append(out, CellCount{Cell: c, Trials: len(s.cells[c].Offsets)})
+	}
+	return out
+}
+
+// CellCount pairs a cell with its stored trial count.
+type CellCount struct {
+	Cell   Cell
+	Trials int
+}
+
+// Query reads every record of every cell the filter matches, in stable
+// (cell first-seen, then append) order, touching only the matched
+// offsets. The Spec filter field applies per record (it is not part of
+// the cell key).
+func (s *Store) Query(f Filter) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var offsets []int64
+	for _, c := range s.order {
+		if f.matches(c) {
+			offsets = append(offsets, s.cells[c].Offsets...)
+		}
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	out := make([]Record, 0, len(offsets))
+	rd := bufio.NewReader(nil)
+	for _, off := range offsets {
+		if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+			return nil, err
+		}
+		rd.Reset(s.f)
+		line, err := rd.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("resultstore: corrupt record at offset %d of %s: %w", off, s.path, err)
+		}
+		if f.Spec != "" && f.Spec != r.Spec {
+			continue
+		}
+		out = append(out, r)
+	}
+	// Restore the append position.
+	if _, err := s.f.Seek(s.size, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TailStats summarizes the stopping times of one query: count, mean, and
+// the tail quantiles the paper's bounds only hint at. Empty matches
+// yield NaN statistics (see stats.Mean).
+type TailStats struct {
+	Trials int
+	Mean   float64
+	P50    float64
+	P90    float64
+	P99    float64
+	P999   float64
+	Max    float64
+}
+
+// Tail computes TailStats over the rounds of every record the filter
+// matches.
+func (s *Store) Tail(f Filter) (TailStats, error) {
+	recs, err := s.Query(f)
+	if err != nil {
+		return TailStats{}, err
+	}
+	xs := make([]float64, 0, len(recs))
+	for _, r := range recs {
+		xs = append(xs, float64(r.Rounds))
+	}
+	qs := stats.TailQuantiles(xs, 0.5, 0.9, 0.99, 0.999, 1)
+	return TailStats{
+		Trials: len(xs), Mean: stats.Mean(xs),
+		P50: qs[0], P90: qs[1], P99: qs[2], P999: qs[3], Max: qs[4],
+	}, nil
+}
+
+// String renders the tail stats compactly.
+func (t TailStats) String() string {
+	return fmt.Sprintf("trials=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f max=%.0f",
+		t.Trials, t.Mean, t.P50, t.P90, t.P99, t.P999, t.Max)
+}
+
+// Flush rewrites the sidecar index if the store changed since the last
+// flush. The data file itself is already durable (synced per Append);
+// losing the sidecar only costs a rescan on the next Open.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if !s.dirty {
+		return nil
+	}
+	idx := idxFile{V: storeVersion, Size: s.size}
+	for _, c := range s.order {
+		idx.Cells = append(idx.Cells, *s.cells[c])
+	}
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return err
+	}
+	tmp := s.path + ".idx.tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path+".idx"); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// Close flushes the index and closes the data file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.flushLocked()
+	cerr := s.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// FromResultSet converts a finished harness run into store records — the
+// ingest path shared by cmd/sweep (-store) and the fabric coordinator.
+func FromResultSet(rs *harness.ResultSet) []Record {
+	q := rs.Spec.Q
+	if q == 0 {
+		q = 2 // GossipSpec.Normalize's default field
+	}
+	dyn := ""
+	if !rs.Spec.Dynamics.IsStatic() {
+		dyn = rs.Spec.Dynamics.String()
+	}
+	out := make([]Record, 0, len(rs.Trials))
+	for i, t := range rs.Trials {
+		// Cells key on the family name ("ring"), not the generator label
+		// ("ring-64"): N is its own field, so the family is the natural
+		// query axis. Pre-built exotic graphs keep their full label.
+		family := rs.Spec.Graph
+		if family == "" {
+			family = t.Graph.Name()
+		}
+		out = append(out, Record{
+			Spec: rs.Spec.Name, Graph: family, N: t.Graph.N(), K: t.K, Q: q,
+			Protocol: rs.Spec.Protocol.String(), Rate: rs.Spec.LossRate, Dynamics: dyn,
+			GenSize: rs.Spec.GenSize, Trial: t.Num, Seed: t.Seed,
+			Rounds: rs.Outcomes[i].Result.Rounds,
+		})
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package resultstore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"algossip/internal/harness"
+)
+
+func rec(graph string, n, k, trial, rounds int) Record {
+	return Record{Spec: "t", Graph: graph, N: n, K: k, Q: 2,
+		Protocol: "uniform-ag", Trial: trial, Seed: uint64(trial), Rounds: rounds}
+}
+
+func mustOpen(t *testing.T, path string) *Store {
+	t.Helper()
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreAppendQueryTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s := mustOpen(t, path)
+	defer s.Close()
+
+	var recs []Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, rec("ring", 64, 32, i, 100+i))
+	}
+	recs = append(recs, rec("complete", 64, 32, 0, 7), rec("ring", 128, 64, 0, 9))
+	if err := s.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.Query(Filter{Graph: "ring", N: 64, K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("cell query returned %d records, want 100", len(got))
+	}
+	for i, r := range got {
+		if r.Rounds != 100+i {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+
+	ts, err := s.Tail(Filter{Graph: "ring", N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rounds are 100..199: P99 of 100 evenly spaced samples interpolates
+	// at position 0.99*99 = 98.01.
+	if ts.Trials != 100 || math.Abs(ts.P99-198.01) > 1e-9 || math.Abs(ts.P999-198.901) > 1e-9 {
+		t.Fatalf("tail stats = %+v", ts)
+	}
+	if ts.Max != 199 || math.Abs(ts.Mean-149.5) > 1e-9 {
+		t.Fatalf("tail stats = %+v", ts)
+	}
+
+	// Wildcard query spans cells; empty matches give NaN, not a panic —
+	// the all-failed-range aggregation path.
+	all, err := s.Query(Filter{})
+	if err != nil || len(all) != 102 {
+		t.Fatalf("wildcard query: %d records, err=%v", len(all), err)
+	}
+	empty, err := s.Tail(Filter{Graph: "nope"})
+	if err != nil || empty.Trials != 0 || !math.IsNaN(empty.Mean) || !math.IsNaN(empty.P999) {
+		t.Fatalf("empty tail = %+v, err=%v", empty, err)
+	}
+}
+
+func TestStoreReopenUsesIndexAndSurvivesStaleness(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s := mustOpen(t, path)
+	if err := s.Append(rec("ring", 16, 8, 0, 11), rec("ring", 16, 8, 1, 13)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reopen: sidecar is fresh.
+	s = mustOpen(t, path)
+	if got, _ := s.Query(Filter{Graph: "ring"}); len(got) != 2 {
+		t.Fatalf("reopen lost records: %d", len(got))
+	}
+	// Appends after reopen extend the same cells.
+	if err := s.Append(rec("ring", 16, 8, 2, 17)); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+
+	// Delete the sidecar: Open must rebuild by scanning.
+	if err := os.Remove(path + ".idx"); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, path)
+	got, _ := s.Query(Filter{Graph: "ring"})
+	if len(got) != 3 || got[2].Rounds != 17 {
+		t.Fatalf("scan rebuild lost records: %+v", got)
+	}
+	_ = s.Close()
+
+	// Torn tail (kill mid-append): reopen truncates it, keeps the rest,
+	// and further appends stay line-aligned.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"graph":"ring","n":16,`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	_ = os.Remove(path + ".idx")
+	s = mustOpen(t, path)
+	if got, _ := s.Query(Filter{}); len(got) != 3 {
+		t.Fatalf("torn tail corrupted the store: %d records", len(got))
+	}
+	if err := s.Append(rec("ring", 16, 8, 3, 19)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Query(Filter{}); len(got) != 4 {
+		t.Fatalf("append after torn-tail recovery: %d records", len(got))
+	}
+	_ = s.Close()
+}
+
+func TestStoreFromResultSet(t *testing.T) {
+	spec := harness.Spec{
+		Name: "rs", Graph: "ring", Sizes: []int{8}, KMode: "const:2",
+		Trials: 3, Seed: 5, Lean: true,
+	}
+	rs, err := harness.Runner{Parallel: 1}.Run(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := FromResultSet(rs)
+	if len(recs) != 3 {
+		t.Fatalf("%d records from 3 trials", len(recs))
+	}
+	for i, r := range recs {
+		if r.Graph != "ring" || r.N != 8 || r.K != 2 || r.Q != 2 ||
+			r.Protocol != "uniform-ag" || r.Trial != i || r.Rounds <= 0 {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s := mustOpen(t, path)
+	defer s.Close()
+	if err := s.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := s.Tail(Filter{Spec: "rs", Graph: "ring", N: 8, K: 2, Q: 2})
+	if err != nil || ts.Trials != 3 {
+		t.Fatalf("cell tail = %+v, err=%v", ts, err)
+	}
+}

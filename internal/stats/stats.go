@@ -44,10 +44,13 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P90, s.Max)
 }
 
-// Mean returns the arithmetic mean. It panics on an empty sample.
+// Mean returns the arithmetic mean. An empty sample yields NaN: the
+// aggregation paths (worker ranges where every trial failed, filtered
+// query cells) feed empty slices here, and a quiet NaN propagates into
+// reports where a panic would kill the whole sweep.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: empty sample")
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, x := range xs {
@@ -72,10 +75,11 @@ func StdDev(xs []float64) float64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of an already sorted
-// sample, with linear interpolation.
+// sample, with linear interpolation. An empty sample yields NaN (see
+// Mean); a singleton returns its only element for every q.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
-		panic("stats: empty sample")
+		return math.NaN()
 	}
 	if q <= 0 {
 		return sorted[0]
@@ -92,13 +96,59 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
-// CI95 returns the half-width of the normal-approximation 95% confidence
-// interval for the mean of xs.
+// tCrit95 holds the two-sided 95% Student-t critical values for
+// degrees of freedom 1..30 (index df-1). Beyond df=30 the t distribution
+// is within 2% of the normal and the z approximation takes over.
+var tCrit95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CritValue95 returns the two-sided 95% critical value for a mean
+// estimated from n samples: the Student-t value for n <= 31 (df <= 30),
+// the normal approximation z = 1.96 above. The experiment gates run
+// 20–200 trials; at n=20 the z value under-covers by ~7%.
+func CritValue95(n int) float64 {
+	df := n - 1
+	switch {
+	case df < 1:
+		return math.NaN()
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	default:
+		return 1.96
+	}
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean of xs, using the Student-t critical value for small samples and
+// the normal approximation above n≈30 (see CritValue95).
 func CI95(xs []float64) float64 {
 	if len(xs) < 2 {
 		return 0
 	}
-	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return CritValue95(len(xs)) * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// TailQuantiles returns the requested quantiles of xs (unsorted; a copy
+// is sorted internally), e.g. TailQuantiles(xs, 0.99, 0.999) for the
+// P99/P99.9 stopping times of a result-store cell. Empty samples yield
+// NaN per quantile.
+func TailQuantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = Quantile(sorted, q)
+	}
+	return out
 }
 
 // LinearFit fits y = a + b·x by ordinary least squares and returns a, b and

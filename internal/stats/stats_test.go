@@ -93,6 +93,72 @@ func TestPowerFitRejectsNonPositive(t *testing.T) {
 	PowerFit([]float64{1, -2}, []float64{1, 2})
 }
 
+// TestMeanQuantileEmptyAndSingleton pins the aggregation-facing
+// edge-case contract: empty samples yield NaN (an all-failed worker
+// range must not kill a sweep), singletons return their only element.
+func TestMeanQuantileEmptyAndSingleton(t *testing.T) {
+	if m := Mean(nil); !math.IsNaN(m) {
+		t.Errorf("Mean(nil) = %v, want NaN", m)
+	}
+	if q := Quantile(nil, 0.5); !math.IsNaN(q) {
+		t.Errorf("Quantile(nil, 0.5) = %v, want NaN", q)
+	}
+	for _, tq := range TailQuantiles(nil, 0.99, 0.999) {
+		if !math.IsNaN(tq) {
+			t.Errorf("TailQuantiles(nil) = %v, want NaNs", tq)
+		}
+	}
+	if m := Mean([]float64{7}); m != 7 {
+		t.Errorf("Mean singleton = %v", m)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Errorf("Quantile(singleton, %v) = %v", q, got)
+		}
+	}
+	if got := TailQuantiles([]float64{3, 1, 2}, 0, 1); got[0] != 1 || got[1] != 3 {
+		t.Errorf("TailQuantiles sorts internally: got %v", got)
+	}
+}
+
+// TestCI95CriticalValues pins both regimes of the small-sample fix: the
+// Student-t critical value for n <= 31 and the z = 1.96 normal
+// approximation above. Before the fix every n used 1.96, which
+// under-covers the 20–200-trial experiment gates.
+func TestCI95CriticalValues(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{2, 12.706}, // df=1: the worst small-sample case
+		{5, 2.776},  // df=4
+		{20, 2.093}, // df=19: E15/E17-gate territory
+		{31, 2.042}, // df=30: last table entry
+		{32, 1.96},  // df=31: normal approximation takes over
+		{200, 1.96},
+	}
+	for _, tt := range tests {
+		if got := CritValue95(tt.n); !almost(got, tt.want, 1e-9) {
+			t.Errorf("CritValue95(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+		// CI95 must be exactly crit * sd / sqrt(n).
+		xs := make([]float64, tt.n)
+		for i := range xs {
+			xs[i] = float64(i % 5)
+		}
+		want := tt.want * StdDev(xs) / math.Sqrt(float64(tt.n))
+		if got := CI95(xs); !almost(got, want, 1e-12) {
+			t.Errorf("CI95(n=%d) = %v, want %v", tt.n, got, want)
+		}
+	}
+	if v := CritValue95(1); !math.IsNaN(v) {
+		t.Errorf("CritValue95(1) = %v, want NaN (no df)", v)
+	}
+	if CI95([]float64{4}) != 0 {
+		t.Error("CI95 of a singleton must be 0")
+	}
+}
+
 func TestCI95ShrinksWithN(t *testing.T) {
 	rng := core.NewRand(7)
 	sample := func(n int) []float64 {
