@@ -8,11 +8,16 @@
 //	gossipctl start    -ctl 127.0.0.1:8080
 //	gossipctl topology -ctl 127.0.0.1:8080 -graph ring -n 48 -graph-seed 1
 //	gossipctl kill     -ctl 127.0.0.1:8080 -node 3
+//	gossipctl chaos    -ctl 127.0.0.1:8080 [-latency 5ms] [-jitter 2ms] [-corrupt 0.2] [-partition 1,2] [-heal]
 //	gossipctl drain    -ctl 127.0.0.1:8080
 //
 // And the one-shot orchestrator (the CI smoke job):
 //
 //	gossipctl run -procs 48 -graph ring -n 48 -k 8 -loss 0.1 -timeout 120s
+//
+// which with -byzantine, -chaos-latency and -partition-after also covers
+// the chaos recipe: Byzantine processes corrupting every frame, injected
+// link latency, and a mid-run partition that heals before convergence.
 //
 // which builds gossipd, spawns the processes, seeds round-robin, starts,
 // waits for convergence, drains, and reports the stopping tick.
@@ -43,7 +48,7 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = runDeployment(os.Args[2:])
-	case "status", "metrics", "seed", "start", "topology", "kill", "drain":
+	case "status", "metrics", "seed", "start", "topology", "kill", "drain", "chaos":
 		err = runSingle(os.Args[1], os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
@@ -71,6 +76,12 @@ func runDeployment(args []string) error {
 		interval  = fs.Duration("interval", time.Millisecond, "per-node gossip period")
 		seed      = fs.Uint64("seed", 1, "protocol randomness seed")
 		loss      = fs.Float64("loss", 0, "injected packet-loss probability")
+		byz       = fs.Int("byzantine", 0, "number of Byzantine processes (corrupt every outbound frame)")
+		chaosLat  = fs.Duration("chaos-latency", 0, "injected per-frame latency on every process")
+		chaosJit  = fs.Duration("chaos-jitter", 0, "extra uniform random latency in [0, jitter)")
+		partAfter = fs.Duration("partition-after", 0, "partition a node subset this long after start (0 = never)")
+		healAfter = fs.Duration("heal-after", 0, "heal the partition this long after it opens (0 = 2x partition-after)")
+		partFrac  = fs.Float64("partition-frac", 0.25, "fraction of nodes cut off by the scheduled partition")
 		timeout   = fs.Duration("timeout", 120*time.Second, "overall deadline")
 		bin       = fs.String("bin", "", "pre-built gossipd binary (default: go build)")
 	)
@@ -85,6 +96,8 @@ func runDeployment(args []string) error {
 		GraphName: *graphName, GraphN: *graphN, GraphSeed: *graphSeed,
 		K: *k, Q: *q, PayloadLen: *payload, GenSize: *gen,
 		Interval: *interval, Seed: *seed, LossRate: *loss,
+		ChaosLatency: *chaosLat, ChaosJitter: *chaosJit,
+		ByzantineProcs: *byz,
 	})
 	if err != nil {
 		return err
@@ -113,6 +126,52 @@ func runDeployment(args []string) error {
 	if err := c.Start(ctx); err != nil {
 		return err
 	}
+	if *byz > 0 {
+		fmt.Printf("gossipctl: %d Byzantine process(es) corrupting every outbound frame\n", *byz)
+	}
+
+	// Scheduled mid-run degradation: cut the tail of the node range (the
+	// round-robin seeding never reaches it for k well under n, so no
+	// message is trapped behind the cut), then heal and let convergence
+	// finish.
+	if *partAfter > 0 {
+		cut := int(float64(c.N()) * *partFrac)
+		if cut < 1 {
+			cut = 1
+		}
+		nodes := make([]core.NodeID, 0, cut)
+		for v := c.N() - cut; v < c.N(); v++ {
+			nodes = append(nodes, core.NodeID(v))
+		}
+		heal := *healAfter
+		if heal == 0 {
+			heal = 2 * *partAfter
+		}
+		go func() {
+			select {
+			case <-time.After(*partAfter):
+			case <-ctx.Done():
+				return
+			}
+			if err := c.Partition(ctx, nodes); err != nil {
+				fmt.Fprintln(os.Stderr, "gossipctl: partition:", err)
+				return
+			}
+			fmt.Printf("gossipctl: partitioned %d nodes (%d..%d) at t=%v\n",
+				cut, c.N()-cut, c.N()-1, time.Since(start).Round(time.Millisecond))
+			select {
+			case <-time.After(heal):
+			case <-ctx.Done():
+				return
+			}
+			if err := c.Heal(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "gossipctl: heal:", err)
+				return
+			}
+			fmt.Printf("gossipctl: partition healed at t=%v\n", time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
 	tick, err := c.WaitConverged(ctx)
 	if err != nil {
 		return err
@@ -136,6 +195,11 @@ func runSingle(sub string, args []string) error {
 		graphName = fs.String("graph", "ring", "topology family (topology)")
 		graphN    = fs.Int("n", 0, "topology node count (topology)")
 		graphSeed = fs.Uint64("graph-seed", 1, "topology rng seed (topology)")
+		latency   = fs.Duration("latency", -1, "chaos: injected per-frame latency (chaos)")
+		jitter    = fs.Duration("jitter", -1, "chaos: extra uniform random latency (chaos)")
+		corrupt   = fs.Float64("corrupt", -1, "chaos: per-frame corruption probability (chaos)")
+		partition = fs.String("partition", "", "chaos: comma-separated node ids to cut off (chaos)")
+		heal      = fs.Bool("heal", false, "chaos: lift every partition (chaos)")
 	)
 	_ = fs.Parse(args)
 	if *ctl == "" {
@@ -188,6 +252,37 @@ func runSingle(sub string, args []string) error {
 	case "topology":
 		out, err = do(http.MethodPost, "/topology",
 			map[string]any{"family": *graphName, "n": *graphN, "seed": *graphSeed})
+	case "chaos":
+		body := map[string]any{}
+		if *latency >= 0 {
+			body["latency_ms"] = float64(*latency) / float64(time.Millisecond)
+		}
+		if *jitter >= 0 {
+			body["jitter_ms"] = float64(*jitter) / float64(time.Millisecond)
+		}
+		if *corrupt >= 0 {
+			body["corrupt_rate"] = *corrupt
+		}
+		if *partition != "" {
+			var ids []int
+			for _, part := range strings.Split(*partition, ",") {
+				var id int
+				if _, perr := fmt.Sscanf(strings.TrimSpace(part), "%d", &id); perr != nil {
+					return fmt.Errorf("chaos: bad -partition id %q", part)
+				}
+				ids = append(ids, id)
+			}
+			body["partition"] = ids
+		}
+		if *heal {
+			body["heal"] = true
+		}
+		if len(body) == 0 {
+			// No knobs: report the current chaos state.
+			out, err = do(http.MethodGet, "/chaos", nil)
+		} else {
+			out, err = do(http.MethodPost, "/chaos", body)
+		}
 	case "seed":
 		body := map[string]any{"node": *node, "index": *index}
 		if *payload != "" {

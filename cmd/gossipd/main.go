@@ -50,6 +50,10 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "protocol randomness seed (shared across processes)")
 		loss      = flag.Float64("loss", 0, "injected i.i.d. packet-loss probability")
 		lossSeed  = flag.Uint64("loss-seed", 7, "loss injection seed")
+		chaosLat  = flag.Duration("chaos-latency", 0, "injected per-frame delivery latency")
+		chaosJit  = flag.Duration("chaos-jitter", 0, "extra uniform random latency in [0, jitter)")
+		chaosCor  = flag.Float64("chaos-corrupt", 0, "probability of structurally corrupting each outbound frame (1 = Byzantine process)")
+		chaosSeed = flag.Uint64("chaos-seed", 13, "chaos injection seed")
 		shutdown  = flag.Duration("shutdown-timeout", 0, "drain bound for in-flight control requests (0 = 5s default)")
 	)
 	flag.Parse()
@@ -79,6 +83,10 @@ func run() error {
 		Seed:            *seed,
 		LossRate:        *loss,
 		LossSeed:        *lossSeed,
+		ChaosLatency:    *chaosLat,
+		ChaosJitter:     *chaosJit,
+		ChaosCorrupt:    *chaosCor,
+		ChaosSeed:       *chaosSeed,
 		ShutdownTimeout: *shutdown,
 	})
 	if err != nil {

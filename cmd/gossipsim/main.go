@@ -48,6 +48,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		q          = fs.Int("q", 2, "field order")
 		action     = fs.String("action", "exchange", "action: push|pull|exchange")
 		dynamics   = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16")
+		adversary  = fs.String("adversary", "", "Byzantine node population: byzantine:frac=<f>[,mode=pollute|replay|freeride|mix] (uniform AG only)")
+		classes    = fs.String("classes", "", "heterogeneous node capabilities: straggler:frac=<f>[,slow=<s>] | tiered:frac=<f>[,boost=<b>] (uniform AG only)")
 		gens       = fs.Int("generations", 0, "generation size g for generation-coded AG (0 = full-span coding)")
 		shards     = fs.Int("shards", 0, "run each trial on this many shards (0 = classic serial engine; any positive count gives the same trajectory)")
 		seed       = fs.Uint64("seed", 1, "root seed")
@@ -97,6 +99,14 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	adv, err := harness.ParseAdversary(*adversary)
+	if err != nil {
+		return err
+	}
+	cls, err := harness.ParseClasses(*classes)
+	if err != nil {
+		return err
+	}
 
 	// All writes go through the fail-fast writer: a broken pipe or full
 	// disk surfaces as a non-zero exit instead of being dropped.
@@ -108,6 +118,12 @@ func run(args []string, stdout io.Writer) (err error) {
 		g.Name(), g.N(), g.M(), diam, delta, proto, model, *k, *q, act)
 	if !dyn.IsStatic() {
 		fmt.Fprintf(w, " dynamics=%s", dyn)
+	}
+	if adv != nil {
+		fmt.Fprintf(w, " adversary=%s", adv)
+	}
+	if cls != nil {
+		fmt.Fprintf(w, " classes=%s", cls)
 	}
 	if *gens > 0 {
 		fmt.Fprintf(w, " generations=%d", *gens)
@@ -126,6 +142,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		Q:            *q,
 		Action:       act,
 		Dynamics:     dyn,
+		Adversary:    adv,
+		Classes:      cls,
 		GenSize:      *gens,
 		Shards:       *shards,
 		SingleSource: *single,

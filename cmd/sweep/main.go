@@ -18,6 +18,8 @@
 //	      -checkpoint sweep.ckpt -resume -progress
 //	sweep -graph torus -protocol ag -sizes 36,64 -trials 10 \
 //	      -dynamics edge:rate=0.25
+//	sweep -graph complete -protocol ag -sizes 64,128 -trials 10 \
+//	      -adversary byzantine:frac=0.1,mode=pollute -classes straggler:frac=0.2,slow=4
 package main
 
 import (
@@ -51,6 +53,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		kmode      = fs.String("kmode", "half", "k per size: half|n|sqrt|const:<v>")
 		q          = fs.Int("q", 2, "field order")
 		dynamics   = fs.String("dynamics", "", "time-varying topology: kind[:key=val,...], e.g. edge:rate=0.2 | churn:rate=0.1,period=16 | rewire:rate=0.3,period=32 | burst:rate=0.5,period=64,burst=8 | grow:period=4")
+		adversary  = fs.String("adversary", "", "Byzantine node population: byzantine:frac=<f>[,mode=pollute|replay|freeride|mix] (uniform AG only)")
+		classes    = fs.String("classes", "", "heterogeneous node capabilities: straggler:frac=<f>[,slow=<s>] | tiered:frac=<f>[,boost=<b>] (uniform AG only)")
 		gens       = fs.Int("generations", 0, "generation size g for generation-coded AG (0 = full-span coding)")
 		shards     = fs.Int("shards", 0, "run each trial on this many shards (0 = classic serial engine; any positive count gives the same trajectory)")
 		trials     = fs.Int("trials", 3, "trials per size")
@@ -101,6 +105,14 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	adv, err := harness.ParseAdversary(*adversary)
+	if err != nil {
+		return err
+	}
+	cls, err := harness.ParseClasses(*classes)
+	if err != nil {
+		return err
+	}
 
 	spec := harness.Spec{
 		Name:         "sweep",
@@ -111,6 +123,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		Model:        model,
 		Q:            *q,
 		Dynamics:     dyn,
+		Adversary:    adv,
+		Classes:      cls,
 		GenSize:      *gens,
 		Shards:       *shards,
 		SingleSource: *single,

@@ -61,6 +61,14 @@ type Options struct {
 	// injection seeded by LossSeed.
 	LossRate float64
 	LossSeed uint64
+	// ChaosLatency/ChaosJitter/ChaosCorrupt set the initial degradation of
+	// the chaos layer (see runtime.ChaosTransport). The layer itself is
+	// always present — with all knobs zero it is a transparent pass-through
+	// — so POST /chaos can degrade a healthy deployment mid-run.
+	ChaosLatency time.Duration
+	ChaosJitter  time.Duration
+	ChaosCorrupt float64
+	ChaosSeed    uint64
 	// ShutdownTimeout bounds how long a drain waits for in-flight control
 	// requests before cutting their connections (0 = the 5s default).
 	// Raise it for deployments whose drains run slower than 5s under
@@ -75,7 +83,9 @@ const defaultShutdownTimeout = 5 * time.Second
 type Daemon struct {
 	opts      Options
 	graph     *graph.Graph
-	transport runtime.Transport
+	base      runtime.Transport // the raw socket transport (gossip addresses)
+	chaos     *runtime.ChaosTransport
+	transport runtime.Transport // the full stack the cluster sends through
 	cluster   *runtime.Cluster
 	httpLn    net.Listener
 	server    *http.Server
@@ -120,12 +130,27 @@ func New(opts Options) (*Daemon, error) {
 	default:
 		return nil, fmt.Errorf("daemon: unknown transport %q (tcp or udp)", opts.Transport)
 	}
+	base := transport
 	if opts.LossRate > 0 {
 		transport, err = runtime.NewLossyTransport(transport, opts.LossRate, opts.LossSeed)
 		if err != nil {
 			return nil, fmt.Errorf("daemon: %w", err)
 		}
 	}
+	// The chaos layer wraps outermost unconditionally: with zero knobs it
+	// is transparent, and its presence is what makes POST /chaos able to
+	// degrade (and heal) a live deployment without a restart.
+	chaos, err := runtime.NewChaosTransport(transport, runtime.ChaosConfig{
+		Latency:     opts.ChaosLatency,
+		Jitter:      opts.ChaosJitter,
+		CorruptRate: opts.ChaosCorrupt,
+		Seed:        opts.ChaosSeed,
+	})
+	if err != nil {
+		_ = transport.Close()
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	transport = chaos
 
 	clusterOpts := []runtime.Option{
 		runtime.WithField(field),
@@ -158,6 +183,8 @@ func New(opts Options) (*Daemon, error) {
 	d := &Daemon{
 		opts:      opts,
 		graph:     g,
+		base:      base,
+		chaos:     chaos,
 		transport: transport,
 		cluster:   cluster,
 		httpLn:    ln,
@@ -172,7 +199,7 @@ func (d *Daemon) ControlAddr() string { return d.httpLn.Addr().String() }
 
 // GossipAddr returns the bound gossip address of a local node.
 func (d *Daemon) GossipAddr(id core.NodeID) (string, bool) {
-	switch t := d.transport.(type) {
+	switch t := d.base.(type) {
 	case *runtime.TCPTransport:
 		return t.Addr(id)
 	case *runtime.UDPTransport:
@@ -293,6 +320,80 @@ type killRequest struct {
 	Node int `json:"node"`
 }
 
+// chaosRequest is the POST /chaos body. Every field is optional; only the
+// fields present change state, so a controller can partition without
+// touching the latency profile and vice versa. Heal applies first, which
+// makes {"heal":true,"latency_ms":5} a single-request "lift the partition
+// but keep the link slow".
+type chaosRequest struct {
+	LatencyMS   *float64 `json:"latency_ms,omitempty"`
+	JitterMS    *float64 `json:"jitter_ms,omitempty"`
+	CorruptRate *float64 `json:"corrupt_rate,omitempty"`
+	Partition   []int    `json:"partition,omitempty"`
+	Heal        bool     `json:"heal,omitempty"`
+}
+
+// chaosState is the GET /chaos (and POST /chaos) response.
+type chaosState struct {
+	LatencyMS   float64 `json:"latency_ms"`
+	JitterMS    float64 `json:"jitter_ms"`
+	CorruptRate float64 `json:"corrupt_rate"`
+	Partition   []int   `json:"partition"`
+	Cut         uint64  `json:"cut"`
+	Corrupted   uint64  `json:"corrupted"`
+}
+
+func (d *Daemon) chaosSnapshot() chaosState {
+	base, jitter := d.chaos.Latency()
+	st := chaosState{
+		LatencyMS:   float64(base) / float64(time.Millisecond),
+		JitterMS:    float64(jitter) / float64(time.Millisecond),
+		CorruptRate: d.chaos.CorruptRate(),
+		Partition:   []int{},
+		Cut:         d.chaos.Cut(),
+		Corrupted:   d.chaos.Corrupted(),
+	}
+	for _, id := range d.chaos.Partitioned() {
+		st.Partition = append(st.Partition, int(id))
+	}
+	return st
+}
+
+// applyChaos mutates the chaos layer per one request.
+func (d *Daemon) applyChaos(req chaosRequest) error {
+	if req.Heal {
+		d.chaos.Heal()
+	}
+	if req.LatencyMS != nil || req.JitterMS != nil {
+		base, jitter := d.chaos.Latency()
+		if req.LatencyMS != nil {
+			base = time.Duration(*req.LatencyMS * float64(time.Millisecond))
+		}
+		if req.JitterMS != nil {
+			jitter = time.Duration(*req.JitterMS * float64(time.Millisecond))
+		}
+		if err := d.chaos.SetLatency(base, jitter); err != nil {
+			return err
+		}
+	}
+	if req.CorruptRate != nil {
+		if err := d.chaos.SetCorruptRate(*req.CorruptRate); err != nil {
+			return err
+		}
+	}
+	if len(req.Partition) > 0 {
+		nodes := make([]core.NodeID, 0, len(req.Partition))
+		for _, id := range req.Partition {
+			if id < 0 || id >= d.graph.N() {
+				return fmt.Errorf("partition node %d outside [0,%d)", id, d.graph.N())
+			}
+			nodes = append(nodes, core.NodeID(id))
+		}
+		d.chaos.SetPartition(nodes)
+	}
+	return nil
+}
+
 func (d *Daemon) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -362,6 +463,23 @@ func (d *Daemon) mux() *http.ServeMux {
 		d.cluster.Kill(core.NodeID(req.Node))
 		fmt.Fprintln(w, "killed")
 	})
+	mux.HandleFunc("GET /chaos", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.chaosSnapshot())
+	})
+	mux.HandleFunc("POST /chaos", func(w http.ResponseWriter, r *http.Request) {
+		var req chaosRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := d.applyChaos(req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d.chaosSnapshot())
+	})
 	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "draining")
 		d.drain()
@@ -383,6 +501,12 @@ func (d *Daemon) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintln(w, "# HELP algossip_redials_total Connection re-establishment attempts.")
 	fmt.Fprintln(w, "# TYPE algossip_redials_total counter")
 	fmt.Fprintf(w, "algossip_redials_total %d\n", s.Total.Redials)
+	fmt.Fprintln(w, "# HELP algossip_chaos_cut_total Envelopes dropped by injected partitions.")
+	fmt.Fprintln(w, "# TYPE algossip_chaos_cut_total counter")
+	fmt.Fprintf(w, "algossip_chaos_cut_total %d\n", d.chaos.Cut())
+	fmt.Fprintln(w, "# HELP algossip_chaos_corrupt_total Envelopes structurally corrupted by injection.")
+	fmt.Fprintln(w, "# TYPE algossip_chaos_corrupt_total counter")
+	fmt.Fprintf(w, "algossip_chaos_corrupt_total %d\n", d.chaos.Corrupted())
 
 	ids := make([]core.NodeID, 0, len(s.PerNode))
 	for id := range s.PerNode {

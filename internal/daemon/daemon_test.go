@@ -246,6 +246,141 @@ func TestDaemonShutdownTimeoutPlumbed(t *testing.T) {
 	}
 }
 
+// TestDaemonChaosEndpoint drives the /chaos control surface end to end on
+// a live single-process deployment: degrade (latency + corruption) before
+// start, converge through the degradation, partition mid-flight, heal,
+// and check that every state change round-trips through GET /chaos and
+// that injection counters reach the metrics exposition.
+func TestDaemonChaosEndpoint(t *testing.T) {
+	gossip := reserveAddrs(t, 4)
+	peers := make(map[core.NodeID]string, 4)
+	for v, a := range gossip {
+		peers[core.NodeID(v)] = a
+	}
+	d, err := New(Options{
+		Local: []core.NodeID{0, 1, 2, 3}, Peers: peers,
+		GraphName: "ring", GraphN: 4, GraphSeed: 1,
+		K: 2, Interval: 2 * time.Millisecond, Seed: 7,
+		ChaosSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.Run(ctx) }()
+	ctl := d.ControlAddr()
+
+	// The zero-knob layer is transparent and reports as such.
+	var st struct {
+		LatencyMS   float64 `json:"latency_ms"`
+		JitterMS    float64 `json:"jitter_ms"`
+		CorruptRate float64 `json:"corrupt_rate"`
+		Partition   []int   `json:"partition"`
+		Cut         uint64  `json:"cut"`
+		Corrupted   uint64  `json:"corrupted"`
+	}
+	getJSON(t, ctl, "/chaos", &st)
+	if st.LatencyMS != 0 || st.CorruptRate != 0 || len(st.Partition) != 0 {
+		t.Fatalf("fresh daemon reports degradation: %+v", st)
+	}
+
+	// Degrade, then converge through it.
+	post(t, ctl, "/chaos", map[string]any{"latency_ms": 1.0, "jitter_ms": 0.5, "corrupt_rate": 0.3})
+	getJSON(t, ctl, "/chaos", &st)
+	if st.LatencyMS != 1 || st.JitterMS != 0.5 || st.CorruptRate != 0.3 {
+		t.Fatalf("chaos state did not round-trip: %+v", st)
+	}
+	for i := 0; i < 2; i++ {
+		post(t, ctl, "/seed", map[string]any{"node": i, "index": i})
+	}
+	post(t, ctl, "/start", nil)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var status struct {
+			Done bool `json:"done"`
+		}
+		getJSON(t, ctl, "/status", &status)
+		if status.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deployment never converged under chaos")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	getJSON(t, ctl, "/chaos", &st)
+	if st.Corrupted == 0 {
+		t.Error("corrupt_rate 0.3 corrupted nothing during convergence")
+	}
+
+	// Partition, observe cuts, heal.
+	post(t, ctl, "/chaos", map[string]any{"partition": []int{1, 2}})
+	getJSON(t, ctl, "/chaos", &st)
+	if len(st.Partition) != 2 || st.Partition[0] != 1 || st.Partition[1] != 2 {
+		t.Fatalf("partition did not round-trip: %+v", st)
+	}
+	cutDeadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, ctl, "/chaos", &st)
+		if st.Cut > 0 {
+			break
+		}
+		if time.Now().After(cutDeadline) {
+			t.Fatal("partition cut no traffic (post-done serving keeps gossiping)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	post(t, ctl, "/chaos", map[string]any{"heal": true})
+	getJSON(t, ctl, "/chaos", &st)
+	if len(st.Partition) != 0 {
+		t.Fatalf("heal left a partition: %+v", st)
+	}
+
+	// Bad requests are rejected with 400.
+	for _, bad := range []map[string]any{
+		{"corrupt_rate": 1.5},
+		{"latency_ms": -1.0},
+		{"partition": []int{99}},
+	} {
+		var buf bytes.Buffer
+		_ = json.NewEncoder(&buf).Encode(bad)
+		resp, err := http.Post("http://"+ctl+"/chaos", "application/json", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad chaos request %v: status %s, want 400", bad, resp.Status)
+		}
+	}
+
+	// The injection counters surface in /metrics.
+	resp, err := http.Get("http://" + ctl + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	_, _ = metrics.ReadFrom(resp.Body)
+	_ = resp.Body.Close()
+	for _, want := range []string{"algossip_chaos_cut_total", "algossip_chaos_corrupt_total"} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("drain was not clean: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	checkNoRuntimeGoroutines(t)
+}
+
 // checkNoRuntimeGoroutines fails if gossip goroutines (node loops,
 // transport senders, accept/read loops, daemon runners) outlive the
 // drain. HTTP keep-alive and test goroutines are not counted.

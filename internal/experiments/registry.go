@@ -42,6 +42,7 @@ func All() []Experiment {
 		{ID: "E15", Artifact: "dynamic topologies: stopping time vs churn / edge failures / rewiring", Run: E15DynamicTopology},
 		{ID: "E16", Artifact: "web-scale O(n) conformance: generation coding + sharded engine on an expander", Run: E16WebScale},
 		{ID: "E17", Artifact: "network runtime conformance: live multi-process cluster vs simulator prediction", Run: E17LiveCluster},
+		{ID: "E18", Artifact: "adversarial robustness: Byzantine replay/pollution/free-riding dilation gate", Run: E18Adversarial},
 		{ID: "A1", Artifact: "ablation: field size", Run: A1FieldSize},
 		{ID: "A2", Artifact: "ablation: gossip action", Run: A2Action},
 		{ID: "A3", Artifact: "ablation: RLNC vs uncoded", Run: A3Uncoded},

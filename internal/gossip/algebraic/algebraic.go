@@ -18,6 +18,7 @@ import (
 	"algossip/internal/gf"
 	"algossip/internal/gossip"
 	"algossip/internal/graph"
+	"algossip/internal/queueing"
 	"algossip/internal/rlnc"
 	"algossip/internal/sim"
 )
@@ -40,6 +41,15 @@ type Config struct {
 	// gracefully: the expected slowdown is about 1/(1-LossRate), because
 	// every surviving packet is still helpful with probability >= 1-1/q.
 	LossRate float64
+	// Traits, when non-nil, assigns each node an adversarial or
+	// heterogeneous profile (see adversary.go); it must have exactly one
+	// entry per node. Nil reproduces the classic all-honest protocol.
+	Traits []NodeTraits
+	// TraitSeed seeds the class RNG that draws straggler service times —
+	// a stream separate from the protocol RNG, so class scheduling never
+	// perturbs the protocol's pinned randomness. Only read when Traits
+	// declares stragglers.
+	TraitSeed uint64
 }
 
 // delivery is one staged packet transfer (synchronous model). skip marks
@@ -78,6 +88,14 @@ type Protocol struct {
 
 	shard    *shardCore     // sharded-execution state (nil = classic wake loop)
 	slotPkts []*rlnc.Packet // pooled per-slot packets for sharded staging
+
+	// Adversarial/heterogeneous state (nil/zero for classic runs).
+	traits     []NodeTraits       // per-node profiles (nil = all honest)
+	classRng   *rand.Rand         // straggler service-time stream (TraitSeed)
+	service    []queueing.Sampler // per-node service samplers (nil entries = unthrottled)
+	busyUntil  []int              // straggler: first round the node may transmit again
+	verify     bool               // any Byzantine node => receivers verify every packet
+	verifyCost int                // modeled field ops per verification: k + r
 }
 
 // dupKey identifies one (receiver, sender) pair for per-round dedup.
@@ -120,7 +138,49 @@ func New(g *graph.Graph, model core.TimeModel, sel sim.PartnerSelector, cfg Conf
 	for i := range p.doneRound {
 		p.doneRound[i] = -1
 	}
+	if err := p.initTraits(cfg); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// initTraits validates and installs the adversarial/heterogeneous
+// profiles (no-op when Config.Traits is nil).
+func (p *Protocol) initTraits(cfg Config) error {
+	if cfg.Traits == nil {
+		return nil
+	}
+	n := len(p.nodes)
+	if len(cfg.Traits) != n {
+		return fmt.Errorf("algebraic: %d traits for %d nodes", len(cfg.Traits), n)
+	}
+	if cfg.DiscardDuplicatePerRound {
+		return errors.New("algebraic: traits are incompatible with DiscardDuplicatePerRound")
+	}
+	p.traits = cfg.Traits
+	p.service = make([]queueing.Sampler, n)
+	p.busyUntil = make([]int, n)
+	for i, t := range cfg.Traits {
+		if err := t.validate(); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		if t.Slow >= 2 {
+			p.service[i] = queueing.Geometric(1 / float64(t.Slow))
+			if p.classRng == nil {
+				p.classRng = core.NewRand(cfg.TraitSeed)
+			}
+		}
+		if t.byzantine() {
+			p.verify = true
+		}
+	}
+	p.verifyCost = cfg.RLNC.K + cfg.RLNC.PayloadLen
+	if cfg.RLNC.RankOnly {
+		// Rank-only simulations still model the cost the real verifier
+		// would pay; r = 1 symbol is the minimum payload (as MessageBits).
+		p.verifyCost = cfg.RLNC.K + 1
+	}
+	return nil
 }
 
 // SetObserver installs a progress observer (must be called before running).
@@ -139,6 +199,9 @@ func (p *Protocol) EnableSharded(seed uint64, retire bool) error {
 	}
 	if p.model != core.Synchronous {
 		return errors.New("algebraic: sharded execution requires the synchronous model")
+	}
+	if p.traits != nil {
+		return errors.New("algebraic: sharded execution does not support adversarial/heterogeneous traits")
 	}
 	p.slotPkts = make([]*rlnc.Packet, 2*len(p.nodes))
 	for i := range p.slotPkts {
@@ -227,12 +290,12 @@ func (p *Protocol) OnWake(v core.NodeID) {
 	}
 	switch p.cfg.Action {
 	case core.Push:
-		p.send(v, u)
+		p.sendLeg(v, u)
 	case core.Pull:
-		p.send(u, v)
+		p.sendLeg(u, v)
 	case core.Exchange:
-		p.send(v, u)
-		p.send(u, v)
+		p.sendLeg(v, u)
+		p.sendLeg(u, v)
 	}
 }
 
@@ -317,6 +380,23 @@ func (p *Protocol) recycle(pkt *rlnc.Packet) {
 // asynchronous model it applies immediately. With LossRate set, the packet
 // may be dropped in flight.
 func (p *Protocol) send(from, to core.NodeID) {
+	if p.traits != nil {
+		// Straggler gating first: a throttled node drops the leg whatever
+		// its behavior (a slow polluter pollutes slowly).
+		if !p.serviceReady(from) {
+			return
+		}
+		switch p.traits[from].Behavior {
+		case FreeRide:
+			return
+		case Replay:
+			p.sendByz(from, to, false)
+			return
+		case Pollute:
+			p.sendByz(from, to, true)
+			return
+		}
+	}
 	// A receiver already at full rank discards any combination: the
 	// outcome (and every counter) is predetermined, so consume exactly the
 	// randomness the emit would draw (SkipEmit) and skip building the
@@ -348,6 +428,7 @@ func (p *Protocol) send(from, to core.NodeID) {
 		return
 	}
 	if skip {
+		p.verifyAccount()
 		p.traffic.Useless++
 	} else {
 		p.apply(to, pkt)
@@ -360,6 +441,13 @@ func (p *Protocol) send(from, to core.NodeID) {
 // arrays (clobbering the contents, never retaining them), and the caller
 // recycles it afterwards.
 func (p *Protocol) apply(to core.NodeID, pkt *rlnc.Packet) {
+	p.verifyAccount()
+	if p.verify && pkt.Corrupt {
+		// Verification caught the pollution; the packet never reaches the
+		// eliminator and counts as neither helpful nor useless.
+		p.traffic.Polluted++
+		return
+	}
 	if p.nodes[to].ReceiveOwned(pkt) {
 		p.traffic.Helpful++
 		p.refreshDone(to)
@@ -403,6 +491,7 @@ func (p *Protocol) EndRound(round int) {
 	} else {
 		for _, d := range p.staged {
 			if d.skip {
+				p.verifyAccount()
 				p.traffic.Useless++
 			} else {
 				p.apply(d.to, d.pkt)

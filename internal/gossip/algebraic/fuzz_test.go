@@ -1,0 +1,94 @@
+package algebraic
+
+import (
+	"testing"
+
+	"algossip/internal/core"
+	"algossip/internal/gf"
+	"algossip/internal/graph"
+	"algossip/internal/rlnc"
+	"algossip/internal/sim"
+)
+
+// FuzzAdversarialPacket drives uniform AG through arbitrary adversarial
+// populations: the fuzzer picks the topology size, message count, field
+// mode and a per-node behavior table (replayers, polluters, free-riders,
+// capped at half the nodes so honest progress stays possible). The
+// invariant is the robustness claim itself: no combination of mutated or
+// polluted packets may panic the receive path, and every node — honest
+// and Byzantine alike — must still reach full rank on a complete graph
+// within a generous round budget. Pollution must also be *visible*: a
+// run with an active polluter that detects zero polluted packets means
+// the verification layer silently vanished.
+func FuzzAdversarialPacket(f *testing.F) {
+	f.Add(uint8(8), uint8(4), false, uint64(1), []byte{1, 2, 3})
+	f.Add(uint8(12), uint8(6), true, uint64(7), []byte{3, 3, 3, 3})
+	f.Add(uint8(16), uint8(0), false, uint64(42), []byte{2, 0, 1, 0, 2})
+	f.Add(uint8(4), uint8(1), true, uint64(9), []byte{})
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, payload bool, seed uint64, roles []byte) {
+		n := 4 + int(nRaw)%13 // 4..16
+		k := 1 + int(kRaw)%(n/2)
+
+		// Node 0 stays honest and the Byzantine fraction is capped at 1/2:
+		// beyond that the claim under test (honest convergence) no longer
+		// holds in general, so fuzzing it would only find false alarms.
+		traits := make([]NodeTraits, n)
+		byz := 0
+		for v := 1; v < n && byz < n/2; v++ {
+			if v-1 >= len(roles) {
+				break
+			}
+			switch roles[v-1] % 4 {
+			case 1:
+				traits[v] = NodeTraits{Behavior: FreeRide}
+				byz++
+			case 2:
+				traits[v] = NodeTraits{Behavior: Replay}
+				byz++
+			case 3:
+				traits[v] = NodeTraits{Behavior: Pollute}
+				byz++
+			}
+		}
+
+		cfg := Config{RLNC: rlnc.Config{Field: gf.MustNew(2), K: k, RankOnly: true}, Traits: traits}
+		if payload {
+			cfg.RLNC = rlnc.Config{Field: gf.MustNew(256), K: k, PayloadLen: 4}
+		}
+		g := graph.Complete(n)
+		p, err := New(g, core.Synchronous, sim.NewUniform(g), cfg, core.NewRand(core.SplitSeed(seed, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var msgs []rlnc.Message
+		if payload {
+			msgs = RandomMessages(cfg.RLNC, core.NewRand(core.SplitSeed(seed, 50)))
+		}
+		if err := p.SeedAll(RoundRobinAssignOver(k, HonestNodes(traits)), msgs); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.New(g, core.Synchronous, p, core.SplitSeed(seed, 2),
+			sim.WithMaxRounds(1<<14)).Run()
+		if err != nil {
+			t.Fatalf("n=%d k=%d byz=%d payload=%v: no convergence: %v", n, k, byz, payload, err)
+		}
+		for v, r := range p.DoneRounds() {
+			if r < 0 {
+				t.Fatalf("n=%d k=%d byz=%d: node %d never completed (rounds=%d)", n, k, byz, v, res.Rounds)
+			}
+		}
+		tr := p.Traffic()
+		if byz > 0 && tr.Verified == 0 {
+			t.Fatalf("n=%d k=%d byz=%d: adversarial run verified nothing", n, k, byz)
+		}
+		polluters := 0
+		for _, nt := range traits {
+			if nt.Behavior == Pollute {
+				polluters++
+			}
+		}
+		if polluters > 0 && tr.Polluted == 0 {
+			t.Fatalf("n=%d k=%d polluters=%d: no pollution detected", n, k, polluters)
+		}
+	})
+}

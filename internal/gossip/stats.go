@@ -25,6 +25,18 @@ type Traffic struct {
 	Useless int
 	// Dropped is the number of packets lost to failure injection.
 	Dropped int
+	// Verified counts packets that went through receiver-side integrity
+	// verification. Zero (and omitted from JSON, keeping non-adversarial
+	// checkpoint bytes unchanged) unless the run models Byzantine nodes:
+	// verification only costs anything when pollution is possible.
+	Verified int `json:",omitempty"`
+	// VerifyOps is the total modeled verification cost in field operations,
+	// k + r per verified packet (one pass over coefficients and payload).
+	VerifyOps int `json:",omitempty"`
+	// Polluted counts verified packets that failed verification (corrupt
+	// coefficient/payload combinations injected by Byzantine senders) and
+	// were discarded before reaching the eliminator.
+	Polluted int `json:",omitempty"`
 }
 
 // Received returns Helpful + Useless.
@@ -45,12 +57,20 @@ func (t *Traffic) Add(other Traffic) {
 	t.Helpful += other.Helpful
 	t.Useless += other.Useless
 	t.Dropped += other.Dropped
+	t.Verified += other.Verified
+	t.VerifyOps += other.VerifyOps
+	t.Polluted += other.Polluted
 }
 
 // String renders a compact summary.
 func (t Traffic) String() string {
-	return fmt.Sprintf("sent=%d helpful=%d useless=%d dropped=%d eff=%.2f",
+	s := fmt.Sprintf("sent=%d helpful=%d useless=%d dropped=%d eff=%.2f",
 		t.Sent, t.Helpful, t.Useless, t.Dropped, t.Efficiency())
+	if t.Verified > 0 {
+		s += fmt.Sprintf(" verified=%d polluted=%d verifyops=%d",
+			t.Verified, t.Polluted, t.VerifyOps)
+	}
+	return s
 }
 
 // MessageBits returns the wire size of one algebraic-gossip message in

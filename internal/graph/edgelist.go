@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"algossip/internal/core"
+)
+
+// LoadEdgeList reads an undirected simple graph from a plain-text edge
+// list: one "u v" pair of node ids per line, blank lines and #-comments
+// ignored. Node ids must be non-negative integers; the node count is
+// max id + 1, so every id in [0, max] exists even if isolated. The
+// file must describe a *simple* graph: self-loops and duplicate edges
+// (in either orientation) are rejected as errors rather than silently
+// dropped — a measurement topology with repeated lines is almost
+// certainly a generation bug upstream, and the Builder's silent
+// dedup would mask it. Unlike the generator families, connectivity is
+// NOT guaranteed; callers inherit whatever the file describes.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: edge list: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	type edge struct{ u, v int }
+	var edges []edge
+	seen := make(map[edge]int) // canonical (min,max) -> first line number
+	maxID := -1
+	sc := bufio.NewScanner(f)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: edge list %s:%d: want \"u v\", got %d fields", path, lineNo, len(fields))
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list %s:%d: bad node id %q", path, lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list %s:%d: bad node id %q", path, lineNo, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: edge list %s:%d: negative node id in (%d, %d)", path, lineNo, u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: edge list %s:%d: self-loop at node %d", path, lineNo, u)
+		}
+		canon := edge{min(u, v), max(u, v)}
+		if first, dup := seen[canon]; dup {
+			return nil, fmt.Errorf("graph: edge list %s:%d: duplicate edge (%d, %d), first seen on line %d", path, lineNo, u, v, first)
+		}
+		seen[canon] = lineNo
+		edges = append(edges, edge{u, v})
+		if v > maxID {
+			maxID = v
+		}
+		if u > maxID {
+			maxID = u
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: edge list %s: %w", path, err)
+	}
+	if maxID < 1 {
+		return nil, fmt.Errorf("graph: edge list %s: need at least 2 nodes and 1 edge", path)
+	}
+	b := NewBuilder("file-"+strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)), maxID+1)
+	for _, e := range edges {
+		b.AddEdge(core.NodeID(e.u), core.NodeID(e.v))
+	}
+	return b.Build(), nil
+}

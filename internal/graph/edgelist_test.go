@@ -1,0 +1,127 @@
+package graph
+
+// Property tests for the file:<path> edge-list family: a valid file
+// round-trips into a graph satisfying the repository-wide structural
+// invariants, and every malformed shape — missing file, bad tokens,
+// self-loops, duplicate edges — is a loud error rather than a silently
+// "fixed" topology.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"algossip/internal/core"
+)
+
+// writeEdgeList drops an edge-list file into the test's temp dir.
+func writeEdgeList(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEdgeListLoadsRing(t *testing.T) {
+	const n = 8
+	var sb strings.Builder
+	sb.WriteString("# an 8-ring, with comments and blank lines\n\n")
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(&sb, "%d %d\n", v, (v+1)%n)
+	}
+	path := writeEdgeList(t, "ring8.edges", sb.String())
+
+	g, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGraphInvariants(t, g)
+	if g.N() != n || g.M() != n {
+		t.Fatalf("ring file: got n=%d m=%d, want %d/%d", g.N(), g.M(), n, n)
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(core.NodeID(v)) != 2 {
+			t.Fatalf("ring file: degree(%d) = %d, want 2", v, g.Degree(core.NodeID(v)))
+		}
+	}
+	want := Ring(n)
+	if g.Diameter() != want.Diameter() {
+		t.Fatalf("ring file: diameter %d, want %d", g.Diameter(), want.Diameter())
+	}
+}
+
+func TestEdgeListViaFromName(t *testing.T) {
+	path := writeEdgeList(t, "tri.edges", "0 1\n1 2\n2 0\n")
+	// n and rng are ignored for the file family: the file fixes the size.
+	g, err := FromName("file:"+path, 999, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGraphInvariants(t, g)
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("file family: got n=%d m=%d, want 3/3", g.N(), g.M())
+	}
+	if !strings.HasPrefix(g.Name(), "file-tri") {
+		t.Fatalf("file family: name %q does not carry the file stem", g.Name())
+	}
+}
+
+func TestEdgeListIsolatedTailNode(t *testing.T) {
+	// Ids are dense 0..max: an edge mentioning node 5 implies nodes 3, 4
+	// exist too, isolated. The loader must keep them (callers own
+	// connectivity), and the graph invariants must still hold.
+	path := writeEdgeList(t, "iso.edges", "0 1\n1 2\n2 5\n")
+	g, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGraphInvariants(t, g)
+	if g.N() != 6 {
+		t.Fatalf("got n=%d, want 6 (max id + 1)", g.N())
+	}
+	if g.Degree(3) != 0 || g.Degree(4) != 0 {
+		t.Fatalf("nodes 3, 4 should be isolated, degrees %d/%d", g.Degree(3), g.Degree(4))
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		wantSub string
+	}{
+		{"self-loop", "0 1\n2 2\n", "self-loop"},
+		{"duplicate", "0 1\n1 2\n0 1\n", "duplicate edge"},
+		{"duplicate-reversed", "0 1\n1 2\n1 0\n", "duplicate edge"},
+		{"bad-token", "0 1\n1 x\n", "bad node id"},
+		{"wrong-arity", "0 1 2\n", "fields"},
+		{"negative-id", "0 1\n-1 2\n", "negative"},
+		{"empty", "# nothing but comments\n\n", "at least 2 nodes"},
+		{"single-node", "", "at least 2 nodes"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			path := writeEdgeList(t, c.name+".edges", c.content)
+			_, err := LoadEdgeList(path)
+			if err == nil {
+				t.Fatalf("%s: loaded cleanly, want error containing %q", c.name, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+			}
+		})
+	}
+	t.Run("missing-file", func(t *testing.T) {
+		if _, err := LoadEdgeList(filepath.Join(t.TempDir(), "nope.edges")); err == nil {
+			t.Fatal("missing file loaded cleanly")
+		}
+		if _, err := FromName("file:"+filepath.Join(t.TempDir(), "nope.edges"), 8, nil); err == nil {
+			t.Fatal("missing file loaded cleanly through FromName")
+		}
+	})
+}

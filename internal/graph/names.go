@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strings"
 )
 
 // FamilyNames lists the topology families FromName understands.
@@ -18,7 +19,13 @@ func FamilyNames() []string {
 // FromName builds a topology of (approximately) n nodes from a family
 // name. Random families draw from rng; deterministic families ignore it.
 // Grid/torus round n down to a square, hypercube up to a power of two.
+// The special family "file:<path>" loads a measured topology from an
+// edge-list file via LoadEdgeList; n and rng are ignored (the file
+// fixes the node count).
 func FromName(name string, n int, rng *rand.Rand) (*Graph, error) {
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		return LoadEdgeList(path)
+	}
 	if n < 2 {
 		return nil, fmt.Errorf("graph: need at least 2 nodes, got %d", n)
 	}
@@ -67,6 +74,6 @@ func FromName(name string, n int, rng *rand.Rand) (*Graph, error) {
 	case "pa":
 		return PreferentialAttachment(n, 2, rng), nil
 	default:
-		return nil, fmt.Errorf("graph: unknown family %q (known: %v)", name, FamilyNames())
+		return nil, fmt.Errorf("graph: unknown family %q (known: %v, or file:<path> for an edge-list file)", name, FamilyNames())
 	}
 }

@@ -61,6 +61,15 @@ func (s *Spec) Fingerprint() string {
 	if s.Shards > 0 {
 		fmt.Fprintf(&sb, "|sharded=1")
 	}
+	// Adversarial and heterogeneous-class declarations, same append-only
+	// idiom: the canonical String() forms appear only when the regimes are
+	// in force, so every pre-adversary checkpoint still resumes.
+	if !s.Adversary.IsNone() {
+		fmt.Fprintf(&sb, "|adv=%s", s.Adversary.String())
+	}
+	if !s.Classes.IsNone() {
+		fmt.Fprintf(&sb, "|classes=%s", s.Classes.String())
+	}
 	// The fabric session label binds a coordinator's checkpoint and its
 	// workers to one distributed run; same append-only idiom, so
 	// non-fabric checkpoints keep their historical fingerprints.

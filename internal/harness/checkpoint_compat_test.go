@@ -74,6 +74,64 @@ func TestFingerprintFabricTag(t *testing.T) {
 	}
 }
 
+// TestFingerprintAdversaryAndClasses: the adversarial and heterogeneity
+// declarations follow the same append-only idiom — unset leaves the
+// historical preimage untouched (TestFingerprintBackwardCompat covers the
+// hash), and every parameter that changes the trajectory changes the
+// fingerprint.
+func TestFingerprintAdversaryAndClasses(t *testing.T) {
+	fp := func(mut func(*Spec)) string {
+		s := lineSpec()
+		mut(&s)
+		return s.Fingerprint()
+	}
+	plain := fp(func(*Spec) {})
+	adv := func(frac float64, mode string) func(*Spec) {
+		return func(s *Spec) { s.Adversary = &Adversary{Kind: "byzantine", Frac: frac, Mode: mode} }
+	}
+	if fp(adv(0.1, "pollute")) == plain {
+		t.Error("adversary did not change the fingerprint")
+	}
+	if fp(adv(0.1, "pollute")) == fp(adv(0.2, "pollute")) {
+		t.Error("different adversary fractions share a fingerprint")
+	}
+	if fp(adv(0.1, "pollute")) == fp(adv(0.1, "replay")) {
+		t.Error("different adversary modes share a fingerprint")
+	}
+	// The default mode and its explicit spelling canonicalize identically.
+	if fp(adv(0.1, "")) != fp(adv(0.1, "pollute")) {
+		t.Error("default mode and explicit pollute hash differently")
+	}
+	cls := func(kind string, frac float64, v int) func(*Spec) {
+		return func(s *Spec) {
+			c := &Classes{Kind: kind, Frac: frac}
+			if kind == "tiered" {
+				c.Boost = v
+			} else {
+				c.Slow = v
+			}
+			s.Classes = c
+		}
+	}
+	if fp(cls("straggler", 0.2, 4)) == plain {
+		t.Error("classes did not change the fingerprint")
+	}
+	if fp(cls("straggler", 0.2, 4)) == fp(cls("straggler", 0.2, 8)) {
+		t.Error("different slow factors share a fingerprint")
+	}
+	if fp(cls("straggler", 0.2, 4)) == fp(cls("tiered", 0.2, 4)) {
+		t.Error("straggler and tiered share a fingerprint")
+	}
+	// Both suffixes compose.
+	both := fp(func(s *Spec) {
+		adv(0.1, "mix")(s)
+		cls("straggler", 0.2, 4)(s)
+	})
+	if both == fp(adv(0.1, "mix")) || both == fp(cls("straggler", 0.2, 4)) {
+		t.Error("combined adversary+classes collides with a single-regime fingerprint")
+	}
+}
+
 // TestResumeGenerationCheckpoint: a generation-mode sweep checkpoints and
 // resumes like any other, and a checkpoint from a different generation
 // size is foreign (fingerprint mismatch), not silently merged.

@@ -128,6 +128,17 @@ type GossipSpec struct {
 	// (nil = static). Supported for uniform AG and the uncoded baseline;
 	// tree-based protocols need a static topology.
 	Dynamics *Dynamics
+	// Adversary declares a Byzantine node population (nil = all honest).
+	// Uniform AG on a static topology only, classic engine only: the
+	// Byzantine set draws from seed stream 13 of the trial seed, and
+	// initial messages are seeded round-robin across honest nodes (a
+	// Byzantine node holding the only copy of a message would never
+	// spread it).
+	Adversary *Adversary
+	// Classes declares heterogeneous node capabilities (nil = uniform).
+	// Same support envelope as Adversary; class membership draws from
+	// stream 14, straggler service times from stream 15.
+	Classes *Classes
 	// MaxRounds overrides the engine's round budget (default generous).
 	MaxRounds int
 	// Observer, when set, receives per-node completion events during the
@@ -203,8 +214,9 @@ type Outcome struct {
 // the experiment runners, and the worker pool all funnel through it, so
 // a (GossipSpec, Protocol, seed) triple replays one fixed trajectory
 // everywhere. The seed-stream layout (protocol RNG, tree RNG, engine
-// RNG; stream 10 feeds the dynamic-topology schedule) is pinned by the
-// conformance suite — do not renumber.
+// RNG; stream 10 feeds the dynamic-topology schedule, streams 13–15 the
+// adversarial and heterogeneous-class draws) is pinned by the conformance
+// suite — do not renumber.
 func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 	if spec.Graph == nil {
 		return Outcome{}, fmt.Errorf("harness: nil graph")
@@ -256,6 +268,28 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 			return Outcome{}, fmt.Errorf("harness: sharded execution requires the synchronous model")
 		}
 	}
+	if !spec.Adversary.IsNone() || !spec.Classes.IsNone() {
+		switch proto {
+		case 0, ProtocolUniformAG:
+		default:
+			return Outcome{}, fmt.Errorf("harness: adversary/classes unsupported for protocol %v (uniform AG only)", proto)
+		}
+		if err := spec.Adversary.validate(); err != nil {
+			return Outcome{}, err
+		}
+		if err := spec.Classes.validate(); err != nil {
+			return Outcome{}, err
+		}
+		if spec.GenSize > 0 {
+			return Outcome{}, fmt.Errorf("harness: adversary/classes do not support generation mode")
+		}
+		if spec.Shards > 0 {
+			return Outcome{}, fmt.Errorf("harness: adversary/classes do not support sharded execution")
+		}
+		if !spec.Dynamics.IsStatic() {
+			return Outcome{}, fmt.Errorf("harness: adversary/classes require a static topology")
+		}
+	}
 	spec = spec.Normalize()
 	g := spec.Graph
 	out := Outcome{
@@ -302,8 +336,28 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 			out.Traffic = p.Traffic()
 		}
 	case proto == 0 || proto == ProtocolUniformAG:
-		p, err := algebraic.New(g, spec.Model, spec.Selector.build(g),
-			algebraic.Config{RLNC: spec.RLNCConfig(), Action: spec.Action, LossRate: spec.LossRate},
+		cfg := algebraic.Config{RLNC: spec.RLNCConfig(), Action: spec.Action, LossRate: spec.LossRate}
+		assign := spec.Assign()
+		if !spec.Adversary.IsNone() || !spec.Classes.IsNone() {
+			// Adversarial/heterogeneous trials draw node profiles from
+			// dedicated seed streams (13 adversary set, 14 class set, 15
+			// straggler service times), so the protocol stream (1) and
+			// every non-adversarial trajectory stay byte-identical, and a
+			// fixed-seed adversarial trial replays exactly on any worker
+			// count.
+			cfg.Traits = buildTraits(g.N(), spec.Adversary, spec.Classes,
+				core.SplitSeed(seed, 13), core.SplitSeed(seed, 14))
+			cfg.TraitSeed = core.SplitSeed(seed, 15)
+			if !spec.Adversary.IsNone() {
+				honest := algebraic.HonestNodes(cfg.Traits)
+				if spec.SingleSource {
+					assign = algebraic.SingleAssign(spec.K, honest[0])
+				} else {
+					assign = algebraic.RoundRobinAssignOver(spec.K, honest)
+				}
+			}
+		}
+		p, err := algebraic.New(g, spec.Model, spec.Selector.build(g), cfg,
 			core.NewRand(core.SplitSeed(seed, 1)))
 		if err != nil {
 			return out, err
@@ -317,7 +371,7 @@ func Execute(spec GossipSpec, proto Protocol, seed uint64) (Outcome, error) {
 		if spec.PayloadLen > 0 {
 			msgs = algebraic.RandomMessages(spec.RLNCConfig(), core.NewRand(core.SplitSeed(seed, 11)))
 		}
-		if err := p.SeedAll(spec.Assign(), msgs); err != nil {
+		if err := p.SeedAll(assign, msgs); err != nil {
 			return out, err
 		}
 		if spec.Shards > 0 {

@@ -64,6 +64,15 @@ type Spec struct {
 	// Runner.Parallel — raise it to spend cores inside one large-n trial
 	// instead of across trials.
 	Shards int
+	// Adversary declares a Byzantine node population (nil = all honest).
+	// Uniform AG only; the Byzantine set is drawn per trial from seed
+	// stream 13, and initial messages are seeded at honest nodes only.
+	Adversary *Adversary
+	// Classes declares heterogeneous node capabilities — stragglers or
+	// boosted bandwidth tiers (nil = uniform). Uniform AG only; class
+	// membership draws from seed stream 14 and straggler service times
+	// from stream 15 of the trial seed.
+	Classes *Classes
 	// MaxRounds caps each simulation (default generous).
 	MaxRounds int
 	// Lean skips the O(n) per-node completion detail in every Outcome —
@@ -235,6 +244,7 @@ func (s *Spec) gossipSpec(t Trial) GossipSpec {
 		Action: s.Action, Selector: s.Selector,
 		SingleSource: s.SingleSource, LossRate: s.LossRate,
 		Dynamics: s.Dynamics, GenSize: s.GenSize, Shards: s.Shards,
+		Adversary: s.Adversary, Classes: s.Classes,
 		MaxRounds: s.MaxRounds, Lean: s.Lean,
 	}
 }

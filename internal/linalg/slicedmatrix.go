@@ -139,6 +139,15 @@ func (m *SlicedMatrix) Full() bool { return len(m.rows) == m.cols }
 // internal storage and must not be modified.
 func (m *SlicedMatrix) Row(i int) SlicedVec { return m.rows[i] }
 
+// Payload returns the augmented payload planes of the i-th stored echelon
+// row (nil when extra == 0). Aliases internal storage; must not be modified.
+func (m *SlicedMatrix) Payload(i int) SlicedVec {
+	if m.extra == 0 {
+		return nil
+	}
+	return m.pay[i]
+}
+
 // lowestNonzero returns the index of the lowest nonzero symbol of a
 // coefficient row, or -1 — the sliced pivot search: OR the m planes
 // word-wise and take the lowest set bit.

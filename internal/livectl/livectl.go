@@ -50,6 +50,20 @@ type Options struct {
 	Interval   time.Duration
 	Seed       uint64
 	LossRate   float64
+	// ChaosLatency/ChaosJitter/ChaosCorrupt set every process's initial
+	// chaos-layer degradation (see runtime.ChaosTransport); the layer is
+	// always present, so Chaos/Partition/Heal can degrade mid-run too.
+	ChaosLatency time.Duration
+	ChaosJitter  time.Duration
+	ChaosCorrupt float64
+	// ByzantineProcs launches the LAST this-many processes with
+	// -chaos-corrupt 1: every frame they send is structurally corrupt, the
+	// live-deployment twin of the simulator's polluting adversary. Their
+	// nodes still receive honestly (inbound is untouched), so the whole
+	// deployment — Byzantine nodes included — can converge as long as
+	// every message is seeded at an honest process (SeedRoundRobin does
+	// this automatically).
+	ByzantineProcs int
 	// Stderr receives every daemon's stderr (default os.Stderr).
 	Stderr io.Writer
 }
@@ -68,6 +82,7 @@ type proc struct {
 	cmd    *exec.Cmd
 	ctl    string // control-plane base address host:port
 	nodes  []core.NodeID
+	byz    bool // launched with -chaos-corrupt 1
 	waitCh chan error
 }
 
@@ -143,6 +158,12 @@ func launchOnce(ctx context.Context, opts Options) (*Cluster, error) {
 	if opts.Procs > n {
 		return nil, fmt.Errorf("livectl: %d processes for %d nodes", opts.Procs, n)
 	}
+	if opts.ByzantineProcs < 0 || opts.ByzantineProcs >= opts.Procs {
+		if opts.ByzantineProcs != 0 {
+			return nil, fmt.Errorf("livectl: %d Byzantine of %d processes (need at least one honest)",
+				opts.ByzantineProcs, opts.Procs)
+		}
+	}
 
 	c := &Cluster{
 		n:      n,
@@ -179,6 +200,7 @@ func launchOnce(ctx context.Context, opts Options) (*Cluster, error) {
 
 	for p := 0; p < opts.Procs; p++ {
 		lo, hi := p*n/opts.Procs, (p+1)*n/opts.Procs
+		byz := p >= opts.Procs-opts.ByzantineProcs
 		nodes := make([]core.NodeID, 0, hi-lo)
 		nodeParts := make([]string, 0, hi-lo)
 		for v := lo; v < hi; v++ {
@@ -202,6 +224,20 @@ func launchOnce(ctx context.Context, opts Options) (*Cluster, error) {
 			"-seed", fmt.Sprint(opts.Seed),
 			"-loss", fmt.Sprint(opts.LossRate),
 			"-loss-seed", fmt.Sprint(core.SplitSeed(opts.Seed, uint64(1000+p))),
+			"-chaos-seed", fmt.Sprint(core.SplitSeed(opts.Seed, uint64(2000+p))),
+		}
+		if opts.ChaosLatency > 0 {
+			args = append(args, "-chaos-latency", opts.ChaosLatency.String())
+		}
+		if opts.ChaosJitter > 0 {
+			args = append(args, "-chaos-jitter", opts.ChaosJitter.String())
+		}
+		corrupt := opts.ChaosCorrupt
+		if byz {
+			corrupt = 1
+		}
+		if corrupt > 0 {
+			args = append(args, "-chaos-corrupt", fmt.Sprint(corrupt))
 		}
 		cmd := exec.Command(bin, args...)
 		cmd.Stderr = opts.Stderr
@@ -214,7 +250,7 @@ func launchOnce(ctx context.Context, opts Options) (*Cluster, error) {
 			c.Stop()
 			return nil, fmt.Errorf("livectl: start gossipd: %w", err)
 		}
-		pr := &proc{cmd: cmd, nodes: nodes, waitCh: make(chan error, 1)}
+		pr := &proc{cmd: cmd, nodes: nodes, byz: byz, waitCh: make(chan error, 1)}
 		c.procs = append(c.procs, pr)
 
 		// The first stdout line announces the control address.
@@ -373,15 +409,34 @@ func (c *Cluster) Seed(ctx context.Context, v core.NodeID, index int, payload []
 	return c.post(ctx, c.procs[p].ctl, "/seed", body)
 }
 
+// HonestNodes lists the nodes hosted by non-Byzantine processes, in id
+// order (all nodes when no process is Byzantine).
+func (c *Cluster) HonestNodes() []core.NodeID {
+	out := make([]core.NodeID, 0, c.n)
+	for v := 0; v < c.n; v++ {
+		if !c.procs[c.home[core.NodeID(v)]].byz {
+			out = append(out, core.NodeID(v))
+		}
+	}
+	return out
+}
+
 // SeedRoundRobin seeds message i at node i mod n — the paper's default
-// assignment and the simulator's RoundRobinAssign.
+// assignment and the simulator's RoundRobinAssign. With Byzantine
+// processes in the deployment, the round-robin runs over honest nodes
+// only (the simulator's RoundRobinAssignOver): a message seeded behind a
+// corrupting sender could never escape, making convergence impossible.
 func (c *Cluster) SeedRoundRobin(ctx context.Context, payloads [][]byte) error {
+	honest := c.HonestNodes()
+	if len(honest) == 0 {
+		return fmt.Errorf("livectl: no honest nodes to seed")
+	}
 	for i := 0; i < c.k; i++ {
 		var pl []byte
 		if payloads != nil {
 			pl = payloads[i]
 		}
-		if err := c.Seed(ctx, core.NodeID(i%c.n), i, pl); err != nil {
+		if err := c.Seed(ctx, honest[i%len(honest)], i, pl); err != nil {
 			return err
 		}
 	}
@@ -466,6 +521,53 @@ func (c *Cluster) ApplyTopology(ctx context.Context, family string, n int, seed 
 		}
 	}
 	return nil
+}
+
+// ChaosRequest mirrors the daemon's POST /chaos body: only the fields
+// present change state (nil pointer = leave alone).
+type ChaosRequest struct {
+	LatencyMS   *float64 `json:"latency_ms,omitempty"`
+	JitterMS    *float64 `json:"jitter_ms,omitempty"`
+	CorruptRate *float64 `json:"corrupt_rate,omitempty"`
+	Partition   []int    `json:"partition,omitempty"`
+	Heal        bool     `json:"heal,omitempty"`
+}
+
+// Chaos applies one degradation request to every process's chaos layer.
+func (c *Cluster) Chaos(ctx context.Context, req ChaosRequest) error {
+	for _, p := range c.procs {
+		if err := c.post(ctx, p.ctl, "/chaos", req); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChaosProc applies one degradation request to a single process.
+func (c *Cluster) ChaosProc(ctx context.Context, procIndex int, req ChaosRequest) error {
+	if procIndex < 0 || procIndex >= len(c.procs) {
+		return fmt.Errorf("livectl: no process %d", procIndex)
+	}
+	return c.post(ctx, c.procs[procIndex].ctl, "/chaos", req)
+}
+
+// Partition symmetrically cuts the given nodes off from the deployment:
+// every process's chaos layer drops traffic addressed to them, so the
+// partitioned nodes stop receiving from everyone (including each other's
+// processes) until Heal.
+func (c *Cluster) Partition(ctx context.Context, nodes []core.NodeID) error {
+	ids := make([]int, len(nodes))
+	for i, v := range nodes {
+		ids[i] = int(v)
+	}
+	return c.Chaos(ctx, ChaosRequest{Partition: ids})
+}
+
+// Heal lifts every partition on every process. Byzantine processes keep
+// their corrupt-rate (healing reconnects the network, it does not reform
+// the adversary).
+func (c *Cluster) Heal(ctx context.Context) error {
+	return c.Chaos(ctx, ChaosRequest{Heal: true})
 }
 
 // Kill crashes one node (on its home process).

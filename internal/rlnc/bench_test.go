@@ -6,6 +6,7 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/gf"
+	"algossip/internal/linalg"
 )
 
 // Scalar-vs-bulk at the packet level: BenchmarkEncodeScalar combines k
@@ -91,6 +92,55 @@ func BenchmarkDecode(b *testing.B) {
 				}
 				if _, err := dst.Decode(); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScreenFlood measures the cost of *rejecting* hostile packets:
+// the width/zero/corrupt screens in Receive are what a Byzantine flood
+// makes every honest node pay per packet, so rejection must stay cheap
+// relative to an accepted reduction. Sub-benchmarks cover the three
+// screen layers on the sliced GF(256) backend: the Corrupt flag (a
+// pollution verdict already attached by the verifier), an all-zero
+// coefficient vector (non-innovative by construction), and a
+// wrong-width coefficient row (malformed network input).
+func BenchmarkScreenFlood(b *testing.B) {
+	src, _ := benchNode(b, 32, 64)
+	rng := core.NewRand(7)
+	good := src.Emit(rng)
+	if good == nil || !src.SlicedMode() {
+		b.Fatal("bench setup: expected a sliced-mode emission")
+	}
+	corrupt := *good
+	corrupt.Corrupt = true
+	zero := *good
+	zero.Sliced = make(linalg.SlicedVec, len(good.Sliced))
+	zero.SlicedPay = append(linalg.SlicedVec(nil), good.SlicedPay...)
+	width := *good
+	width.Sliced = good.Sliced[:len(good.Sliced)-1]
+
+	cases := []struct {
+		name string
+		pkt  *Packet
+	}{
+		{"rlnc-corrupt", &corrupt},
+		{"rlnc-zero", &zero},
+		{"rlnc-width", &width},
+	}
+	sink := MustNewNode(src.Config())
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			if sink.Receive(c.pkt) {
+				b.Fatalf("%s: screen accepted a hostile packet", c.name)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sink.Receive(c.pkt) {
+					b.Fatal("screen accepted a hostile packet")
 				}
 			}
 		})

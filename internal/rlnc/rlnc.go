@@ -125,6 +125,11 @@ type Packet struct {
 	// SlicedPay is the bit-sliced payload row (sliced mode with payloads):
 	// m planes of SlicedWords(r) packed words. Nil otherwise.
 	SlicedPay linalg.SlicedVec
+	// Corrupt marks a packet whose payload no longer matches its coefficient
+	// vector — the detectable-pollution model for Byzantine senders. The
+	// receive screens reject such packets (after the verification work the
+	// protocol layer accounts for); honest emit paths always clear it.
+	Corrupt bool
 }
 
 // IsZero reports whether the packet's coefficient vector is all-zero (such
@@ -337,6 +342,7 @@ func (n *Node) Emit(rng *rand.Rand) *Packet {
 // then, so a false return leaves the packet's contents unspecified. The
 // emitted trajectory is identical to Emit's.
 func (n *Node) EmitInto(rng *rand.Rand, p *Packet) bool {
+	p.Corrupt = false
 	if n.slc != nil {
 		p.Coeffs, p.Bits, p.Payload = nil, nil, nil
 		stride := n.slc.Stride()
@@ -410,13 +416,57 @@ func (n *Node) SkipEmit(rng *rand.Rand) bool {
 	return true
 }
 
+// EmitReplayInto fills p with a copy of the node's first stored echelon
+// row — a syntactically valid packet that is never innovative to anyone
+// who has heard this node before: the non-innovative replay behavior of a
+// Byzantine sender. It draws no randomness (replay is a fixed function of
+// state, so adversarial trials stay deterministic without touching the
+// protocol's pinned random stream) and reports false when the node stores
+// nothing yet. The row is copied, not aliased: receivers may clobber
+// owned packets, and the matrix mutates its rows on later inserts.
+func (n *Node) EmitReplayInto(p *Packet) bool {
+	if n.Rank() == 0 {
+		return false
+	}
+	p.Corrupt = false
+	if n.slc != nil {
+		p.Coeffs, p.Bits, p.Payload = nil, nil, nil
+		p.Sliced = append(p.Sliced[:0], n.slc.Row(0)...)
+		if n.slc.PayStride() > 0 {
+			p.SlicedPay = append(p.SlicedPay[:0], n.slc.Payload(0)...)
+		} else {
+			p.SlicedPay = nil
+		}
+		return true
+	}
+	p.Sliced, p.SlicedPay = nil, nil
+	if n.bit != nil {
+		p.Coeffs = nil
+		p.Bits = append(p.Bits[:0], n.bit.Row(0)...)
+		if n.cfg.extra() > 0 {
+			p.Payload = append(p.Payload[:0], n.bit.Payload(0)...)
+		} else {
+			p.Payload = nil
+		}
+		return true
+	}
+	p.Bits = nil
+	p.Coeffs = append(p.Coeffs[:0], n.mat.Row(0)...)
+	if n.cfg.extra() > 0 {
+		p.Payload = append(p.Payload[:0], n.mat.Payload(0)...)
+	} else {
+		p.Payload = nil
+	}
+	return true
+}
+
 // Receive processes an incoming packet and reports whether it was helpful,
 // i.e. increased the node's rank (Definition 3). Unhelpful packets are
 // discarded, exactly as in the paper. The packet is neither modified nor
 // retained (reduction happens in node-owned scratch); callers that own
 // the packet and want to skip that defensive copy use ReceiveOwned.
 func (n *Node) Receive(p *Packet) bool {
-	if p == nil || p.IsZero() {
+	if p == nil || p.Corrupt || p.IsZero() {
 		return false
 	}
 	if n.slc != nil {
@@ -498,7 +548,7 @@ func (n *Node) copyPayloadScratch(payload []byte) []byte {
 // caller recycles the packet afterwards. Helpfulness, rank evolution and
 // randomness are identical to Receive.
 func (n *Node) ReceiveOwned(p *Packet) bool {
-	if p == nil || p.IsZero() {
+	if p == nil || p.Corrupt || p.IsZero() {
 		return false
 	}
 	if n.slc != nil {
@@ -554,7 +604,7 @@ func (n *Node) ReceiveOwned(p *Packet) bool {
 // without storing it. The query reduces in matrix scratch: no allocation,
 // no defensive copy, and the packet is not modified.
 func (n *Node) WouldHelp(p *Packet) bool {
-	if p == nil || p.IsZero() {
+	if p == nil || p.Corrupt || p.IsZero() {
 		return false
 	}
 	if n.slc != nil {
@@ -627,7 +677,7 @@ func (n *Node) Adapt(p *Packet) *Packet {
 			return nil // a bit-mode packet can only come from a mismatched field
 		}
 		f := n.cfg.slicedField()
-		out := &Packet{Sliced: make(linalg.SlicedVec, n.slc.Stride())}
+		out := &Packet{Sliced: make(linalg.SlicedVec, n.slc.Stride()), Corrupt: p.Corrupt}
 		raw := make([]byte, n.cfg.K)
 		for i, c := range p.Coeffs {
 			raw[i] = byte(c)
@@ -650,10 +700,10 @@ func (n *Node) Adapt(p *Packet) *Packet {
 		if !ok {
 			return nil
 		}
-		return &Packet{Bits: bits, Payload: p.Payload}
+		return &Packet{Bits: bits, Payload: p.Payload, Corrupt: p.Corrupt}
 	}
 	if n.bit == nil && (p.Bits != nil || p.Sliced != nil) {
-		return &Packet{Coeffs: p.ExpandCoeffs(n.cfg.K), Payload: p.ExpandPayload(n.cfg.extra())}
+		return &Packet{Coeffs: p.ExpandCoeffs(n.cfg.K), Payload: p.ExpandPayload(n.cfg.extra()), Corrupt: p.Corrupt}
 	}
 	return p
 }

@@ -39,6 +39,19 @@ func transportCases() []transportCase {
 			}
 			return tr
 		}},
+		{"chaos", func(t *testing.T) Transport {
+			// Latency+jitter exercise the delay pipe under every contract
+			// check; CorruptRate stays 0 because DeliveryFidelity expects
+			// byte-identical envelopes (corruption is covered by the chaos
+			// unit tests).
+			tr, err := NewChaosTransport(NewChanTransport(), ChaosConfig{
+				Latency: time.Millisecond, Jitter: time.Millisecond, Seed: 11,
+			})
+			if err != nil {
+				t.Fatalf("chaos transport: %v", err)
+			}
+			return tr
+		}},
 	}
 }
 

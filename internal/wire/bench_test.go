@@ -49,3 +49,49 @@ func BenchmarkWireDecode(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScreenFlood measures the cost of *rejecting* hostile frames —
+// the decoder's screen is what a Byzantine peer can make every honest
+// node pay per flooded frame, so the rejection path must stay at least
+// as cheap as the accept path. Each sub-benchmark floods one malformed
+// shape: a corrupted magic word (caught after 6 bytes), a truncated
+// frame (caught by the length prefix), and a header whose section
+// lengths disagree with the prefix (caught before any slice copy).
+func BenchmarkScreenFlood(b *testing.B) {
+	env := benchEnvelope()
+	good, err := AppendFrame(nil, 3, &env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"wire-badmagic", mutate(good, 4, 0xFF)},
+		{"wire-truncated", good[:len(good)-3]},
+		{"wire-lenmismatch", mutate(good, 24, 0x7F)},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			if _, _, _, err := DecodeFrame(c.frame); err == nil {
+				b.Fatalf("%s: malformed frame decoded cleanly", c.name)
+			}
+			b.SetBytes(int64(len(c.frame)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := DecodeFrame(c.frame); err == nil {
+					b.Fatal("malformed frame decoded cleanly")
+				}
+			}
+		})
+	}
+}
+
+// mutate returns a copy of frame with one byte overwritten.
+func mutate(frame []byte, off int, v byte) []byte {
+	out := append([]byte(nil), frame...)
+	out[off] = v
+	return out
+}
