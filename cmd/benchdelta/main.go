@@ -41,6 +41,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"algossip/internal/gf"
 )
 
 // Baseline is the checked-in benchmark reference.
@@ -77,8 +79,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		outPath      = fs.String("out", "", "write the fresh numbers as JSON to this path")
 		tolerance    = fs.Float64("tolerance", 0.20, "relative ns/op regression tolerance")
 		update       = fs.Bool("update", false, "rewrite the baseline with the fresh numbers instead of comparing")
-		historyPath  = fs.String("history", "", "append one JSONL record per benchmark (commit, name, ns/op, B/op, allocs/op) to this file")
+		historyPath  = fs.String("history", "", "append one JSONL record per benchmark (commit, name, ns/op, B/op, allocs/op, gf tier) to this file")
 		commit       = fs.String("commit", "", "commit id recorded in -history lines (default: git rev-parse --short HEAD)")
+		tier         = fs.String("tier", gf.TierInfo(), "gf kernel tier string recorded in -history lines (default: this process's tier + CPU features; override when the bench log came from another machine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,7 +109,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	if *historyPath != "" {
-		if err := appendHistory(*historyPath, resolveCommit(*commit), fresh); err != nil {
+		if err := appendHistory(*historyPath, resolveCommit(*commit), *tier, fresh); err != nil {
 			return err
 		}
 	}
@@ -284,6 +287,11 @@ type HistoryEntry struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Tier records the GF kernel dispatch tier and CPU features the
+	// numbers were measured under (e.g. "gfni (avx2 gfni ssse3)"), so a
+	// trajectory step caused by a different kernel level is attributable
+	// without chasing runner hardware.
+	Tier string `json:"gf_tier,omitempty"`
 }
 
 // resolveCommit returns the explicit commit id, or asks git, or falls
@@ -301,7 +309,7 @@ func resolveCommit(explicit string) string {
 
 // appendHistory appends one JSONL record per benchmark, sorted by name
 // for deterministic output.
-func appendHistory(path, commit string, fresh map[string]Entry) error {
+func appendHistory(path, commit, tier string, fresh map[string]Entry) error {
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
 		names = append(names, name)
@@ -313,6 +321,7 @@ func appendHistory(path, commit string, fresh map[string]Entry) error {
 		rec := HistoryEntry{
 			Commit: commit, Bench: name,
 			NsPerOp: e.NsPerOp, BytesPerOp: e.BytesPerOp, AllocsPerOp: e.AllocsPerOp,
+			Tier: tier,
 		}
 		data, err := json.Marshal(rec)
 		if err != nil {

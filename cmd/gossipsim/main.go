@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"algossip/internal/core"
+	"algossip/internal/gf"
 	"algossip/internal/graph"
 	"algossip/internal/harness"
 	"algossip/internal/stats"
@@ -188,8 +189,8 @@ func run(args []string, stdout io.Writer) (err error) {
 		bound, s.Mean/bound)
 	// Timing footer goes to stderr so the stdout report stays a pure
 	// function of the flags and seed.
-	fmt.Fprintf(os.Stderr, "gossipsim: %d trials in %v, %.1f trials/sec\n",
-		rs.Executed, rs.Elapsed.Round(time.Millisecond), rs.TrialsPerSec())
+	fmt.Fprintf(os.Stderr, "gossipsim: %d trials in %v, %.1f trials/sec [gf tier %s]\n",
+		rs.Executed, rs.Elapsed.Round(time.Millisecond), rs.TrialsPerSec(), gf.TierInfo())
 	return w.Err()
 }
 

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"algossip/internal/core"
+	"algossip/internal/gf"
 	"algossip/internal/harness"
 	"algossip/internal/resultstore"
 	"algossip/internal/stats"
@@ -200,7 +201,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	// Timing footer goes to stderr, never into the CSV/JSON data: the
 	// output bytes stay a pure function of (Spec, seed).
 	resumed := len(rs.Trials) - rs.Executed
-	fmt.Fprintf(os.Stderr, "sweep: %d trials (%d executed, %d resumed) in %v, %.1f trials/sec\n",
-		len(rs.Trials), rs.Executed, resumed, rs.Elapsed.Round(time.Millisecond), rs.TrialsPerSec())
+	fmt.Fprintf(os.Stderr, "sweep: %d trials (%d executed, %d resumed) in %v, %.1f trials/sec [gf tier %s]\n",
+		len(rs.Trials), rs.Executed, resumed, rs.Elapsed.Round(time.Millisecond), rs.TrialsPerSec(), gf.TierInfo())
 	return nil
 }

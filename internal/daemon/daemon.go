@@ -21,6 +21,7 @@ import (
 
 	"algossip/internal/core"
 	"algossip/internal/gf"
+	"algossip/internal/gf/cpufeat"
 	"algossip/internal/graph"
 	"algossip/internal/rlnc"
 	"algossip/internal/runtime"
@@ -282,11 +283,15 @@ type nodeStatusJSON struct {
 type statusJSON struct {
 	Nodes []nodeStatusJSON `json:"nodes"`
 	Done  bool             `json:"done"`
+	// GFTier is the active kernel dispatch tier plus detected CPU
+	// features ("gfni (avx2 gfni ssse3)"), so a fleet operator can audit
+	// which kernel level each box actually runs.
+	GFTier string `json:"gf_tier"`
 }
 
 func (d *Daemon) statusSnapshot() statusJSON {
 	st := d.cluster.Status()
-	out := statusJSON{Nodes: make([]nodeStatusJSON, 0, len(st)), Done: true}
+	out := statusJSON{Nodes: make([]nodeStatusJSON, 0, len(st)), Done: true, GFTier: gf.TierInfo()}
 	for _, s := range st {
 		out.Nodes = append(out.Nodes, nodeStatusJSON{
 			ID: int(s.ID), Rank: s.Rank, K: s.K,
@@ -507,6 +512,9 @@ func (d *Daemon) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintln(w, "# HELP algossip_chaos_corrupt_total Envelopes structurally corrupted by injection.")
 	fmt.Fprintln(w, "# TYPE algossip_chaos_corrupt_total counter")
 	fmt.Fprintf(w, "algossip_chaos_corrupt_total %d\n", d.chaos.Corrupted())
+	fmt.Fprintln(w, "# HELP algossip_gf_tier_info Active GF kernel dispatch tier (labels carry the values).")
+	fmt.Fprintln(w, "# TYPE algossip_gf_tier_info gauge")
+	fmt.Fprintf(w, "algossip_gf_tier_info{tier=%q,cpu=%q} 1\n", gf.ActiveTier(), cpufeat.Summary())
 
 	ids := make([]core.NodeID, 0, len(s.PerNode))
 	for id := range s.PerNode {

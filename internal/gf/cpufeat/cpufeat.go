@@ -1,0 +1,47 @@
+// Package cpufeat probes the CPU features the GF kernel tiers dispatch
+// on. It is dependency-free by design (no golang.org/x/sys): the probe is
+// a raw CPUID/XGETBV pair on amd64 and a constant-false stub everywhere
+// else, so the gf package can pick a kernel tier at init without pulling
+// anything into the module graph.
+//
+// Feature semantics follow the usual deployment rules: a vector feature
+// is reported only when the instruction set bit AND the OS-enabled state
+// (XCR0 via XGETBV) are both present, so dispatching on these booleans
+// can never fault on a machine whose kernel disabled YMM state saves.
+package cpufeat
+
+// X86 holds the detected amd64 feature bits relevant to the GF kernels.
+// All fields are false on other architectures. Populated once at init;
+// read-only afterwards.
+var X86 struct {
+	// HasAVX2 reports AVX2 with OS-enabled YMM state: the 32-byte-wide
+	// PSHUFB split-nibble and plane-XOR kernels require it.
+	HasAVX2 bool
+	// HasGFNI reports the Galois Field New Instructions bit. The VEX-
+	// encoded VGF2P8AFFINEQB kernels additionally need AVX2 (checked by
+	// the dispatcher), matching how mixed fleets actually ship GFNI.
+	HasGFNI bool
+	// HasSSSE3 reports SSSE3 (PSHUFB); recorded for the feature summary.
+	HasSSSE3 bool
+}
+
+// Summary returns a compact space-separated list of the detected
+// features (e.g. "avx2 gfni ssse3"), or "none" — the string recorded in
+// perf-trajectory entries so numbers stay attributable across
+// heterogeneous machines.
+func Summary() string {
+	s := ""
+	if X86.HasAVX2 {
+		s += " avx2"
+	}
+	if X86.HasGFNI {
+		s += " gfni"
+	}
+	if X86.HasSSSE3 {
+		s += " ssse3"
+	}
+	if s == "" {
+		return "none"
+	}
+	return s[1:]
+}

@@ -1,0 +1,32 @@
+package cpufeat
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	X86.HasSSSE3 = ecx1&(1<<9) != 0
+	osxsave := ecx1&(1<<27) != 0
+	avx := ecx1&(1<<28) != 0
+
+	// YMM state must be OS-enabled (XCR0 bits 1 and 2) before any VEX-256
+	// kernel is safe to execute.
+	ymmOS := false
+	if osxsave {
+		xcr0, _ := xgetbv()
+		ymmOS = xcr0&0x6 == 0x6
+	}
+	if maxLeaf < 7 {
+		return
+	}
+	_, ebx7, ecx7, _ := cpuid(7, 0)
+	X86.HasAVX2 = avx && ymmOS && ebx7&(1<<5) != 0
+	X86.HasGFNI = ecx7&(1<<8) != 0
+}

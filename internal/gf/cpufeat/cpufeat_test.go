@@ -1,0 +1,37 @@
+package cpufeat
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestSummaryConsistent pins Summary against the feature booleans: every
+// detected feature appears exactly once, and "none" appears only when
+// nothing was detected.
+func TestSummaryConsistent(t *testing.T) {
+	s := Summary()
+	t.Logf("cpufeat: %s (GOARCH=%s)", s, runtime.GOARCH)
+	checks := []struct {
+		name string
+		on   bool
+	}{
+		{"avx2", X86.HasAVX2},
+		{"gfni", X86.HasGFNI},
+		{"ssse3", X86.HasSSSE3},
+	}
+	any := false
+	for _, c := range checks {
+		has := strings.Contains(s, c.name)
+		if has != c.on {
+			t.Errorf("Summary()=%q lists %s=%v, feature bit is %v", s, c.name, has, c.on)
+		}
+		any = any || c.on
+	}
+	if (s == "none") == any {
+		t.Errorf("Summary()=%q inconsistent with any-feature=%v", s, any)
+	}
+	if runtime.GOARCH != "amd64" && any {
+		t.Errorf("non-amd64 build reports x86 features: %q", s)
+	}
+}

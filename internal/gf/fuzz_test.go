@@ -51,11 +51,14 @@ func FuzzAddMulSlice(f *testing.F) {
 			want[i] = byte(fld.Add(Elem(dst[i]), fld.Mul(c, Elem(src[i]))))
 		}
 
-		got := append([]byte(nil), dst...)
-		fld.AddMulSlice(got, src, c)
-		if !bytes.Equal(got, want) {
-			t.Fatalf("%s AddMulSlice(c=%d, n=%d) diverges from scalar path:\ngot  %v\nwant %v",
-				fld.Name(), c, n, got, want)
+		// Every available kernel tier must match the element-wise result.
+		for _, tier := range AvailableTiers() {
+			got := append([]byte(nil), dst...)
+			withFuzzTier(t, tier, func() { fld.AddMulSlice(got, src, c) })
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s AddMulSlice(c=%d, n=%d) tier %v diverges from scalar path:\ngot  %v\nwant %v",
+					fld.Name(), c, n, tier, got, want)
+			}
 		}
 	})
 }
@@ -77,11 +80,27 @@ func FuzzMulSlice(f *testing.F) {
 			want[i] = byte(fld.Mul(c, Elem(x)))
 		}
 
-		got := append([]byte(nil), v...)
-		fld.MulSlice(got, c)
-		if !bytes.Equal(got, want) {
-			t.Fatalf("%s MulSlice(c=%d, n=%d) diverges from scalar path:\ngot  %v\nwant %v",
-				fld.Name(), c, len(v), got, want)
+		for _, tier := range AvailableTiers() {
+			got := append([]byte(nil), v...)
+			withFuzzTier(t, tier, func() { fld.MulSlice(got, c) })
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s MulSlice(c=%d, n=%d) tier %v diverges from scalar path:\ngot  %v\nwant %v",
+					fld.Name(), c, len(v), tier, got, want)
+			}
 		}
 	})
+}
+
+// withFuzzTier forces a dispatch tier for one kernel call inside a fuzz
+// body, restoring the previous tier afterwards.
+func withFuzzTier(t *testing.T, tier Tier, fn func()) {
+	t.Helper()
+	old := ActiveTier()
+	if err := SetTier(tier); err != nil {
+		t.Fatalf("SetTier(%v): %v", tier, err)
+	}
+	fn()
+	if err := SetTier(old); err != nil {
+		t.Fatalf("restore tier %v: %v", old, err)
+	}
 }

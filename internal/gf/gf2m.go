@@ -42,6 +42,13 @@ type GF2m struct {
 	mulRows   [][8]byte
 	mulRowsU  []uint64
 	selLog    []uint64
+	// nibTab holds, per scalar c, the 32-byte split-nibble table of the
+	// avx2 byte kernel: 16 bytes c*(x & mask) then 16 bytes
+	// c*((x<<4) & mask), so c*s = lo[s&15] ^ hi[s>>4] for any byte s.
+	nibTab []byte
+	// gfniTab holds, per scalar c, the 8x8 GF(2) matrix of "multiply by
+	// c" packed for VGF2P8AFFINEQB (matrix row i in qword byte 7-i).
+	gfniTab []uint64
 }
 
 var _ Field = (*GF2m)(nil)
@@ -204,7 +211,10 @@ func (f *GF2m) bulkRow(c Elem) *[256]byte {
 }
 
 // AddMulSlice performs dst[i] ^= c * src[i] over byte rows: a no-op for
-// c == 0, a word-wise XOR for c == 1, and a single-row table walk otherwise.
+// c == 0, a word-wise XOR for c == 1, and otherwise the table-walk
+// kernel of the active tier — whole 32-byte blocks go through the asm
+// kernels on the avx2/gfni tiers, with the scalar loop finishing any
+// remainder, so every tier is bit-identical on every length.
 func (f *GF2m) AddMulSlice(dst, src []byte, c Elem) {
 	if c == 0 || len(src) == 0 {
 		return
@@ -213,10 +223,34 @@ func (f *GF2m) AddMulSlice(dst, src []byte, c Elem) {
 		xorSlice(dst, src)
 		return
 	}
-	mulTableSlice(dst, src, f.bulkRow(c))
+	switch activeTier {
+	case TierGFNI:
+		if n := len(src) &^ 31; n > 0 {
+			addMulGFNIAsm(&dst[0], &src[0], n, f.gfniTab[c])
+			if n == len(src) {
+				return
+			}
+			dst, src = dst[n:], src[n:]
+		}
+		mulTableSlice(dst, src, f.bulkRow(c))
+	case TierAVX2:
+		if n := len(src) &^ 31; n > 0 {
+			addMulNibAsm(&dst[0], &src[0], n, &f.nibTab[int(c)*32])
+			if n == len(src) {
+				return
+			}
+			dst, src = dst[n:], src[n:]
+		}
+		mulTableSlice(dst, src, f.bulkRow(c))
+	case TierPortable:
+		mulTableSlicePortable(dst, src, f.bulkRow(c))
+	default:
+		mulTableSlice(dst, src, f.bulkRow(c))
+	}
 }
 
-// MulSlice performs v[i] = c * v[i] in place over a byte row.
+// MulSlice performs v[i] = c * v[i] in place over a byte row, tiered the
+// same way as AddMulSlice.
 func (f *GF2m) MulSlice(v []byte, c Elem) {
 	if c == 1 {
 		return
@@ -225,7 +259,30 @@ func (f *GF2m) MulSlice(v []byte, c Elem) {
 		clear(v)
 		return
 	}
-	scaleTableSlice(v, f.bulkRow(c))
+	switch activeTier {
+	case TierGFNI:
+		if n := len(v) &^ 31; n > 0 {
+			mulGFNIAsm(&v[0], n, f.gfniTab[c])
+			if n == len(v) {
+				return
+			}
+			v = v[n:]
+		}
+		scaleTableSlice(v, f.bulkRow(c))
+	case TierAVX2:
+		if n := len(v) &^ 31; n > 0 {
+			mulNibAsm(&v[0], n, &f.nibTab[int(c)*32])
+			if n == len(v) {
+				return
+			}
+			v = v[n:]
+		}
+		scaleTableSlice(v, f.bulkRow(c))
+	case TierPortable:
+		scaleTableSlicePortable(v, f.bulkRow(c))
+	default:
+		scaleTableSlice(v, f.bulkRow(c))
+	}
 }
 
 // AXPY performs dst[i] ^= c * src[i] through the byte kernel (Elem rows and

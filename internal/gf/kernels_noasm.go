@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package gf
+
+// Stub bodies for the amd64 assembly kernels. They are unreachable: the
+// dispatcher can only select TierAVX2/TierGFNI when cpufeat detected the
+// features, which never happens off amd64.
+
+func addMulNibAsm(dst, src *byte, n int, tab *byte)   { panic("gf: no asm kernel on this GOARCH") }
+func mulNibAsm(v *byte, n int, tab *byte)             { panic("gf: no asm kernel on this GOARCH") }
+func addMulGFNIAsm(dst, src *byte, n int, mat uint64) { panic("gf: no asm kernel on this GOARCH") }
+func mulGFNIAsm(v *byte, n int, mat uint64)           { panic("gf: no asm kernel on this GOARCH") }
+func addMulPlanes8Asm(dst, src *uint64, words, cols int, sel uint64) {
+	panic("gf: no asm kernel on this GOARCH")
+}
+func addMulPlanes4Asm(dst, src *uint64, words, cols int, sel uint64) {
+	panic("gf: no asm kernel on this GOARCH")
+}

@@ -1,0 +1,230 @@
+package gf
+
+// Portable-tier kernels: wider pure-Go forms of the scalar reference
+// loops in bulk.go / sliced.go. Same tables, same results, more
+// independent operations in flight per iteration — the fast path on any
+// GOARCH without an assembly tier, and a second implementation the
+// equivalence tests pit against both the scalar oracle and the asm
+// tiers. The *Range helpers at the bottom are the scalar column loops
+// restarted at an arbitrary word-column; the asm plane kernels lean on
+// them for tail columns.
+
+import (
+	"crypto/subtle"
+	"unsafe"
+)
+
+// u64Bytes reinterprets a []uint64 as its underlying bytes without
+// copying (little-endian layout is irrelevant: callers only XOR).
+func u64Bytes(v []uint64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))
+}
+
+// xorWords performs dst[i] ^= src[i] over words via subtle.XORBytes,
+// which the standard library vectorizes where it can.
+func xorWords(dst, src []uint64) {
+	d := u64Bytes(dst[:len(src)])
+	subtle.XORBytes(d, d, u64Bytes(src))
+}
+
+// XorWords performs dst[i] ^= src[i] over packed words, dispatched by
+// the active tier: the scalar tier keeps the reference word loop,
+// every other tier routes through subtle.XORBytes. len(dst) must be at
+// least len(src). Exported so the packed GF(2) backends in linalg
+// inherit tier dispatch for whole-row XORs.
+func XorWords(dst, src []uint64) {
+	if activeTier == TierScalar {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	xorWords(dst, src)
+}
+
+// mulTableSlicePortable is mulTableSlice with an 8-wide body.
+func mulTableSlicePortable(dst, src []byte, row *[256]byte) {
+	n := len(src)
+	_ = dst[n-1]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
+		dst[i+4] ^= row[src[i+4]]
+		dst[i+5] ^= row[src[i+5]]
+		dst[i+6] ^= row[src[i+6]]
+		dst[i+7] ^= row[src[i+7]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// scaleTableSlicePortable is scaleTableSlice with an 8-wide body.
+func scaleTableSlicePortable(v []byte, row *[256]byte) {
+	n := len(v)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v[i] = row[v[i]]
+		v[i+1] = row[v[i+1]]
+		v[i+2] = row[v[i+2]]
+		v[i+3] = row[v[i+3]]
+		v[i+4] = row[v[i+4]]
+		v[i+5] = row[v[i+5]]
+		v[i+6] = row[v[i+6]]
+		v[i+7] = row[v[i+7]]
+	}
+	for ; i < n; i++ {
+		v[i] = row[v[i]]
+	}
+}
+
+// addMul8Portable is addMul8 over two word-columns per iteration: the
+// subset tables interleave both columns (entry k occupies indices 2k and
+// 2k+1), so one selector extraction serves two destination words and the
+// table fill runs as independent XOR pairs.
+func (f *GF2m) addMul8Portable(dst, src []uint64, words int, c Elem) {
+	rows := &f.mulRows[c]
+	r0, r1, r2, r3 := rows[0], rows[1], rows[2], rows[3]
+	r4, r5, r6, r7 := rows[4], rows[5], rows[6], rows[7]
+	var ta, tb [32]uint64 // entries 0,1 stay zero; the rest is overwritten per pair
+	w := 0
+	for ; w+2 <= words; w += 2 {
+		ta[2], ta[3] = src[w], src[w+1]
+		ta[4], ta[5] = src[words+w], src[words+w+1]
+		ta[8], ta[9] = src[2*words+w], src[2*words+w+1]
+		ta[16], ta[17] = src[3*words+w], src[3*words+w+1]
+		tb[2], tb[3] = src[4*words+w], src[4*words+w+1]
+		tb[4], tb[5] = src[5*words+w], src[5*words+w+1]
+		tb[8], tb[9] = src[6*words+w], src[6*words+w+1]
+		tb[16], tb[17] = src[7*words+w], src[7*words+w+1]
+		fillSubsetsPair(&ta)
+		fillSubsetsPair(&tb)
+		a, b := 2*int(r0&15), 2*int(r0>>4)
+		dst[w] ^= ta[a] ^ tb[b]
+		dst[w+1] ^= ta[a+1] ^ tb[b+1]
+		a, b = 2*int(r1&15), 2*int(r1>>4)
+		dst[words+w] ^= ta[a] ^ tb[b]
+		dst[words+w+1] ^= ta[a+1] ^ tb[b+1]
+		a, b = 2*int(r2&15), 2*int(r2>>4)
+		dst[2*words+w] ^= ta[a] ^ tb[b]
+		dst[2*words+w+1] ^= ta[a+1] ^ tb[b+1]
+		a, b = 2*int(r3&15), 2*int(r3>>4)
+		dst[3*words+w] ^= ta[a] ^ tb[b]
+		dst[3*words+w+1] ^= ta[a+1] ^ tb[b+1]
+		a, b = 2*int(r4&15), 2*int(r4>>4)
+		dst[4*words+w] ^= ta[a] ^ tb[b]
+		dst[4*words+w+1] ^= ta[a+1] ^ tb[b+1]
+		a, b = 2*int(r5&15), 2*int(r5>>4)
+		dst[5*words+w] ^= ta[a] ^ tb[b]
+		dst[5*words+w+1] ^= ta[a+1] ^ tb[b+1]
+		a, b = 2*int(r6&15), 2*int(r6>>4)
+		dst[6*words+w] ^= ta[a] ^ tb[b]
+		dst[6*words+w+1] ^= ta[a+1] ^ tb[b+1]
+		a, b = 2*int(r7&15), 2*int(r7>>4)
+		dst[7*words+w] ^= ta[a] ^ tb[b]
+		dst[7*words+w+1] ^= ta[a+1] ^ tb[b+1]
+	}
+	if w < words {
+		f.addMul8Range(dst, src, words, w, c)
+	}
+}
+
+// addMul4Portable is the GF(16) counterpart of addMul8Portable.
+func (f *GF2m) addMul4Portable(dst, src []uint64, words int, c Elem) {
+	rows := &f.mulRows[c]
+	r0, r1, r2, r3 := rows[0], rows[1], rows[2], rows[3]
+	var ta [32]uint64 // entries 0,1 stay zero; the rest is overwritten per pair
+	w := 0
+	for ; w+2 <= words; w += 2 {
+		ta[2], ta[3] = src[w], src[w+1]
+		ta[4], ta[5] = src[words+w], src[words+w+1]
+		ta[8], ta[9] = src[2*words+w], src[2*words+w+1]
+		ta[16], ta[17] = src[3*words+w], src[3*words+w+1]
+		fillSubsetsPair(&ta)
+		a := 2 * int(r0&15)
+		dst[w] ^= ta[a]
+		dst[w+1] ^= ta[a+1]
+		a = 2 * int(r1&15)
+		dst[words+w] ^= ta[a]
+		dst[words+w+1] ^= ta[a+1]
+		a = 2 * int(r2&15)
+		dst[2*words+w] ^= ta[a]
+		dst[2*words+w+1] ^= ta[a+1]
+		a = 2 * int(r3&15)
+		dst[3*words+w] ^= ta[a]
+		dst[3*words+w+1] ^= ta[a+1]
+	}
+	if w < words {
+		f.addMul4Range(dst, src, words, w, c)
+	}
+}
+
+// fillSubsetsPair completes a two-column interleaved subset-XOR table
+// whose singleton pairs (indices 2k, 2k+1 for k in {1, 2, 4, 8}) are
+// already set — the [32]uint64 analogue of fillSubsets.
+func fillSubsetsPair(t *[32]uint64) {
+	t[6], t[7] = t[2]^t[4], t[3]^t[5]
+	t[10], t[11] = t[2]^t[8], t[3]^t[9]
+	t[12], t[13] = t[4]^t[8], t[5]^t[9]
+	t[14], t[15] = t[6]^t[8], t[7]^t[9]
+	t[18], t[19] = t[2]^t[16], t[3]^t[17]
+	t[20], t[21] = t[4]^t[16], t[5]^t[17]
+	t[22], t[23] = t[6]^t[16], t[7]^t[17]
+	t[24], t[25] = t[8]^t[16], t[9]^t[17]
+	t[26], t[27] = t[10]^t[16], t[11]^t[17]
+	t[28], t[29] = t[12]^t[16], t[13]^t[17]
+	t[30], t[31] = t[14]^t[16], t[15]^t[17]
+}
+
+// addMul8Range is the scalar addMul8 column loop starting at word-column
+// `start` — the tail finisher behind the wider kernels.
+func (f *GF2m) addMul8Range(dst, src []uint64, words, start int, c Elem) {
+	rows := &f.mulRows[c]
+	r0, r1, r2, r3 := rows[0], rows[1], rows[2], rows[3]
+	r4, r5, r6, r7 := rows[4], rows[5], rows[6], rows[7]
+	var ta, tb [16]uint64
+	for w := start; w < words; w++ {
+		ta[1] = src[w]
+		ta[2] = src[words+w]
+		ta[4] = src[2*words+w]
+		ta[8] = src[3*words+w]
+		tb[1] = src[4*words+w]
+		tb[2] = src[5*words+w]
+		tb[4] = src[6*words+w]
+		tb[8] = src[7*words+w]
+		fillSubsets(&ta)
+		fillSubsets(&tb)
+		dst[w] ^= ta[r0&15] ^ tb[r0>>4]
+		dst[words+w] ^= ta[r1&15] ^ tb[r1>>4]
+		dst[2*words+w] ^= ta[r2&15] ^ tb[r2>>4]
+		dst[3*words+w] ^= ta[r3&15] ^ tb[r3>>4]
+		dst[4*words+w] ^= ta[r4&15] ^ tb[r4>>4]
+		dst[5*words+w] ^= ta[r5&15] ^ tb[r5>>4]
+		dst[6*words+w] ^= ta[r6&15] ^ tb[r6>>4]
+		dst[7*words+w] ^= ta[r7&15] ^ tb[r7>>4]
+	}
+}
+
+// addMul4Range is the scalar addMul4 column loop starting at `start`.
+func (f *GF2m) addMul4Range(dst, src []uint64, words, start int, c Elem) {
+	rows := &f.mulRows[c]
+	r0, r1, r2, r3 := rows[0], rows[1], rows[2], rows[3]
+	var ta [16]uint64
+	for w := start; w < words; w++ {
+		ta[1] = src[w]
+		ta[2] = src[words+w]
+		ta[4] = src[2*words+w]
+		ta[8] = src[3*words+w]
+		fillSubsets(&ta)
+		dst[w] ^= ta[r0&15]
+		dst[words+w] ^= ta[r1&15]
+		dst[2*words+w] ^= ta[r2&15]
+		dst[3*words+w] ^= ta[r3&15]
+	}
+}

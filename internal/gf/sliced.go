@@ -56,6 +56,24 @@ func (f *GF2m) buildMulPlanes() {
 			f.mulRowsU[c] |= uint64(f.mulRows[c][i]) << uint(8*i)
 		}
 	}
+	// Tables for the asm byte kernels (a few KiB, built unconditionally
+	// so SetTier can switch at any time). The split-nibble table bakes
+	// the low-m masking in, and the affine matrix has zero columns past
+	// m-1 and zero rows past m-1, so both reproduce the padded-bulkTab
+	// semantics c*(s & mask) for arbitrary input bytes.
+	f.nibTab = make([]byte, f.order*32)
+	for c := 0; c < f.order; c++ {
+		for x := 0; x < 16; x++ {
+			f.nibTab[c*32+x] = byte(f.mulTab[c*f.order+(x&int(f.mask))])
+			f.nibTab[c*32+16+x] = byte(f.mulTab[c*f.order+((x<<4)&int(f.mask))])
+		}
+	}
+	f.gfniTab = make([]uint64, f.order)
+	for c := 0; c < f.order; c++ {
+		for i := 0; i < 8; i++ {
+			f.gfniTab[c] |= uint64(f.mulRows[c][i]) << uint(8*(7-i))
+		}
+	}
 	f.selLog = make([]uint64, 2*f.order)
 	for s := range f.selLog {
 		f.selLog[s] = f.mulRowsU[f.exp[s]]
@@ -155,17 +173,43 @@ func (f *GF2m) AddMulSliced(dst, src []uint64, words int, c Elem) {
 	dst = dst[:n]
 	src = src[:n]
 	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		XorWords(dst, src)
 		return
 	}
 	switch f.m {
 	case 8:
-		f.addMul8(dst, src, words, c)
+		switch activeTier {
+		case TierAVX2, TierGFNI:
+			if cols := words &^ 3; cols > 0 {
+				addMulPlanes8Asm(&dst[0], &src[0], words, cols, f.mulRowsU[c])
+				if cols < words {
+					f.addMul8Range(dst, src, words, cols, c)
+				}
+				return
+			}
+			f.addMul8(dst, src, words, c)
+		case TierPortable:
+			f.addMul8Portable(dst, src, words, c)
+		default:
+			f.addMul8(dst, src, words, c)
+		}
 		return
 	case 4:
-		f.addMul4(dst, src, words, c)
+		switch activeTier {
+		case TierAVX2, TierGFNI:
+			if cols := words &^ 3; cols > 0 {
+				addMulPlanes4Asm(&dst[0], &src[0], words, cols, f.mulRowsU[c])
+				if cols < words {
+					f.addMul4Range(dst, src, words, cols, c)
+				}
+				return
+			}
+			f.addMul4(dst, src, words, c)
+		case TierPortable:
+			f.addMul4Portable(dst, src, words, c)
+		default:
+			f.addMul4(dst, src, words, c)
+		}
 		return
 	}
 	tab := &f.mulPlanes[c]

@@ -166,11 +166,15 @@ func FuzzAddMulSliced(f *testing.F) {
 		}
 
 		words := SlicedWords(n)
-		sDst, sSrc := packRow(fld, dst), packRow(fld, src)
-		fld.AddMulSliced(sDst, sSrc, words, c)
-		if got := unpackRow(fld, sDst, n); !bytes.Equal(got, want) {
-			t.Fatalf("%s AddMulSliced(c=%d, n=%d) diverges from scalar path:\ngot  %v\nwant %v",
-				fld.Name(), c, n, got, want)
+		sSrc := packRow(fld, src)
+		// Every available kernel tier must match the element-wise result.
+		for _, tier := range AvailableTiers() {
+			sDst := packRow(fld, dst)
+			withFuzzTier(t, tier, func() { fld.AddMulSliced(sDst, sSrc, words, c) })
+			if got := unpackRow(fld, sDst, n); !bytes.Equal(got, want) {
+				t.Fatalf("%s AddMulSliced(c=%d, n=%d) tier %v diverges from scalar path:\ngot  %v\nwant %v",
+					fld.Name(), c, n, tier, got, want)
+			}
 		}
 	})
 }

@@ -1,0 +1,152 @@
+package gf
+
+// Kernel tier dispatch: every streaming GF kernel (byte-row lookup
+// multiply-add, in-place scale, bit-sliced plane multiply-add) exists in
+// up to four implementations, selected once at package init from the CPU
+// features cpufeat detects:
+//
+//	scalar    the original reference loops, kept verbatim — the fuzz and
+//	          equivalence oracle every other tier is checked against.
+//	portable  unrolled pure-Go forms of the same loops (all GOARCH).
+//	avx2      amd64 assembly: 32-byte PSHUFB split-nibble lookup for the
+//	          byte-row path, 4-column four-Russians subset tables for the
+//	          bit-sliced path.
+//	gfni      avx2 plus VGF2P8AFFINEQB for the byte-row path — one
+//	          instruction computes c*x for 32 bytes via the 8x8 GF(2)
+//	          matrix of "multiply by c".
+//
+// The environment variable ALGOSSIP_GF_TIER ∈ {auto, gfni, avx2,
+// portable, scalar} overrides auto-selection; a request above what the
+// host supports clamps down to the best supported tier, so forcing
+// "gfni" in a heterogeneous fleet degrades gracefully instead of
+// faulting. All tiers are bit-identical (pinned by TestTierEquivalence
+// and the fuzz targets), so tier selection never moves a fixed-seed
+// trajectory — it only moves throughput.
+
+import (
+	"fmt"
+	"os"
+
+	"algossip/internal/gf/cpufeat"
+)
+
+// Tier identifies one kernel implementation level, ordered from the
+// reference oracle upwards.
+type Tier uint8
+
+const (
+	// TierScalar is the original reference code — the equivalence oracle.
+	TierScalar Tier = iota
+	// TierPortable is the unrolled pure-Go tier (every GOARCH).
+	TierPortable
+	// TierAVX2 is the amd64 PSHUFB/plane-XOR assembly tier.
+	TierAVX2
+	// TierGFNI is TierAVX2 with VGF2P8AFFINEQB byte-row kernels.
+	TierGFNI
+)
+
+// String returns the tier's ALGOSSIP_GF_TIER token.
+func (t Tier) String() string {
+	switch t {
+	case TierScalar:
+		return "scalar"
+	case TierPortable:
+		return "portable"
+	case TierAVX2:
+		return "avx2"
+	case TierGFNI:
+		return "gfni"
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// activeTier is the package-wide dispatch level. It is written at init
+// (and by SetTier in tests/tools) and read on every kernel call; it is
+// deliberately a plain variable — mutation must not race kernel use.
+var activeTier = bestTier()
+
+func init() {
+	if v, ok := os.LookupEnv("ALGOSSIP_GF_TIER"); ok {
+		t, err := ParseTier(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gf: %v; using %q\n", err, activeTier)
+			return
+		}
+		if t > bestTier() {
+			// Requested above hardware support: clamp, loudly, so forced-
+			// tier perf runs on the wrong machine cannot mislabel numbers.
+			fmt.Fprintf(os.Stderr, "gf: ALGOSSIP_GF_TIER=%q unsupported on this CPU (%s); using %q\n",
+				v, cpufeat.Summary(), bestTier())
+			t = bestTier()
+		}
+		activeTier = t
+	}
+}
+
+// bestTier returns the highest tier the host supports.
+func bestTier() Tier {
+	switch {
+	case cpufeat.X86.HasGFNI && cpufeat.X86.HasAVX2:
+		return TierGFNI
+	case cpufeat.X86.HasAVX2:
+		return TierAVX2
+	default:
+		return TierPortable
+	}
+}
+
+// ParseTier maps an ALGOSSIP_GF_TIER token to a Tier; "auto" means the
+// best the host supports.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "auto", "":
+		return bestTier(), nil
+	case "scalar":
+		return TierScalar, nil
+	case "portable":
+		return TierPortable, nil
+	case "avx2":
+		return TierAVX2, nil
+	case "gfni":
+		return TierGFNI, nil
+	}
+	return TierScalar, fmt.Errorf("gf: unknown ALGOSSIP_GF_TIER %q (want auto|gfni|avx2|portable|scalar)", s)
+}
+
+// ActiveTier returns the tier the kernels currently dispatch to.
+func ActiveTier() Tier { return activeTier }
+
+// TierSupported reports whether the host can run the given tier.
+func TierSupported(t Tier) bool { return t <= bestTier() }
+
+// AvailableTiers lists every tier the host supports, lowest first —
+// the set the forced-tier equivalence tests and fuzz targets sweep.
+func AvailableTiers() []Tier {
+	out := []Tier{TierScalar, TierPortable}
+	if TierSupported(TierAVX2) {
+		out = append(out, TierAVX2)
+	}
+	if TierSupported(TierGFNI) {
+		out = append(out, TierGFNI)
+	}
+	return out
+}
+
+// SetTier forces the dispatch level, returning an error when the host
+// cannot run it. It is intended for tests, benchmarks and tools; callers
+// must serialize it against concurrent kernel use and restore the
+// previous tier afterwards.
+func SetTier(t Tier) error {
+	if !TierSupported(t) {
+		return fmt.Errorf("gf: tier %q unsupported on this CPU (%s)", t, cpufeat.Summary())
+	}
+	activeTier = t
+	return nil
+}
+
+// TierInfo returns the active tier plus the detected CPU features, e.g.
+// "gfni (avx2 gfni ssse3)" — the attribution string surfaced in timing
+// footers, /status, /metrics and perf-trajectory records.
+func TierInfo() string {
+	return fmt.Sprintf("%s (%s)", activeTier, cpufeat.Summary())
+}

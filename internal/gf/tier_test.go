@@ -1,0 +1,218 @@
+package gf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// withTier runs fn under a forced dispatch tier and restores the
+// previous tier afterwards.
+func withTier(t *testing.T, tier Tier, fn func()) {
+	t.Helper()
+	old := ActiveTier()
+	if err := SetTier(tier); err != nil {
+		t.Fatalf("SetTier(%v): %v", tier, err)
+	}
+	defer func() {
+		if err := SetTier(old); err != nil {
+			t.Fatalf("restore tier %v: %v", old, err)
+		}
+	}()
+	fn()
+}
+
+// scalarAddMulSlice computes the oracle result under TierScalar into a
+// fresh copy of dst.
+func scalarAddMulSlice(t *testing.T, f *GF2m, dst, src []byte, c Elem) []byte {
+	t.Helper()
+	want := slices.Clone(dst)
+	withTier(t, TierScalar, func() { f.AddMulSlice(want, src, c) })
+	return want
+}
+
+// TestTierParseAndClamp pins the ALGOSSIP_GF_TIER token set and the
+// supported-tier ordering.
+func TestTierParseAndClamp(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Tier
+		ok   bool
+	}{
+		{"scalar", TierScalar, true},
+		{"portable", TierPortable, true},
+		{"avx2", TierAVX2, true},
+		{"gfni", TierGFNI, true},
+		{"auto", bestTier(), true},
+		{"", bestTier(), true},
+		{"sse9", TierScalar, false},
+	} {
+		got, err := ParseTier(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	avail := AvailableTiers()
+	if len(avail) < 2 || avail[0] != TierScalar || avail[1] != TierPortable {
+		t.Fatalf("AvailableTiers() = %v; want scalar, portable prefix", avail)
+	}
+	for _, tier := range avail {
+		if !TierSupported(tier) {
+			t.Errorf("available tier %v not supported", tier)
+		}
+	}
+	if TierSupported(bestTier() + 1) {
+		t.Errorf("tier above bestTier()=%v reported supported", bestTier())
+	}
+}
+
+// tierEdgeLens covers zero, sub-block, exact-block, and every
+// off-by-one around the 32-byte asm block width, plus odd sizes that
+// leave both a vector part and a scalar tail.
+var tierEdgeLens = []int{0, 1, 2, 3, 7, 8, 15, 16, 31, 32, 33, 47, 63, 64, 65, 95, 96, 97, 100, 255, 256, 257, 1000, 1024}
+
+// TestTierEquivalenceBytes checks AddMulSlice and MulSlice of every
+// available tier against the scalar oracle for every extension field,
+// every edge-case length, every scalar, including dst == src aliasing
+// and the dst-tail-untouched contract.
+func TestTierEquivalenceBytes(t *testing.T) {
+	for _, order := range []int{4, 16, 32, 256} {
+		f := mustGF2m(t, order)
+		rng := rand.New(rand.NewSource(int64(order)))
+		for _, tier := range AvailableTiers() {
+			if tier == TierScalar {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%v", f.Name(), tier), func(t *testing.T) {
+				for _, n := range tierEdgeLens {
+					src := make([]byte, n)
+					for i := range src {
+						src[i] = byte(rng.Intn(order))
+					}
+					base := make([]byte, n+5) // 5 tail bytes must stay untouched
+					for i := range base {
+						base[i] = byte(rng.Intn(order))
+					}
+					for _, c := range []Elem{0, 1, 2, Elem(order - 1), Elem(rng.Intn(order))} {
+						want := scalarAddMulSlice(t, f, base, src, c)
+						got := slices.Clone(base)
+						withTier(t, tier, func() { f.AddMulSlice(got, src, c) })
+						if !bytes.Equal(got, want) {
+							t.Fatalf("AddMulSlice len=%d c=%d: tier %v diverges from scalar", n, c, tier)
+						}
+						// In-place scale.
+						wantV := slices.Clone(src)
+						withTier(t, TierScalar, func() { f.MulSlice(wantV, c) })
+						gotV := slices.Clone(src)
+						withTier(t, tier, func() { f.MulSlice(gotV, c) })
+						if !bytes.Equal(gotV, wantV) {
+							t.Fatalf("MulSlice len=%d c=%d: tier %v diverges from scalar", n, c, tier)
+						}
+						// Exact dst == src aliasing: dst[i] ^= c*dst[i] must
+						// match computing it from a snapshot.
+						wantA := scalarAddMulSlice(t, f, src, slices.Clone(src), c)
+						gotA := slices.Clone(src)
+						withTier(t, tier, func() { f.AddMulSlice(gotA, gotA, c) })
+						if !bytes.Equal(gotA, wantA) {
+							t.Fatalf("AddMulSlice aliased len=%d c=%d: tier %v diverges", n, c, tier)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTierEquivalenceSliced checks AddMulSliced of every available tier
+// against the scalar oracle across plane word counts around the
+// 4-column asm block width, for every m with a sliced fast path and a
+// couple of generic-m widths.
+func TestTierEquivalenceSliced(t *testing.T) {
+	for _, order := range []int{4, 8, 16, 64, 256} {
+		f := mustGF2m(t, order)
+		m := f.M()
+		rng := rand.New(rand.NewSource(int64(order)))
+		for _, tier := range AvailableTiers() {
+			if tier == TierScalar {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%v", f.Name(), tier), func(t *testing.T) {
+				for _, words := range []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 13, 16, 31} {
+					n := m * words
+					src := make([]uint64, n)
+					base := make([]uint64, n+3) // tail words must stay untouched
+					for i := range src {
+						src[i] = rng.Uint64()
+					}
+					for i := range base {
+						base[i] = rng.Uint64()
+					}
+					for _, c := range []Elem{0, 1, 2, Elem(order - 1), Elem(rng.Intn(order))} {
+						want := slices.Clone(base)
+						withTier(t, TierScalar, func() { f.AddMulSliced(want, src, words, c) })
+						got := slices.Clone(base)
+						withTier(t, tier, func() { f.AddMulSliced(got, src, words, c) })
+						if !slices.Equal(got, want) {
+							t.Fatalf("AddMulSliced words=%d c=%d: tier %v diverges from scalar", words, c, tier)
+						}
+						// Exact aliasing dst == src. Only the m ∈ {4, 8}
+						// four-Russians kernels read each column before
+						// writing it; the generic-m plane walk never
+						// supported aliasing, in scalar or any other tier.
+						if m == 4 || m == 8 {
+							wantA := slices.Clone(src)
+							withTier(t, TierScalar, func() { f.AddMulSliced(wantA, slices.Clone(src), words, c) })
+							gotA := slices.Clone(src)
+							withTier(t, tier, func() { f.AddMulSliced(gotA, gotA, words, c) })
+							if !slices.Equal(gotA, wantA) {
+								t.Fatalf("AddMulSliced aliased words=%d c=%d: tier %v diverges", words, c, tier)
+							}
+						}
+					}
+				}
+				// words == 0 must be a no-op on every tier.
+				withTier(t, tier, func() { f.AddMulSliced(nil, nil, 0, 3) })
+			})
+		}
+	}
+}
+
+// TestTierEquivalenceElem routes the []Elem AXPY/Scale entry points
+// (which forward to the byte kernels) through every tier once, so the
+// coefficient side of elimination is covered too.
+func TestTierEquivalenceElem(t *testing.T) {
+	f := mustGF2m(t, 256)
+	rng := rand.New(rand.NewSource(99))
+	n := 129
+	src := make([]Elem, n)
+	base := make([]Elem, n)
+	for i := range src {
+		src[i] = Elem(rng.Intn(256))
+		base[i] = Elem(rng.Intn(256))
+	}
+	c := Elem(0x53)
+	want := slices.Clone(base)
+	withTier(t, TierScalar, func() { f.AXPY(want, src, c) })
+	for _, tier := range AvailableTiers() {
+		got := slices.Clone(base)
+		withTier(t, tier, func() { f.AXPY(got, src, c) })
+		if !slices.Equal(got, want) {
+			t.Fatalf("AXPY: tier %v diverges from scalar", tier)
+		}
+	}
+}
+
+func mustGF2m(t *testing.T, order int) *GF2m {
+	t.Helper()
+	m := 0
+	for 1<<m < order {
+		m++
+	}
+	f, err := NewGF2m(m)
+	if err != nil {
+		t.Fatalf("NewGF2m(%d): %v", m, err)
+	}
+	return f
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/bits"
 	"math/rand/v2"
+
+	"algossip/internal/gf"
 )
 
 // BitVec is a packed vector over GF(2), 64 coordinates per word.
@@ -24,11 +26,10 @@ func (v BitVec) Clear(i int) { v[i/64] &^= 1 << (uint(i) % 64) }
 // Get reports whether bit i is 1.
 func (v BitVec) Get(i int) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
 
-// Xor performs v ^= w element-wise. w must not be longer than v.
+// Xor performs v ^= w element-wise, through the tier-dispatched XOR
+// kernel. w must not be longer than v.
 func (v BitVec) Xor(w BitVec) {
-	for i, x := range w {
-		v[i] ^= x
-	}
+	gf.XorWords(v, w)
 }
 
 // Or performs v |= w element-wise. w must not be longer than v.

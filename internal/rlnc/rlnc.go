@@ -269,6 +269,21 @@ func (n *Node) BitMode() bool { return n.bit != nil }
 // backend (its packets carry Sliced/SlicedPay instead of Coeffs/Payload).
 func (n *Node) SlicedMode() bool { return n.slc != nil }
 
+// Backend returns the selected backend plus the kernel tier its inner
+// loops dispatch to, e.g. "sliced/GF(256) gf-tier=gfni" — the string
+// surfaced by status endpoints so perf numbers are attributable to both
+// selection layers.
+func (n *Node) Backend() string {
+	kind := "generic"
+	switch {
+	case n.bit != nil:
+		kind = "bit"
+	case n.slc != nil:
+		kind = "sliced"
+	}
+	return fmt.Sprintf("%s/%s gf-tier=%s", kind, n.cfg.Field.Name(), gf.ActiveTier())
+}
+
 // Rank returns the dimension of the node's equation space.
 func (n *Node) Rank() int {
 	switch {
